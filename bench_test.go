@@ -1,0 +1,340 @@
+// Package gsalert_test holds the benchmark harness regenerating every
+// figure-scenario and evaluation claim of the paper (see EXPERIMENTS.md for
+// the experiment index and the recorded outputs). Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The same scenarios are runnable interactively via cmd/alert-bench, which
+// prints the result tables.
+package gsalert_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/gsalert/gsalert/internal/collection"
+	"github.com/gsalert/gsalert/internal/core"
+	"github.com/gsalert/gsalert/internal/event"
+	"github.com/gsalert/gsalert/internal/filter"
+	"github.com/gsalert/gsalert/internal/profile"
+	"github.com/gsalert/gsalert/internal/sim"
+)
+
+// ---------------------------------------------------------------------------
+// F2 / E2 — GDS broadcast (Figure 2 shape and the scalability sweep).
+
+func benchGDSBroadcast(b *testing.B, servers, branching int) {
+	b.Helper()
+	c, err := sim.NewCluster(sim.ClusterConfig{Seed: 1, GDSNodes: max(1, servers/8), GDSBranching: branching})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+	for i := 0; i < servers; i++ {
+		if _, err := c.AddServer(fmt.Sprintf("S%04d", i), -1); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if _, err := c.Server("S0000").AddCollection(ctx, collection.Config{Name: "X", Public: true}); err != nil {
+		b.Fatal(err)
+	}
+	docs := []*collection.Document{{ID: "d1", Content: "payload"}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		docs[0].Content = fmt.Sprintf("payload %d", i) // force a diff per build
+		if _, _, err := c.Server("S0000").Build(ctx, "X", docs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(c.TR.Stats().Sent)/float64(b.N), "msgs/event")
+}
+
+// BenchmarkFigure2Broadcast reproduces Figure 2: a 7-node stratum tree with
+// one event flooded from one server to all others.
+func BenchmarkFigure2Broadcast(b *testing.B) { benchGDSBroadcast(b, 7, 3) }
+
+// BenchmarkGDSScalability sweeps the tree size (experiment E2).
+func BenchmarkGDSScalability(b *testing.B) {
+	for _, servers := range []int{10, 50, 100, 250} {
+		for _, branching := range []int{2, 4, 8} {
+			b.Run(fmt.Sprintf("servers=%d/branching=%d", servers, branching), func(b *testing.B) {
+				benchGDSBroadcast(b, servers, branching)
+			})
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// F3 / E5 — the auxiliary-profile round trip of Figure 3 and deeper chains.
+
+func benchAuxChain(b *testing.B, depth int) {
+	b.Helper()
+	c, err := sim.NewCluster(sim.ClusterConfig{Seed: 2, GDSNodes: 2, GDSBranching: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+	names := make([]string, 0, depth+1)
+	for i := 0; i <= depth; i++ {
+		name := fmt.Sprintf("H%d", i)
+		if _, err := c.AddServer(name, i%2); err != nil {
+			b.Fatal(err)
+		}
+		names = append(names, name)
+	}
+	for i := 0; i <= depth; i++ {
+		cfg := collection.Config{Name: fmt.Sprintf("C%d", i), Public: true}
+		if i < depth {
+			cfg.Subs = []collection.SubRef{{Host: names[i+1], Name: fmt.Sprintf("C%d", i+1)}}
+		}
+		if _, err := c.Server(names[i]).AddCollection(ctx, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	sink := c.Notifier(names[0], "w")
+	if _, err := c.Service(names[0]).Subscribe("w", profile.MustParse(
+		`collection = "H0.C0" AND (event.type = "collection-built" OR event.type = "collection-rebuilt")`)); err != nil {
+		b.Fatal(err)
+	}
+	leafColl := fmt.Sprintf("C%d", depth)
+	docs := []*collection.Document{{ID: "d1", Content: "x"}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		docs[0].Content = fmt.Sprintf("x %d", i)
+		if _, _, err := c.Server(names[depth]).Build(ctx, leafColl, docs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if sink.Len() != b.N {
+		b.Fatalf("watcher notifications = %d, want %d", sink.Len(), b.N)
+	}
+}
+
+// BenchmarkFigure3AuxRoundTrip reproduces Figure 3: Hamilton.D ⊃ London.E,
+// rebuild at London, transformed event notification at Hamilton.
+func BenchmarkFigure3AuxRoundTrip(b *testing.B) { benchAuxChain(b, 1) }
+
+// BenchmarkAuxChain sweeps super/sub chain depth (experiment E5).
+func BenchmarkAuxChain(b *testing.B) {
+	for _, depth := range []int{1, 2, 3, 4, 5} {
+		b.Run(fmt.Sprintf("depth=%d", depth), func(b *testing.B) { benchAuxChain(b, depth) })
+	}
+}
+
+// ---------------------------------------------------------------------------
+// E1 — build overhead of the filtering step.
+
+// BenchmarkBuildOverhead measures one rebuild+publish with a profile
+// population attached (experiment E1); compare against profiles=0.
+func BenchmarkBuildOverhead(b *testing.B) {
+	for _, docs := range []int{100, 1000} {
+		for _, profiles := range []int{0, 100, 1000, 10000} {
+			b.Run(fmt.Sprintf("docs=%d/profiles=%d", docs, profiles), func(b *testing.B) {
+				c, err := sim.NewCluster(sim.ClusterConfig{Seed: 3, GDSNodes: 1, GDSBranching: 2})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer c.Close()
+				ctx := context.Background()
+				if _, err := c.AddServer("Host", 0); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := c.Server("Host").AddCollection(ctx, collection.Config{
+					Name: "Col", Public: true, IndexFields: []string{"dc.Title", "dc.Creator"},
+				}); err != nil {
+					b.Fatal(err)
+				}
+				c.Notifier("Host", "u")
+				for i := 0; i < profiles; i++ {
+					expr := fmt.Sprintf(`collection = "Host.Col" AND dc.Creator = "Author%d"`, i%100)
+					if _, err := c.Service("Host").Subscribe("u", profile.MustParse(expr)); err != nil {
+						b.Fatal(err)
+					}
+				}
+				set := make([]*collection.Document, docs)
+				for i := range set {
+					set[i] = &collection.Document{
+						ID: fmt.Sprintf("doc%05d", i),
+						Metadata: map[string][]string{
+							"dc.Title":   {fmt.Sprintf("Title %d", i)},
+							"dc.Creator": {fmt.Sprintf("Author%d", i%100)},
+						},
+						Content: fmt.Sprintf("body %d words here", i),
+					}
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					set[0].Content = fmt.Sprintf("body changed %d", i)
+					if _, _, err := c.Server("Host").Build(ctx, "Col", set); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// E3 — routing comparison.
+
+// BenchmarkRoutingComparison runs the four routers through the fragmented-
+// network scenario (experiment E3); correctness is asserted in the sim
+// package tests, this benchmark tracks cost.
+func BenchmarkRoutingComparison(b *testing.B) {
+	for _, frag := range []float64{0, 0.3, 0.6, 0.9} {
+		b.Run(fmt.Sprintf("fragmentation=%0.1f", frag), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := sim.RunRoutingComparison(64, frag, int64(i+1)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// E4 — filter engines (the §5 equality-preferred algorithm vs naive scan).
+
+func benchFilterEngine(b *testing.B, mk func() filter.Matcher, profiles int) {
+	b.Helper()
+	m := mk()
+	for i := 0; i < profiles; i++ {
+		expr := fmt.Sprintf(`collection = "H.C%d" AND dc.Creator = "Author%d"`, i%50, i%500)
+		p := profile.NewUser(fmt.Sprintf("p%06d", i), "u", "H", profile.MustParse(expr))
+		if err := m.Add(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+	events := make([]*event.Event, 32)
+	for i := range events {
+		events[i] = event.New(fmt.Sprintf("e%d", i), event.TypeDocumentsAdded,
+			event.QName{Host: "H", Collection: fmt.Sprintf("C%d", i%50)}, 1,
+			[]event.DocRef{{
+				ID: fmt.Sprintf("d%d", i),
+				Metadata: map[string][]string{
+					"dc.Creator": {fmt.Sprintf("Author%d", i%500)},
+					"dc.Title":   {"some title"},
+				},
+			}}, eventTime())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Match(events[i%len(events)])
+	}
+}
+
+// BenchmarkFilterMatching sweeps profile counts over both engines
+// (experiment E4).
+func BenchmarkFilterMatching(b *testing.B) {
+	for _, profiles := range []int{1000, 10000, 100000} {
+		b.Run(fmt.Sprintf("naive/profiles=%d", profiles), func(b *testing.B) {
+			benchFilterEngine(b, func() filter.Matcher { return filter.NewNaive() }, profiles)
+		})
+		b.Run(fmt.Sprintf("eqpref/profiles=%d", profiles), func(b *testing.B) {
+			benchFilterEngine(b, func() filter.Matcher { return filter.NewEqualityPreferred() }, profiles)
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// E6 — partition recovery.
+
+// BenchmarkPartitionRecovery cycles partition/rebuild/heal/flush
+// (experiment E6).
+func BenchmarkPartitionRecovery(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := sim.RunPartitionRecovery(3, int64(i+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.DuringPartition != 0 || r.AfterHeal != 3 {
+			b.Fatalf("recovery broken: %+v", r)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// E7 — lossy flooding.
+
+// BenchmarkLossyBroadcast measures best-effort delivery under loss
+// (experiment E7).
+func BenchmarkLossyBroadcast(b *testing.B) {
+	for _, p := range []float64{0, 0.05, 0.2} {
+		b.Run(fmt.Sprintf("drop=%0.2f", p), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := sim.RunLossyBroadcast(16, 4, p, int64(i+1)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// E9 — dissemination ablation.
+
+// BenchmarkMulticastAblation compares broadcast and interest-scoped
+// multicast dissemination at different interest levels (experiment E9).
+func BenchmarkMulticastAblation(b *testing.B) {
+	for _, interested := range []int{1, 8, 31} {
+		for _, mode := range []struct {
+			name string
+			m    core.RoutingMode
+		}{{"broadcast", core.RouteBroadcast}, {"multicast", core.RouteMulticast}} {
+			b.Run(fmt.Sprintf("%s/interested=%d", mode.name, interested), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					r, err := sim.RunMulticastAblation(32, interested, 5, mode.m, int64(i+1))
+					if err != nil {
+						b.Fatal(err)
+					}
+					if i == 0 {
+						b.ReportMetric(float64(r.Messages)/float64(r.Events), "msgs/event")
+					}
+				}
+			})
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// E8 — continuous search / watch-this.
+
+// BenchmarkWatchThis measures end-to-end watch-this alerting on rebuilds
+// (experiment E8).
+func BenchmarkWatchThis(b *testing.B) {
+	c, err := sim.NewCluster(sim.ClusterConfig{Seed: 4, GDSNodes: 1, GDSBranching: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+	if _, err := c.AddServer("Host", 0); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := c.Server("Host").AddCollection(ctx, collection.Config{Name: "Col", Public: true}); err != nil {
+		b.Fatal(err)
+	}
+	c.Notifier("Host", "w")
+	coll := event.QName{Host: "Host", Collection: "Col"}
+	if _, err := c.Service("Host").WatchDocuments("w", coll, []string{"doc00001"}); err != nil {
+		b.Fatal(err)
+	}
+	set := make([]*collection.Document, 500)
+	for i := range set {
+		set[i] = &collection.Document{ID: fmt.Sprintf("doc%05d", i), Content: "body"}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		set[1].Content = fmt.Sprintf("body %d", i)
+		if _, _, err := c.Server("Host").Build(ctx, "Col", set); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func eventTime() time.Time { return time.Unix(1117584000, 0) } // 2005-06-01

@@ -1,0 +1,119 @@
+// Command alert-bench runs the experiment suite of EXPERIMENTS.md and
+// prints the result tables: build overhead (E1), GDS scalability (E2),
+// routing comparison on fragmented networks (E3), auxiliary-profile chains
+// (E5), partition recovery (E6), lossy flooding (E7), and continuous-search
+// fidelity (E8). The E4 filter-engine throughput comparison lives in the Go
+// benchmarks (go test -bench=BenchmarkFilterMatching).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/gsalert/gsalert/internal/metrics"
+	"github.com/gsalert/gsalert/internal/sim"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		seed = flag.Int64("seed", 2005, "random seed for all experiments")
+		only = flag.String("only", "", "comma-separated experiment ids to run (e1,e2,e3,e5,e6,e7,e8,e9); empty = all")
+	)
+	flag.Parse()
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.ToLower(strings.TrimSpace(id))] = true
+		}
+	}
+	selected := func(id string) bool { return len(want) == 0 || want[id] }
+
+	type step struct {
+		id  string
+		run func() (string, error)
+	}
+	steps := []step{
+		{"e1", func() (string, error) {
+			t, err := sim.BuildOverheadTable([]int{100, 1000, 5000}, []int{0, 100, 1000, 10000}, 3, *seed)
+			if err != nil {
+				return "", err
+			}
+			return t.Render(), nil
+		}},
+		{"e2", func() (string, error) {
+			t, err := sim.GDSScaleTable([]int{10, 50, 100, 250, 1000}, []int{2, 4, 8}, *seed)
+			if err != nil {
+				return "", err
+			}
+			return t.Render(), nil
+		}},
+		{"e3", func() (string, error) {
+			t, err := sim.RoutingComparisonTable(64, []float64{0, 0.3, 0.6, 0.9}, *seed)
+			if err != nil {
+				return "", err
+			}
+			return t.Render(), nil
+		}},
+		{"e5", func() (string, error) {
+			t, err := sim.AuxChainTable([]int{1, 2, 3, 4, 5}, *seed)
+			if err != nil {
+				return "", err
+			}
+			return t.Render(), nil
+		}},
+		{"e6", func() (string, error) {
+			r, err := sim.RunPartitionRecovery(5, *seed)
+			if err != nil {
+				return "", err
+			}
+			t := metrics.NewTable("E6 — partition recovery (rebuilds under a cut super/sub link)",
+				"cycles", "notifs during cut", "notifs after heal", "peak queue")
+			t.AddRow(r.Cycles, r.DuringPartition, r.AfterHeal, r.QueuedPeak)
+			return t.Render(), nil
+		}},
+		{"e7", func() (string, error) {
+			t, err := sim.LossTable(24, 10, []float64{0, 0.01, 0.05, 0.1, 0.2}, *seed)
+			if err != nil {
+				return "", err
+			}
+			return t.Render(), nil
+		}},
+		{"e9", func() (string, error) {
+			t, err := sim.MulticastAblationTable(32, 10, []int{1, 4, 8, 16, 31}, *seed)
+			if err != nil {
+				return "", err
+			}
+			return t.Render(), nil
+		}},
+		{"e8", func() (string, error) {
+			r, err := sim.RunContinuousSearch(2000, *seed)
+			if err != nil {
+				return "", err
+			}
+			t := metrics.NewTable("E8 — continuous search & watch-this fidelity",
+				"docs", "search hits", "alerted docs", "agreement", "watch alerts", "watch expected")
+			t.AddRow(r.Docs, r.SearchHits, r.AlertedDocs, fmt.Sprintf("%v", r.Agreement), r.WatchAlerts, r.WatchExpected)
+			return t.Render(), nil
+		}},
+	}
+
+	for _, s := range steps {
+		if !selected(s.id) {
+			continue
+		}
+		out, err := s.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "alert-bench: %s: %v\n", s.id, err)
+			return 1
+		}
+		fmt.Println(out)
+	}
+	return 0
+}

@@ -1,0 +1,68 @@
+// Command gds-server runs one Greenstone Directory Service node (paper
+// §4.1/§6) over HTTP. Nodes form a stratum tree; give non-root nodes their
+// parent's identity and address.
+//
+// Example of a two-node tree:
+//
+//	gds-server -id gds-root -addr 127.0.0.1:7001 -stratum 1
+//	gds-server -id gds-nz   -addr 127.0.0.1:7002 -stratum 2 \
+//	           -parent-id gds-root -parent-addr 127.0.0.1:7001
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/gsalert/gsalert/internal/gds"
+	"github.com/gsalert/gsalert/internal/transport"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		id         = flag.String("id", "gds-1", "node identifier")
+		addr       = flag.String("addr", "127.0.0.1:7001", "listen address")
+		stratum    = flag.Int("stratum", 1, "stratum of this node (1 = primary)")
+		parentID   = flag.String("parent-id", "", "parent node identifier (non-root nodes)")
+		parentAddr = flag.String("parent-addr", "", "parent node address (non-root nodes)")
+	)
+	flag.Parse()
+
+	tr := transport.NewHTTP()
+	defer func() { _ = tr.Close() }()
+
+	node, err := gds.NewNode(*id, *addr, *stratum, tr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gds-server: %v\n", err)
+		return 1
+	}
+	defer func() { _ = node.Close() }()
+
+	if *parentAddr != "" {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		err := node.AttachToParent(ctx, *parentID, *parentAddr)
+		cancel()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gds-server: attach to parent: %v\n", err)
+			return 1
+		}
+		fmt.Printf("gds-server %s (stratum %d) attached to %s at %s\n", *id, *stratum, *parentID, *parentAddr)
+	} else {
+		fmt.Printf("gds-server %s (stratum %d) running as root\n", *id, *stratum)
+	}
+	fmt.Printf("listening on %s\n", *addr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	fmt.Println("shutting down")
+	return 0
+}

@@ -1,0 +1,271 @@
+// Command gs-client is the user-side tool: it talks to Greenstone servers
+// through a receptionist (paper §3), supporting describe, search, browse,
+// document retrieval, and the alerting operations — subscribe with a
+// profile expression, continuous search, watch-this, and a notification
+// listener.
+//
+//	gs-client describe  -host 127.0.0.1:8001
+//	gs-client search    -host 127.0.0.1:8001 -collection Demo -query "alerting" -follow
+//	gs-client subscribe -host 127.0.0.1:8001 -server Hamilton -client alice \
+//	                    -expr 'collection = "Hamilton.Demo"' -listen 127.0.0.1:9001
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/gsalert/gsalert/internal/greenstone"
+	"github.com/gsalert/gsalert/internal/profile"
+	"github.com/gsalert/gsalert/internal/transport"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: gs-client <describe|search|browse|get|subscribe|watch> [flags]
+run "gs-client <command> -h" for command flags`)
+}
+
+func run() int {
+	if len(os.Args) < 2 {
+		usage()
+		return 2
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	tr := transport.NewHTTP()
+	defer func() { _ = tr.Close() }()
+	recep := greenstone.NewReceptionist("gs-client", tr)
+	ctx, cancel := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer cancel()
+
+	var err error
+	switch cmd {
+	case "describe":
+		err = cmdDescribe(ctx, recep, args)
+	case "search":
+		err = cmdSearch(ctx, recep, args)
+	case "browse":
+		err = cmdBrowse(ctx, recep, args)
+	case "get":
+		err = cmdGet(ctx, recep, args)
+	case "subscribe":
+		err = cmdSubscribe(ctx, recep, args)
+	case "watch":
+		err = cmdWatch(ctx, recep, args)
+	default:
+		usage()
+		return 2
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gs-client: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+// hostFlag declares the common -host flag and connects the receptionist.
+func hostFlag(fs *flag.FlagSet) *string {
+	return fs.String("host", "127.0.0.1:8001", "Greenstone server address")
+}
+
+func connect(recep *greenstone.Receptionist, addr string) string {
+	// The receptionist keys hosts by name; for the CLI the address doubles
+	// as the name.
+	recep.Connect(addr, addr)
+	return addr
+}
+
+func cmdDescribe(ctx context.Context, recep *greenstone.Receptionist, args []string) error {
+	fs := flag.NewFlagSet("describe", flag.ExitOnError)
+	host := hostFlag(fs)
+	_ = fs.Parse(args)
+	connect(recep, *host)
+	results, err := recep.Describe(ctx)
+	if err != nil {
+		return err
+	}
+	for _, r := range results {
+		fmt.Printf("host %s:\n", r.Host)
+		for _, c := range r.Collections {
+			kind := "collection"
+			if c.Virtual {
+				kind = "virtual collection"
+			}
+			fmt.Printf("  %-12s %-20s %d docs, build %d", c.Name, kind, c.DocCount, c.BuildVersion)
+			if len(c.SubCollections) > 0 {
+				fmt.Printf(", subs: %s", strings.Join(c.SubCollections, ", "))
+			}
+			fmt.Println()
+		}
+	}
+	return nil
+}
+
+func cmdSearch(ctx context.Context, recep *greenstone.Receptionist, args []string) error {
+	fs := flag.NewFlagSet("search", flag.ExitOnError)
+	host := hostFlag(fs)
+	coll := fs.String("collection", "", "collection name")
+	query := fs.String("query", "", "retrieval query")
+	field := fs.String("field", "", "metadata field to search (empty = full text)")
+	limit := fs.Int("limit", 10, "max hits")
+	follow := fs.Bool("follow", false, "expand distributed sub-collections")
+	_ = fs.Parse(args)
+	if *coll == "" || *query == "" {
+		return fmt.Errorf("search requires -collection and -query")
+	}
+	h := connect(recep, *host)
+	res, err := recep.Search(ctx, h, *coll, *query, *field, *limit, *follow)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%d hits\n", res.Total)
+	for _, hit := range res.Hits {
+		fmt.Printf("  %-24s %-12s %.4f  %s\n", hit.Collection, hit.DocID, hit.Score, hit.Title)
+	}
+	return nil
+}
+
+func cmdBrowse(ctx context.Context, recep *greenstone.Receptionist, args []string) error {
+	fs := flag.NewFlagSet("browse", flag.ExitOnError)
+	host := hostFlag(fs)
+	coll := fs.String("collection", "", "collection name")
+	classifier := fs.String("classifier", "dc.Title", "classifier field")
+	_ = fs.Parse(args)
+	if *coll == "" {
+		return fmt.Errorf("browse requires -collection")
+	}
+	h := connect(recep, *host)
+	res, err := recep.Browse(ctx, h, *coll, *classifier)
+	if err != nil {
+		return err
+	}
+	for _, b := range res.Buckets {
+		fmt.Printf("  [%s] %s\n", b.Label, strings.Join(b.DocIDs, ", "))
+	}
+	return nil
+}
+
+func cmdGet(ctx context.Context, recep *greenstone.Receptionist, args []string) error {
+	fs := flag.NewFlagSet("get", flag.ExitOnError)
+	host := hostFlag(fs)
+	coll := fs.String("collection", "", "collection name")
+	doc := fs.String("doc", "", "document id")
+	_ = fs.Parse(args)
+	if *coll == "" || *doc == "" {
+		return fmt.Errorf("get requires -collection and -doc")
+	}
+	h := connect(recep, *host)
+	d, err := recep.GetDocument(ctx, h, *coll, *doc)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("document %s (%s)\n", d.ID, d.MIME)
+	for _, m := range d.Metadata {
+		fmt.Printf("  %s: %s\n", m.Name, strings.Join(m.Values, "; "))
+	}
+	if d.Content != "" {
+		fmt.Printf("  ---\n  %s\n", d.Content)
+	}
+	return nil
+}
+
+func cmdSubscribe(ctx context.Context, recep *greenstone.Receptionist, args []string) error {
+	fs := flag.NewFlagSet("subscribe", flag.ExitOnError)
+	host := hostFlag(fs)
+	server := fs.String("server", "", "server name (the profile's home server)")
+	client := fs.String("client", "alice", "client identifier")
+	expr := fs.String("expr", "", "profile expression, e.g. 'collection = \"Hamilton.Demo\"'")
+	listen := fs.String("listen", "", "address to receive notifications on (empty = register and exit)")
+	id := fs.String("id", "", "profile id (default <client>-<unix time>)")
+	_ = fs.Parse(args)
+	if *expr == "" || *server == "" {
+		return fmt.Errorf("subscribe requires -server and -expr")
+	}
+	parsed, err := profile.Parse(*expr)
+	if err != nil {
+		return err
+	}
+	if *id == "" {
+		*id = fmt.Sprintf("%s-%d", *client, time.Now().Unix())
+	}
+	h := connect(recep, *host)
+	p := profile.NewUser(*id, *client, *server, parsed)
+	if err := recep.Subscribe(ctx, h, p); err != nil {
+		return err
+	}
+	fmt.Printf("subscribed: profile %s for client %s at %s\n", p.ID, *client, *server)
+	if *listen == "" {
+		return nil
+	}
+	return listenLoop(ctx, recep, *listen, *client, *server, h)
+}
+
+func cmdWatch(ctx context.Context, recep *greenstone.Receptionist, args []string) error {
+	fs := flag.NewFlagSet("watch", flag.ExitOnError)
+	host := hostFlag(fs)
+	server := fs.String("server", "", "server name")
+	coll := fs.String("collection", "", "collection name")
+	client := fs.String("client", "alice", "client identifier")
+	docs := fs.String("docs", "", "comma-separated document ids to watch")
+	listen := fs.String("listen", "", "address to receive notifications on")
+	_ = fs.Parse(args)
+	if *server == "" || *coll == "" || *docs == "" {
+		return fmt.Errorf("watch requires -server, -collection and -docs")
+	}
+	ids := strings.Split(*docs, ",")
+	for i := range ids {
+		ids[i] = strings.TrimSpace(ids[i])
+	}
+	// The watch-this profile is the identity-centred observation of §5.
+	expr := fmt.Sprintf(`collection = "%s.%s" AND doc.id in (%s)`, *server, *coll, quoteList(ids))
+	return cmdSubscribe(ctx, recep, []string{
+		"-host", *host, "-server", *server, "-client", *client, "-expr", expr, "-listen", *listen,
+	})
+}
+
+func quoteList(ids []string) string {
+	quoted := make([]string, 0, len(ids))
+	for _, id := range ids {
+		quoted = append(quoted, fmt.Sprintf("%q", id))
+	}
+	return strings.Join(quoted, ", ")
+}
+
+// listenLoop registers a notification listener address with the server and
+// prints incoming notifications until interrupted.
+func listenLoop(ctx context.Context, recep *greenstone.Receptionist, listenAddr, client, server, host string) error {
+	ch, closeFn, err := recep.ListenForNotifications(listenAddr)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = closeFn() }()
+	fmt.Printf("listening for notifications on %s (ctrl-c to stop)\n", listenAddr)
+	fmt.Printf("note: the server pushes to this address when configured with a remote notifier for client %q\n", client)
+	_ = server
+	_ = host
+	for {
+		select {
+		case <-ctx.Done():
+			return nil
+		case n := <-ch:
+			ev := n.Event
+			fmt.Printf("[%s] %s: %s (build %d, %d docs) via profile %s\n",
+				time.Now().Format("15:04:05"), ev.Type, ev.Collection, ev.BuildVersion, len(ev.Docs), n.ProfileID)
+			for _, d := range ev.Docs {
+				title := ""
+				if vs := d.Metadata["dc.Title"]; len(vs) > 0 {
+					title = vs[0]
+				}
+				fmt.Printf("    doc %s %s\n", d.ID, title)
+			}
+		}
+	}
+}

@@ -1,0 +1,183 @@
+// Command gs-server runs one Greenstone server with the alerting service
+// integrated (paper §3/§4) over HTTP. The server registers with a GDS node
+// for naming and event flooding.
+//
+// With -demo, the server creates a sample public collection and rebuilds it
+// on the given interval so subscribers receive a steady stream of events:
+//
+//	gs-server -name Hamilton -addr 127.0.0.1:8001 -gds 127.0.0.1:7001 \
+//	          -demo -demo-interval 10s
+//
+// Distributed collections: -sub Host=Collection adds a remote
+// sub-collection reference to the demo collection, which triggers auxiliary
+// profile forwarding to that host (paper §4.2):
+//
+//	gs-server -name Hamilton ... -demo -sub London=E
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/gsalert/gsalert/internal/collection"
+	"github.com/gsalert/gsalert/internal/core"
+	"github.com/gsalert/gsalert/internal/gds"
+	"github.com/gsalert/gsalert/internal/greenstone"
+	"github.com/gsalert/gsalert/internal/transport"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		name         = flag.String("name", "Hamilton", "server name (network-internal, resolved via the GDS)")
+		addr         = flag.String("addr", "127.0.0.1:8001", "listen address")
+		gdsAddr      = flag.String("gds", "127.0.0.1:7001", "GDS node address to register with")
+		demo         = flag.Bool("demo", false, "create a demo collection and rebuild it periodically")
+		demoName     = flag.String("demo-name", "Demo", "demo collection name")
+		demoInterval = flag.Duration("demo-interval", 15*time.Second, "demo rebuild interval")
+		subsFlag     = flag.String("sub", "", "comma-separated remote sub-collection refs Host=Collection for the demo collection")
+	)
+	flag.Parse()
+
+	tr := transport.NewHTTP()
+	defer func() { _ = tr.Close() }()
+	ctx, cancel := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer cancel()
+
+	gdsCli := gds.NewClient(*name, *addr, *gdsAddr, tr)
+	store := collection.NewStore(*name)
+	svc, err := core.New(core.Config{
+		ServerName: *name,
+		ServerAddr: *addr,
+		Transport:  tr,
+		GDS:        gdsCli,
+		Store:      store,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gs-server: %v\n", err)
+		return 1
+	}
+	srv, err := greenstone.NewServer(greenstone.ServerConfig{
+		Name:      *name,
+		Addr:      *addr,
+		Transport: tr,
+		Store:     store,
+		Alerting:  svc,
+		Resolver:  gdsCli,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gs-server: %v\n", err)
+		return 1
+	}
+	defer func() { _ = srv.Close() }()
+
+	regCtx, regCancel := context.WithTimeout(ctx, 10*time.Second)
+	err = gdsCli.Register(regCtx)
+	regCancel()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gs-server: GDS registration failed (continuing solitary): %v\n", err)
+	} else {
+		fmt.Printf("gs-server %s registered with GDS at %s\n", *name, *gdsAddr)
+	}
+
+	// The retry queue delivers deferred aux-profile traffic in the
+	// background (paper §7 reconnection semantics).
+	if err := svc.Retry().Start(2 * time.Second); err != nil {
+		fmt.Fprintf(os.Stderr, "gs-server: retry queue: %v\n", err)
+		return 1
+	}
+	defer svc.Retry().Stop()
+
+	if *demo {
+		if err := runDemo(ctx, srv, *demoName, *subsFlag, *demoInterval); err != nil {
+			fmt.Fprintf(os.Stderr, "gs-server: demo: %v\n", err)
+			return 1
+		}
+	}
+
+	fmt.Printf("gs-server %s listening on %s\n", *name, *addr)
+	<-ctx.Done()
+	fmt.Println("shutting down")
+	return 0
+}
+
+// runDemo creates the demo collection and starts the rebuild loop.
+func runDemo(ctx context.Context, srv *greenstone.Server, collName, subsFlag string, interval time.Duration) error {
+	cfg := collection.Config{
+		Name:        collName,
+		Title:       "Demo Collection",
+		Public:      true,
+		IndexFields: []string{"dc.Title", "dc.Creator"},
+		Classifiers: []string{"dc.Title"},
+	}
+	for _, ref := range strings.Split(subsFlag, ",") {
+		ref = strings.TrimSpace(ref)
+		if ref == "" {
+			continue
+		}
+		host, sub, ok := strings.Cut(ref, "=")
+		if !ok {
+			return fmt.Errorf("bad -sub entry %q (want Host=Collection)", ref)
+		}
+		cfg.Subs = append(cfg.Subs, collection.SubRef{Host: host, Name: sub})
+	}
+	if _, err := srv.AddCollection(ctx, cfg); err != nil {
+		return err
+	}
+	build := func(round int) {
+		docs := demoDocs(srv.Name(), round)
+		if _, _, err := srv.Build(ctx, collName, docs); err != nil {
+			fmt.Fprintf(os.Stderr, "gs-server: demo rebuild: %v\n", err)
+			return
+		}
+		fmt.Printf("rebuilt %s.%s (round %d, %d docs)\n", srv.Name(), collName, round, len(docs))
+	}
+	build(0)
+	go func() {
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		round := 1
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-ticker.C:
+				build(round)
+				round++
+			}
+		}
+	}()
+	return nil
+}
+
+func demoDocs(host string, round int) []*collection.Document {
+	docs := make([]*collection.Document, 0, 6)
+	for i := 0; i < 5; i++ {
+		docs = append(docs, &collection.Document{
+			ID: fmt.Sprintf("%s-doc-%d", host, i),
+			Metadata: map[string][]string{
+				"dc.Title":   {fmt.Sprintf("Report %d from %s", i, host)},
+				"dc.Creator": {fmt.Sprintf("Author %d", i%3)},
+			},
+			Content: fmt.Sprintf("report %d body, revision %d, topics digital library alerting", i, round),
+			MIME:    "text/plain",
+		})
+	}
+	// One fresh document per round so subscribers see documents-added.
+	docs = append(docs, &collection.Document{
+		ID:       fmt.Sprintf("%s-new-%d", host, round),
+		Metadata: map[string][]string{"dc.Title": {fmt.Sprintf("Bulletin %d", round)}},
+		Content:  fmt.Sprintf("bulletin issued in round %d", round),
+		MIME:     "text/plain",
+	})
+	return docs
+}

@@ -1,0 +1,101 @@
+// Continuous search and "watch this" — alerting as a fluent extension of
+// searching and browsing (paper §1 problem 5, §5).
+//
+// A user's interactive search query becomes a standing profile; documents
+// that would have been hits trigger alerts as they arrive. Browsing is
+// extended with identity-centred observation: watching specific documents
+// fires when exactly those documents change.
+//
+//	go run ./examples/continuous-search
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+
+	"github.com/gsalert/gsalert/internal/collection"
+	"github.com/gsalert/gsalert/internal/event"
+	"github.com/gsalert/gsalert/internal/sim"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "continuous-search: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	ctx := context.Background()
+	cluster, err := sim.NewCluster(sim.ClusterConfig{Seed: 2005, GDSNodes: 1, GDSBranching: 2})
+	if err != nil {
+		return err
+	}
+	defer cluster.Close()
+	if _, err := cluster.AddServer("Hamilton", 0); err != nil {
+		return err
+	}
+	srv := cluster.Server("Hamilton")
+	svc := cluster.Service("Hamilton")
+	if _, err := srv.AddCollection(ctx, collection.Config{
+		Name: "Songs", Public: true, Classifiers: []string{"dc.Title"},
+	}); err != nil {
+		return err
+	}
+	coll := event.QName{Host: "Hamilton", Collection: "Songs"}
+
+	// 1. Continuous search: the query "whale AND songs" as a profile.
+	searcher := cluster.Notifier("Hamilton", "searcher")
+	if _, err := svc.SubscribeQuery("searcher", coll, "", "whale AND songs"); err != nil {
+		return err
+	}
+
+	// 2. Watch-this: browse-level observation of two specific documents.
+	watcher := cluster.Notifier("Hamilton", "watcher")
+	if _, err := svc.WatchDocuments("watcher", coll, []string{"s2", "s4"}); err != nil {
+		return err
+	}
+
+	// First build: two docs, one matching the query.
+	build := func(docs ...*collection.Document) error {
+		_, _, err := srv.Build(ctx, "Songs", docs)
+		return err
+	}
+	s1 := &collection.Document{ID: "s1", Metadata: map[string][]string{"dc.Title": {"Humpback"}},
+		Content: "humpback whale songs recorded offshore"}
+	s2 := &collection.Document{ID: "s2", Metadata: map[string][]string{"dc.Title": {"Kiwi"}},
+		Content: "kiwi calls at night"}
+	if err := build(s1, s2); err != nil {
+		return err
+	}
+	report := func(who string, sink interface{ Len() int }) {
+		fmt.Printf("%-10s notifications so far: %d\n", who, sink.Len())
+	}
+	fmt.Println("after first build (s1 matches the query, nothing watched changed):")
+	report("searcher", searcher)
+	report("watcher", watcher)
+
+	// Second build: s2 changes (watched!), s3 added (no match), s4 added
+	// (watched) with whale content (query match too).
+	s2b := &collection.Document{ID: "s2", Metadata: map[string][]string{"dc.Title": {"Kiwi (remastered)"}},
+		Content: "kiwi calls at night, remastered"}
+	s3 := &collection.Document{ID: "s3", Content: "wind in the trees"}
+	s4 := &collection.Document{ID: "s4", Content: "more whale songs from the south"}
+	if err := build(s1, s2b, s3, s4); err != nil {
+		return err
+	}
+	fmt.Println("\nafter second build (s2 changed, s4 added with matching content):")
+	report("searcher", searcher)
+	report("watcher", watcher)
+
+	fmt.Println("\nsearcher's alerts (continuous search):")
+	for _, n := range searcher.All() {
+		fmt.Printf("  %-20s docs %v\n", n.Event.Type, n.DocIDs)
+	}
+	fmt.Println("watcher's alerts (watch this):")
+	for _, n := range watcher.All() {
+		fmt.Printf("  %-20s docs %v\n", n.Event.Type, n.DocIDs)
+	}
+	return nil
+}

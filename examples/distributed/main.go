@@ -1,0 +1,100 @@
+// Distributed collections — the paper's Figure 3 scenario, end to end.
+//
+// Hamilton hosts collection D whose configuration references London.E as a
+// sub-collection. When D is registered, Hamilton forwards an auxiliary
+// profile to London. When London rebuilds E, the auxiliary profile matches;
+// London forwards the event over the Greenstone network to Hamilton, which
+// renames it to Hamilton.D and re-broadcasts via the GDS — so a subscriber
+// of Hamilton.D at a third server (Berlin) is notified, never knowing E
+// exists.
+//
+//	go run ./examples/distributed
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+
+	"github.com/gsalert/gsalert/internal/collection"
+	"github.com/gsalert/gsalert/internal/profile"
+	"github.com/gsalert/gsalert/internal/sim"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "distributed: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	ctx := context.Background()
+	cluster, err := sim.NewCluster(sim.ClusterConfig{Seed: 2005, GDSNodes: 3, GDSBranching: 2})
+	if err != nil {
+		return err
+	}
+	defer cluster.Close()
+	for i, name := range []string{"Hamilton", "London", "Berlin"} {
+		if _, err := cluster.AddServer(name, i%3); err != nil {
+			return err
+		}
+	}
+
+	// London.E: an ordinary public collection.
+	if _, err := cluster.Server("London").AddCollection(ctx, collection.Config{
+		Name: "E", Title: "European Reports", Public: true,
+	}); err != nil {
+		return err
+	}
+	// Hamilton.D: distributed — includes London.E as a sub-collection.
+	// Registering it forwards the auxiliary profile to London (§4.2).
+	if _, err := cluster.Server("Hamilton").AddCollection(ctx, collection.Config{
+		Name: "D", Title: "Dissertations", Public: true,
+		Subs: []collection.SubRef{{Host: "London", Name: "E"}},
+	}); err != nil {
+		return err
+	}
+	fmt.Printf("auxiliary profiles installed at London: %d\n", cluster.Service("London").AuxProfileCount())
+	fmt.Printf("auxiliary profiles forwarded by Hamilton: %v\n", cluster.Service("Hamilton").ForwardedAuxIDs())
+
+	// carol at Berlin watches Hamilton.D — she has no idea London exists.
+	carol := cluster.Notifier("Berlin", "carol")
+	if _, err := cluster.Service("Berlin").Subscribe("carol",
+		profile.MustParse(`collection = "Hamilton.D"`)); err != nil {
+		return err
+	}
+
+	// London rebuilds E.
+	docs := []*collection.Document{
+		{ID: "e1", Metadata: map[string][]string{"dc.Title": {"Report 2005/1"}},
+			Content: "the first european report"},
+	}
+	if _, _, err := cluster.Server("London").Build(ctx, "E", docs); err != nil {
+		return err
+	}
+
+	fmt.Printf("\nafter London rebuilt London.E, carol@Berlin received %d notification(s):\n", carol.Len())
+	for _, n := range carol.All() {
+		ev := n.Event
+		fmt.Printf("  event %s\n", ev.ID)
+		fmt.Printf("    type:       %s\n", ev.Type)
+		fmt.Printf("    collection: %s   <- renamed for the super-collection\n", ev.Collection)
+		fmt.Printf("    origin:     %s   <- where the build actually ran\n", ev.Origin)
+		fmt.Printf("    chain:      %v\n", ev.Chain)
+	}
+	fmt.Printf("\nHamilton transforms performed: %d\n", cluster.Service("Hamilton").Stats().Transforms)
+
+	// Retrieval side: searching Hamilton.D with sub-collection expansion
+	// transparently includes London.E's documents (paper §3).
+	recep := cluster.NewReceptionist("recep-I", "Hamilton")
+	res, err := recep.Search(ctx, "Hamilton", "D", "european", "", 10, true)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\ndistributed search in Hamilton.D for \"european\": %d hit(s)\n", res.Total)
+	for _, h := range res.Hits {
+		fmt.Printf("  %s from %s\n", h.DocID, h.Collection)
+	}
+	return nil
+}

@@ -1,0 +1,97 @@
+// Federated collections over a GDS tree — the paper's Figure 2 scenario.
+//
+// Seven directory nodes form a stratum tree; four Greenstone servers
+// (Hamilton, London, Berlin, Tokyo) register at different nodes. Users
+// subscribe at their own server; a collection built at Hamilton floods
+// through the directory tree and every interested user is notified locally,
+// wherever their profile lives.
+//
+//	go run ./examples/federated
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+
+	"github.com/gsalert/gsalert/internal/collection"
+	"github.com/gsalert/gsalert/internal/profile"
+	"github.com/gsalert/gsalert/internal/sim"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "federated: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	ctx := context.Background()
+	// Seven GDS nodes in a binary stratum tree (Figure 2 has nodes on
+	// strata 1..3); deterministic in-memory network.
+	cluster, err := sim.NewCluster(sim.ClusterConfig{Seed: 2005, GDSNodes: 7, GDSBranching: 2})
+	if err != nil {
+		return err
+	}
+	defer cluster.Close()
+
+	// Servers register at different directory nodes (leaves and inner).
+	placements := map[string]int{"Hamilton": 3, "London": 6, "Berlin": 4, "Tokyo": 2}
+	for name, node := range placements {
+		if _, err := cluster.AddServer(name, node); err != nil {
+			return err
+		}
+	}
+	for _, n := range cluster.Nodes {
+		info := n.Snapshot()
+		fmt.Printf("gds node %-5s stratum %d  servers=%v\n", info.ID, info.Stratum, info.Servers)
+	}
+
+	// Users subscribe at their local servers to Hamilton's collection.
+	subscribers := []string{"London", "Berlin", "Tokyo"}
+	for _, server := range subscribers {
+		client := "user@" + server
+		cluster.Notifier(server, client)
+		if _, err := cluster.Service(server).Subscribe(client, profile.MustParse(
+			`collection = "Hamilton.Theses" AND event.type = "collection-built"`)); err != nil {
+			return err
+		}
+	}
+
+	// Hamilton builds a new collection; the event floods via the GDS.
+	if _, err := cluster.Server("Hamilton").AddCollection(ctx, collection.Config{
+		Name: "Theses", Title: "Thesis Archive", Public: true,
+	}); err != nil {
+		return err
+	}
+	docs := []*collection.Document{
+		{ID: "t1", Metadata: map[string][]string{"dc.Title": {"A Thesis on Alerting"}}},
+		{ID: "t2", Metadata: map[string][]string{"dc.Title": {"Directory Services"}}},
+	}
+	if _, _, err := cluster.Server("Hamilton").Build(ctx, "Theses", docs); err != nil {
+		return err
+	}
+
+	fmt.Println("\nafter Hamilton built Hamilton.Theses:")
+	for _, server := range subscribers {
+		client := "user@" + server
+		for _, n := range cluster.Notifications(server, client) {
+			fmt.Printf("  %-14s notified: %s about %s (%d docs)\n",
+				client, n.Event.Type, n.Event.Collection, len(n.Event.Docs))
+		}
+	}
+	stats := cluster.TR.Stats()
+	fmt.Printf("\nnetwork cost: %d messages total (%d broadcast relays, %d event deliveries)\n",
+		stats.Sent, stats.PerType["gds.broadcast"], stats.PerType["gs.event"])
+
+	// Name resolution across the tree: London finds Tokyo without knowing
+	// its address (paper §4.1's DNS-like naming, climbing to the root and
+	// delegating).
+	resolved, err := cluster.Resolve(ctx, "London", "Tokyo")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("London resolved Tokyo via the directory: %s\n", resolved)
+	return nil
+}

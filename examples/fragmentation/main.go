@@ -1,0 +1,47 @@
+// Fragmentation: why the paper rejects the related-work routing designs.
+//
+// The same fragmented Greenstone network (solitary servers, islands, link
+// cuts, cancellations during outages) is played through four routers: the
+// paper's hybrid GDS design and the three §2 baselines. The hybrid stays
+// exact; GS flooding misses disconnected fragments (false negatives),
+// profile flooding leaves dangling profiles (false positives), and
+// rendezvous routing fails when rendezvous nodes are unreachable.
+//
+//	go run ./examples/fragmentation
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"github.com/gsalert/gsalert/internal/metrics"
+	"github.com/gsalert/gsalert/internal/sim"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "fragmentation: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	table := metrics.NewTable(
+		"routing correctness on a 64-server network (link cuts + cancellations mid-run)",
+		"router", "solitary frac", "expected", "delivered", "false neg %", "false pos %", "messages")
+	for _, frag := range []float64{0, 0.5, 0.9} {
+		results, err := sim.RunRoutingComparison(64, frag, 2005)
+		if err != nil {
+			return err
+		}
+		for _, r := range results {
+			table.AddRow(r.Router, r.Fragmentation, r.Score.Expected, r.Score.Delivered,
+				100*r.Score.FNRate(), 100*r.Score.FPRate(), r.Messages)
+		}
+	}
+	fmt.Println(table.Render())
+	fmt.Println("reading the table: the hybrid design pays a constant directory-tree cost per event")
+	fmt.Println("but keeps both error rates at zero regardless of how fragmented the GS network is —")
+	fmt.Println("the paper's §1 problems 1–4 in one experiment.")
+	return nil
+}

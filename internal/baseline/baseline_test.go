@@ -1,0 +1,290 @@
+package baseline
+
+import (
+	"fmt"
+	"testing"
+)
+
+// twoIslands builds: A-B-C connected; D-E connected; F solitary.
+func twoIslands() *Network {
+	n := NewNetwork([]string{"A", "B", "C", "D", "E", "F"}, 3)
+	n.AddLink("A", "B")
+	n.AddLink("B", "C")
+	n.AddLink("D", "E")
+	return n
+}
+
+func TestNetworkBasics(t *testing.T) {
+	n := twoIslands()
+	if !n.LinkUp("A", "B") || n.LinkUp("A", "D") {
+		t.Error("adjacency wrong")
+	}
+	n.CutLink("A", "B")
+	if n.LinkUp("A", "B") {
+		t.Error("cut link still up")
+	}
+	n.HealLink("B", "A") // symmetric key
+	if !n.LinkUp("A", "B") {
+		t.Error("healed link down")
+	}
+	n.SetDown("B", true)
+	if n.LinkUp("A", "B") || n.Up("B") {
+		t.Error("down server still reachable")
+	}
+	n.SetDown("B", false)
+	if !n.Up("B") {
+		t.Error("revived server down")
+	}
+	// Self-links and unknown servers are ignored.
+	n.AddLink("A", "A")
+	n.AddLink("A", "Ghost")
+	if len(n.Neighbors("A")) != 1 {
+		t.Errorf("neighbors of A = %v", n.Neighbors("A"))
+	}
+}
+
+func TestFloodRespectsFragmentation(t *testing.T) {
+	n := twoIslands()
+	reached, msgs := n.FloodFrom("A")
+	if len(reached) != 3 {
+		t.Errorf("reached = %v", reached)
+	}
+	if msgs == 0 {
+		t.Error("flood cost zero")
+	}
+	if reached["D"] || reached["F"] {
+		t.Error("flood crossed islands")
+	}
+	reached, _ = n.FloodFrom("F")
+	if len(reached) != 1 {
+		t.Errorf("solitary flood reached %v", reached)
+	}
+	// Down origin reaches nothing.
+	n.SetDown("A", true)
+	if r, _ := n.FloodFrom("A"); len(r) != 0 {
+		t.Errorf("down origin reached %v", r)
+	}
+}
+
+func TestPathLen(t *testing.T) {
+	n := twoIslands()
+	if d := n.PathLen("A", "C"); d != 2 {
+		t.Errorf("A->C = %d", d)
+	}
+	if d := n.PathLen("A", "A"); d != 0 {
+		t.Errorf("self = %d", d)
+	}
+	if d := n.PathLen("A", "D"); d != -1 {
+		t.Errorf("cross-island = %d", d)
+	}
+}
+
+func subs(entries ...[3]string) []Subscription {
+	out := make([]Subscription, 0, len(entries))
+	for _, e := range entries {
+		out = append(out, Subscription{ID: e[0], Server: e[1], Collection: e[2]})
+	}
+	return out
+}
+
+func TestHybridDeliversAcrossIslands(t *testing.T) {
+	n := twoIslands()
+	r := NewHybrid(n)
+	o := NewOracle(n)
+	for _, s := range subs([3]string{"s1", "A", "X.C"}, [3]string{"s2", "D", "X.C"}, [3]string{"s3", "F", "X.C"}) {
+		r.Subscribe(s)
+		o.Subscribe(s)
+	}
+	ev := Event{ID: "e1", Origin: "A", Collection: "X.C"}
+	sc := o.ScoreEvent(ev, r.Publish(ev))
+	// The GDS reaches every island and the solitary server.
+	if sc.FalseNegatives != 0 || sc.FalsePositives != 0 {
+		t.Errorf("hybrid score = %+v", sc)
+	}
+	if sc.Delivered != 3 {
+		t.Errorf("delivered = %d", sc.Delivered)
+	}
+	if r.Messages() == 0 {
+		t.Error("hybrid cost zero")
+	}
+}
+
+func TestGSFloodMissesOtherIslands(t *testing.T) {
+	n := twoIslands()
+	r := NewGSFlood(n)
+	o := NewOracle(n)
+	for _, s := range subs([3]string{"s1", "C", "X.C"}, [3]string{"s2", "D", "X.C"}, [3]string{"s3", "F", "X.C"}) {
+		r.Subscribe(s)
+		o.Subscribe(s)
+	}
+	ev := Event{ID: "e1", Origin: "A", Collection: "X.C"}
+	sc := o.ScoreEvent(ev, r.Publish(ev))
+	// Only s1 (same island) is reached; s2 and s3 are false negatives.
+	if sc.Delivered != 1 || sc.FalseNegatives != 2 {
+		t.Errorf("gs-flood score = %+v", sc)
+	}
+}
+
+func TestProfileFloodDanglingCancellation(t *testing.T) {
+	n := NewNetwork([]string{"P", "Q"}, 1)
+	n.AddLink("P", "Q")
+	r := NewProfileFlood(n)
+	o := NewOracle(n)
+	sub := Subscription{ID: "s1", Server: "Q", Collection: "P.C"}
+	r.Subscribe(sub) // replicated to P and Q
+	o.Subscribe(sub)
+
+	// Link breaks; the user cancels; the cancellation cannot reach P.
+	n.CutLink("P", "Q")
+	r.Unsubscribe("s1")
+	o.Unsubscribe("s1")
+
+	// Link heals; P still holds the orphan replica; event fires.
+	n.HealLink("P", "Q")
+	ev := Event{ID: "e1", Origin: "P", Collection: "P.C"}
+	sc := o.ScoreEvent(ev, r.Publish(ev))
+	if sc.FalsePositives != 1 {
+		t.Errorf("expected 1 false positive from dangling profile, got %+v", sc)
+	}
+	// The hybrid router cannot produce this: cancellation is local.
+	h := NewHybrid(n)
+	oh := NewOracle(n)
+	h.Subscribe(sub)
+	oh.Subscribe(sub)
+	n.CutLink("P", "Q")
+	h.Unsubscribe("s1")
+	oh.Unsubscribe("s1")
+	n.HealLink("P", "Q")
+	if sc := oh.ScoreEvent(ev, h.Publish(ev)); sc.FalsePositives != 0 {
+		t.Errorf("hybrid produced false positives: %+v", sc)
+	}
+}
+
+func TestProfileFloodMissesUnreachableSubscriber(t *testing.T) {
+	n := twoIslands()
+	r := NewProfileFlood(n)
+	o := NewOracle(n)
+	// Subscriber on island 2 cannot replicate its profile to island 1.
+	sub := Subscription{ID: "s1", Server: "D", Collection: "A.C"}
+	r.Subscribe(sub)
+	o.Subscribe(sub)
+	ev := Event{ID: "e1", Origin: "A", Collection: "A.C"}
+	sc := o.ScoreEvent(ev, r.Publish(ev))
+	if sc.FalseNegatives != 1 {
+		t.Errorf("score = %+v", sc)
+	}
+}
+
+func TestRendezvousFailsWhenRVUnreachable(t *testing.T) {
+	n := twoIslands()
+	r := NewRendezvous(n)
+	o := NewOracle(n)
+	// Find a collection whose rendezvous lands on the other island from A.
+	var coll string
+	for i := 0; i < 100; i++ {
+		c := fmt.Sprintf("X.C%d", i)
+		rv := r.rvNode(c)
+		if rv == "D" || rv == "E" || rv == "F" {
+			coll = c
+			break
+		}
+	}
+	if coll == "" {
+		t.Skip("no collection hashed to the far island")
+	}
+	sub := Subscription{ID: "s1", Server: "A", Collection: coll}
+	r.Subscribe(sub) // cannot reach RV: lost
+	o.Subscribe(sub)
+	ev := Event{ID: "e1", Origin: "B", Collection: coll}
+	sc := o.ScoreEvent(ev, r.Publish(ev))
+	if sc.FalseNegatives != 1 || sc.Delivered != 0 {
+		t.Errorf("score = %+v", sc)
+	}
+}
+
+func TestRendezvousWorksWhenConnected(t *testing.T) {
+	n := NewNetwork([]string{"A", "B", "C"}, 1)
+	n.AddLink("A", "B")
+	n.AddLink("B", "C")
+	r := NewRendezvous(n)
+	o := NewOracle(n)
+	sub := Subscription{ID: "s1", Server: "C", Collection: "A.C"}
+	r.Subscribe(sub)
+	o.Subscribe(sub)
+	ev := Event{ID: "e1", Origin: "A", Collection: "A.C"}
+	sc := o.ScoreEvent(ev, r.Publish(ev))
+	if sc.FalseNegatives != 0 || sc.FalsePositives != 0 || sc.Delivered != 1 {
+		t.Errorf("score = %+v", sc)
+	}
+}
+
+func TestRendezvousDownNode(t *testing.T) {
+	n := NewNetwork([]string{"A", "B", "C"}, 1)
+	n.AddLink("A", "B")
+	n.AddLink("B", "C")
+	r := NewRendezvous(n)
+	o := NewOracle(n)
+	sub := Subscription{ID: "s1", Server: "C", Collection: "A.C"}
+	r.Subscribe(sub)
+	o.Subscribe(sub)
+	// Crash the rendezvous node for this collection.
+	rv := r.rvNode("A.C")
+	if rv == "A" || rv == "C" {
+		// Crash would also take out publisher or subscriber; pick the
+		// middle instead by re-homing: just verify behaviour for this rv.
+		t.Logf("rv = %s", rv)
+	}
+	n.SetDown(rv, true)
+	ev := Event{ID: "e1", Origin: "A", Collection: "A.C"}
+	deliveries := r.Publish(ev)
+	if rv != "A" { // if the publisher itself crashed the event cannot even be published
+		sc := o.ScoreEvent(ev, deliveries)
+		if rv != "C" && sc.FalseNegatives != 1 {
+			t.Errorf("score with rv %s down = %+v", rv, sc)
+		}
+	}
+}
+
+func TestOracleScoring(t *testing.T) {
+	n := NewNetwork([]string{"A"}, 1)
+	o := NewOracle(n)
+	o.Subscribe(Subscription{ID: "s1", Server: "A", Collection: "A.C"})
+	o.Subscribe(Subscription{ID: "s2", Server: "A", Collection: "A.C"})
+	ev := Event{ID: "e1", Origin: "A", Collection: "A.C"}
+
+	// Perfect delivery.
+	sc := o.ScoreEvent(ev, []Delivery{{SubID: "s1", EventID: "e1"}, {SubID: "s2", EventID: "e1"}})
+	if sc.FalseNegatives != 0 || sc.FalsePositives != 0 {
+		t.Errorf("perfect: %+v", sc)
+	}
+	// Duplicate counts as false positive.
+	sc = o.ScoreEvent(ev, []Delivery{{SubID: "s1", EventID: "e1"}, {SubID: "s1", EventID: "e1"}})
+	if sc.FalsePositives != 1 || sc.FalseNegatives != 1 {
+		t.Errorf("duplicate: %+v", sc)
+	}
+	// Unknown subscription is a false positive.
+	sc = o.ScoreEvent(ev, []Delivery{{SubID: "ghost", EventID: "e1"}})
+	if sc.FalsePositives != 1 || sc.FalseNegatives != 2 {
+		t.Errorf("ghost: %+v", sc)
+	}
+	// Rates.
+	if sc.FNRate() != 1.0 {
+		t.Errorf("FNRate = %f", sc.FNRate())
+	}
+	if sc.FPRate() != 1.0 {
+		t.Errorf("FPRate = %f", sc.FPRate())
+	}
+	var zero Score
+	if zero.FNRate() != 0 || zero.FPRate() != 0 {
+		t.Error("zero rates")
+	}
+}
+
+func TestScoreAdd(t *testing.T) {
+	a := Score{Expected: 1, Delivered: 2, FalseNegatives: 3, FalsePositives: 4}
+	b := Score{Expected: 10, Delivered: 20, FalseNegatives: 30, FalsePositives: 40}
+	a.Add(b)
+	if a.Expected != 11 || a.Delivered != 22 || a.FalseNegatives != 33 || a.FalsePositives != 44 {
+		t.Errorf("sum = %+v", a)
+	}
+}

@@ -1,0 +1,101 @@
+package baseline
+
+import "sort"
+
+// Oracle tracks user intent (subscribe/unsubscribe) with global knowledge
+// and computes, per event, exactly who should be notified: every active
+// subscription on the event's collection whose home server is alive. The
+// comparison experiment scores each router's deliveries against it.
+type Oracle struct {
+	net    *Network
+	active map[string]Subscription
+}
+
+// NewOracle builds an oracle over net.
+func NewOracle(net *Network) *Oracle {
+	return &Oracle{net: net, active: make(map[string]Subscription)}
+}
+
+// Subscribe records intent.
+func (o *Oracle) Subscribe(sub Subscription) { o.active[sub.ID] = sub }
+
+// Unsubscribe records intent; the user no longer wants notifications, no
+// matter what the network does.
+func (o *Oracle) Unsubscribe(subID string) { delete(o.active, subID) }
+
+// Expected returns the subscription IDs that must be notified for ev,
+// sorted. Subscribers whose home server is down cannot receive anything and
+// are excluded (no system could deliver to them).
+func (o *Oracle) Expected(ev Event) []string {
+	var out []string
+	for id, sub := range o.active {
+		if sub.Collection == ev.Collection && o.net.Up(sub.Server) {
+			out = append(out, id)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Score compares a router's deliveries for one event against the oracle.
+type Score struct {
+	Expected       int
+	Delivered      int
+	FalseNegatives int // expected but not delivered
+	FalsePositives int // delivered but not expected (or duplicated)
+}
+
+// ScoreEvent computes the score for one event's deliveries.
+func (o *Oracle) ScoreEvent(ev Event, deliveries []Delivery) Score {
+	expected := o.Expected(ev)
+	expectedSet := make(map[string]bool, len(expected))
+	for _, id := range expected {
+		expectedSet[id] = true
+	}
+	seen := make(map[string]bool, len(deliveries))
+	sc := Score{Expected: len(expected), Delivered: len(deliveries)}
+	for _, d := range deliveries {
+		if d.EventID != ev.ID {
+			sc.FalsePositives++
+			continue
+		}
+		if seen[d.SubID] {
+			sc.FalsePositives++ // duplicate notification
+			continue
+		}
+		seen[d.SubID] = true
+		if !expectedSet[d.SubID] {
+			sc.FalsePositives++
+		}
+	}
+	for _, id := range expected {
+		if !seen[id] {
+			sc.FalseNegatives++
+		}
+	}
+	return sc
+}
+
+// Add accumulates another score.
+func (s *Score) Add(other Score) {
+	s.Expected += other.Expected
+	s.Delivered += other.Delivered
+	s.FalseNegatives += other.FalseNegatives
+	s.FalsePositives += other.FalsePositives
+}
+
+// FNRate is the false-negative fraction of expected notifications.
+func (s Score) FNRate() float64 {
+	if s.Expected == 0 {
+		return 0
+	}
+	return float64(s.FalseNegatives) / float64(s.Expected)
+}
+
+// FPRate is the false-positive fraction of delivered notifications.
+func (s Score) FPRate() float64 {
+	if s.Delivered == 0 {
+		return 0
+	}
+	return float64(s.FalsePositives) / float64(s.Delivered)
+}

@@ -1,0 +1,382 @@
+package baseline
+
+import (
+	"hash/fnv"
+	"sort"
+)
+
+// Subscription is the routing-level view of a user profile: a client at a
+// home server interested in one qualified collection.
+type Subscription struct {
+	ID         string
+	Server     string // home server where the user defined it
+	Collection string // qualified collection name ("Host.Coll")
+}
+
+// Event is the routing-level view of an alerting event.
+type Event struct {
+	ID         string
+	Origin     string // publishing server
+	Collection string // qualified collection name
+}
+
+// Delivery records one notification handed to a subscription.
+type Delivery struct {
+	SubID   string
+	EventID string
+}
+
+// Router is a routing strategy under test in experiment E3.
+type Router interface {
+	// Name identifies the strategy in result tables.
+	Name() string
+	// Subscribe registers a subscription (network effects apply).
+	Subscribe(sub Subscription)
+	// Unsubscribe cancels by ID (network effects apply: cancellations can
+	// fail to propagate through partitions — that is the point).
+	Unsubscribe(subID string)
+	// Publish routes an event, returning the notifications delivered.
+	Publish(ev Event) []Delivery
+	// Messages reports cumulative message cost.
+	Messages() int
+}
+
+// ---------------------------------------------------------------------------
+// Hybrid: the paper's design. Profiles stay home; events flood via the GDS.
+
+// Hybrid is the paper's GDS-flooding router.
+type Hybrid struct {
+	net  *Network
+	subs map[string]Subscription
+	msgs int
+}
+
+// NewHybrid builds the paper's router over net.
+func NewHybrid(net *Network) *Hybrid {
+	return &Hybrid{net: net, subs: make(map[string]Subscription)}
+}
+
+var _ Router = (*Hybrid)(nil)
+
+// Name implements Router.
+func (h *Hybrid) Name() string { return "hybrid-gds" }
+
+// Subscribe stores the profile at its home server only — zero messages.
+func (h *Hybrid) Subscribe(sub Subscription) { h.subs[sub.ID] = sub }
+
+// Unsubscribe deletes locally — zero messages, and it cannot dangle.
+func (h *Hybrid) Unsubscribe(subID string) { delete(h.subs, subID) }
+
+// Publish floods the event over the directory tree to every GDS-reachable
+// server, where local profiles are matched.
+func (h *Hybrid) Publish(ev Event) []Delivery {
+	if !h.net.GDSReachable(ev.Origin) {
+		// Solitary offline publisher: only its local subscribers hear.
+		var out []Delivery
+		for _, sub := range h.sortedSubs() {
+			if sub.Server == ev.Origin && sub.Collection == ev.Collection {
+				out = append(out, Delivery{SubID: sub.ID, EventID: ev.ID})
+			}
+		}
+		return out
+	}
+	reachable := make(map[string]bool)
+	for _, s := range h.net.GDSReachableServers() {
+		reachable[s] = true
+	}
+	h.msgs += h.net.GDSBroadcastCost(len(reachable))
+	var out []Delivery
+	for _, sub := range h.sortedSubs() {
+		if sub.Collection != ev.Collection {
+			continue
+		}
+		if reachable[sub.Server] {
+			out = append(out, Delivery{SubID: sub.ID, EventID: ev.ID})
+		}
+	}
+	return out
+}
+
+func (h *Hybrid) sortedSubs() []Subscription {
+	out := make([]Subscription, 0, len(h.subs))
+	for _, s := range h.subs {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Messages implements Router.
+func (h *Hybrid) Messages() int { return h.msgs }
+
+// ---------------------------------------------------------------------------
+// GSFlood: event flooding over the Greenstone network itself (what the paper
+// shows cannot work on a fragmented network — §4: "it is not possible to use
+// the GS network for distributed alerting since it is too fragmented").
+
+// GSFlood floods events over GS links only.
+type GSFlood struct {
+	net  *Network
+	subs map[string]Subscription
+	msgs int
+}
+
+// NewGSFlood builds the GS-network flooding baseline.
+func NewGSFlood(net *Network) *GSFlood {
+	return &GSFlood{net: net, subs: make(map[string]Subscription)}
+}
+
+var _ Router = (*GSFlood)(nil)
+
+// Name implements Router.
+func (g *GSFlood) Name() string { return "gs-flood" }
+
+// Subscribe stores the profile at its home server.
+func (g *GSFlood) Subscribe(sub Subscription) { g.subs[sub.ID] = sub }
+
+// Unsubscribe deletes locally.
+func (g *GSFlood) Unsubscribe(subID string) { delete(g.subs, subID) }
+
+// Publish floods over GS links; subscribers on unreachable fragments are
+// silently missed (false negatives).
+func (g *GSFlood) Publish(ev Event) []Delivery {
+	reached, msgs := g.net.FloodFrom(ev.Origin)
+	g.msgs += msgs
+	var out []Delivery
+	ids := make([]string, 0, len(g.subs))
+	for id := range g.subs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		sub := g.subs[id]
+		if sub.Collection == ev.Collection && reached[sub.Server] {
+			out = append(out, Delivery{SubID: sub.ID, EventID: ev.ID})
+		}
+	}
+	return out
+}
+
+// Messages implements Router.
+func (g *GSFlood) Messages() int { return g.msgs }
+
+// ---------------------------------------------------------------------------
+// ProfileFlood: profiles replicated to every reachable server over GS links
+// (Rudbes/JEDI style). Cancellations that cannot reach a replica leave
+// orphan profiles that keep generating notifications — the paper's
+// "dangling profiles ... spurious notifications" (§2.2).
+
+// ProfileFlood replicates profiles everywhere and filters at the publisher.
+type ProfileFlood struct {
+	net *Network
+	// replicas: server -> subID -> Subscription copy.
+	replicas map[string]map[string]Subscription
+	// active tracks intent: subscriptions the user still wants.
+	active map[string]bool
+	msgs   int
+}
+
+// NewProfileFlood builds the profile-flooding baseline.
+func NewProfileFlood(net *Network) *ProfileFlood {
+	return &ProfileFlood{
+		net:      net,
+		replicas: make(map[string]map[string]Subscription),
+		active:   make(map[string]bool),
+	}
+}
+
+var _ Router = (*ProfileFlood)(nil)
+
+// Name implements Router.
+func (p *ProfileFlood) Name() string { return "profile-flood" }
+
+// Subscribe floods the profile to every server reachable from its home.
+func (p *ProfileFlood) Subscribe(sub Subscription) {
+	p.active[sub.ID] = true
+	reached, msgs := p.net.FloodFrom(sub.Server)
+	p.msgs += msgs
+	for server := range reached {
+		if p.replicas[server] == nil {
+			p.replicas[server] = make(map[string]Subscription)
+		}
+		p.replicas[server][sub.ID] = sub
+	}
+}
+
+// Unsubscribe floods the cancellation; replicas on currently unreachable
+// servers survive as orphans.
+func (p *ProfileFlood) Unsubscribe(subID string) {
+	if !p.active[subID] {
+		return
+	}
+	delete(p.active, subID)
+	// Cancellation starts from the subscriber's home server.
+	var home string
+	for server, subs := range p.replicas {
+		if s, ok := subs[subID]; ok && s.Server == server {
+			home = server
+			break
+		}
+	}
+	if home == "" {
+		// Home replica gone (e.g. server down); cancel wherever reachable
+		// from any replica holder — in practice nothing happens, the
+		// classic orphan case.
+		return
+	}
+	reached, msgs := p.net.FloodFrom(home)
+	p.msgs += msgs
+	for server := range reached {
+		if subs := p.replicas[server]; subs != nil {
+			delete(subs, subID)
+		}
+	}
+}
+
+// Publish filters at the publishing server against its replica table and
+// routes notifications back to subscriber homes over GS paths. Orphan
+// replicas of cancelled subscriptions still fire: false positives.
+func (p *ProfileFlood) Publish(ev Event) []Delivery {
+	local := p.replicas[ev.Origin]
+	ids := make([]string, 0, len(local))
+	for id := range local {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	var out []Delivery
+	for _, id := range ids {
+		sub := local[id]
+		if sub.Collection != ev.Collection {
+			continue
+		}
+		// Route the notification home.
+		if sub.Server == ev.Origin {
+			out = append(out, Delivery{SubID: id, EventID: ev.ID})
+			continue
+		}
+		if hops := p.net.PathLen(ev.Origin, sub.Server); hops >= 0 {
+			p.msgs += hops
+			out = append(out, Delivery{SubID: id, EventID: ev.ID})
+		}
+	}
+	return out
+}
+
+// Messages implements Router.
+func (p *ProfileFlood) Messages() int { return p.msgs }
+
+// ---------------------------------------------------------------------------
+// Rendezvous: Scribe/Hermes-style rendezvous nodes — subscriptions and
+// events meet at hash(collection). Node or path failures produce both false
+// negatives and stale state (§2.2: "a rendezvous node may become a
+// bottleneck ... node or link failures may lead to erroneous system
+// behaviour").
+
+// Rendezvous routes subscriptions and events through per-collection
+// rendezvous servers.
+type Rendezvous struct {
+	net *Network
+	// tables: rendezvous server -> collection -> subID -> Subscription.
+	tables map[string]map[string]map[string]Subscription
+	msgs   int
+}
+
+// NewRendezvous builds the rendezvous baseline.
+func NewRendezvous(net *Network) *Rendezvous {
+	return &Rendezvous{net: net, tables: make(map[string]map[string]map[string]Subscription)}
+}
+
+var _ Router = (*Rendezvous)(nil)
+
+// Name implements Router.
+func (r *Rendezvous) Name() string { return "rendezvous" }
+
+// rvNode deterministically assigns a collection's rendezvous server.
+func (r *Rendezvous) rvNode(collection string) string {
+	servers := r.net.Servers()
+	if len(servers) == 0 {
+		return ""
+	}
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(collection))
+	return servers[int(h.Sum32())%len(servers)]
+}
+
+// reachable approximates overlay routability: both endpoints must be up and
+// (if GS links exist at all) connected over the GS graph, else a direct
+// overlay hop is assumed for servers with no GS links at all. Rendezvous
+// systems assume a routable overlay; fragmentation breaks it.
+func (r *Rendezvous) reachable(from, to string) bool {
+	if !r.net.Up(from) || !r.net.Up(to) {
+		return false
+	}
+	if from == to {
+		return true
+	}
+	return r.net.PathLen(from, to) >= 0
+}
+
+// Subscribe routes the subscription to the collection's rendezvous node;
+// unreachable rendezvous = lost subscription.
+func (r *Rendezvous) Subscribe(sub Subscription) {
+	rv := r.rvNode(sub.Collection)
+	if rv == "" || !r.reachable(sub.Server, rv) {
+		return // subscription never arrives
+	}
+	r.msgs++
+	if r.tables[rv] == nil {
+		r.tables[rv] = make(map[string]map[string]Subscription)
+	}
+	if r.tables[rv][sub.Collection] == nil {
+		r.tables[rv][sub.Collection] = make(map[string]Subscription)
+	}
+	r.tables[rv][sub.Collection][sub.ID] = sub
+}
+
+// Unsubscribe routes the cancel to the rendezvous node; unreachable
+// rendezvous = dangling subscription (false positives later).
+func (r *Rendezvous) Unsubscribe(subID string) {
+	for rv, colls := range r.tables {
+		for coll, subs := range colls {
+			sub, ok := subs[subID]
+			if !ok {
+				continue
+			}
+			if !r.reachable(sub.Server, rv) {
+				return // cancel lost: dangling subscription remains
+			}
+			r.msgs++
+			delete(r.tables[rv][coll], subID)
+			return
+		}
+	}
+}
+
+// Publish routes the event to the rendezvous node, which notifies each
+// subscriber home it can reach.
+func (r *Rendezvous) Publish(ev Event) []Delivery {
+	rv := r.rvNode(ev.Collection)
+	if rv == "" || !r.reachable(ev.Origin, rv) {
+		return nil // event cannot reach its rendezvous: total false negative
+	}
+	r.msgs++
+	subs := r.tables[rv][ev.Collection]
+	ids := make([]string, 0, len(subs))
+	for id := range subs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	var out []Delivery
+	for _, id := range ids {
+		sub := subs[id]
+		if !r.reachable(rv, sub.Server) {
+			continue
+		}
+		r.msgs++
+		out = append(out, Delivery{SubID: id, EventID: ev.ID})
+	}
+	return out
+}
+
+// Messages implements Router.
+func (r *Rendezvous) Messages() int { return r.msgs }

@@ -1,0 +1,85 @@
+// Package collection models the Greenstone data layer the alerting service
+// is built against (paper §3): documents with heterogeneous metadata,
+// collection configuration files, federated/distributed/virtual/private
+// collections with sub-collection references, and the batch build process
+// that (re)indexes a collection and — with alerting integrated — emits the
+// events the rest of the system routes and filters.
+package collection
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+)
+
+// Document is one item of a collection's data set: an article, a music
+// file's metadata record, an image description, etc.
+type Document struct {
+	// ID uniquely identifies the document within its collection.
+	ID string
+	// Metadata maps field names (e.g. "dc.Title") to values; fields may be
+	// multi-valued.
+	Metadata map[string][]string
+	// Content is the extracted full text (possibly empty for binary media).
+	Content string
+	// MIME is the content type ("text/plain", "audio/mpeg", ...).
+	MIME string
+}
+
+// Clone deep-copies the document.
+func (d *Document) Clone() *Document {
+	cp := *d
+	cp.Metadata = make(map[string][]string, len(d.Metadata))
+	for k, v := range d.Metadata {
+		cp.Metadata[k] = append([]string(nil), v...)
+	}
+	return &cp
+}
+
+// Fingerprint returns a stable hash of the document's metadata and content,
+// used by the build process to classify documents as added/changed/removed
+// between builds.
+func (d *Document) Fingerprint() string {
+	h := fnv.New64a()
+	write := func(s string) {
+		_, _ = h.Write([]byte(s))
+		_, _ = h.Write([]byte{0})
+	}
+	write(d.ID)
+	write(d.MIME)
+	write(d.Content)
+	fields := make([]string, 0, len(d.Metadata))
+	for f := range d.Metadata {
+		fields = append(fields, f)
+	}
+	sort.Strings(fields)
+	for _, f := range fields {
+		write(f)
+		for _, v := range d.Metadata[f] {
+			write(v)
+		}
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// Title returns the document's display title (dc.Title, falling back to ID).
+func (d *Document) Title() string {
+	if vs := d.Metadata["dc.Title"]; len(vs) > 0 && strings.TrimSpace(vs[0]) != "" {
+		return vs[0]
+	}
+	return d.ID
+}
+
+// Snippet returns the leading fragment of the content used in event
+// payloads and notifications.
+func (d *Document) Snippet(maxRunes int) string {
+	if maxRunes <= 0 {
+		maxRunes = 200
+	}
+	runes := []rune(d.Content)
+	if len(runes) <= maxRunes {
+		return d.Content
+	}
+	return string(runes[:maxRunes])
+}

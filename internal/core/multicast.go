@@ -1,0 +1,154 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"github.com/gsalert/gsalert/internal/event"
+	"github.com/gsalert/gsalert/internal/profile"
+	"github.com/gsalert/gsalert/internal/protocol"
+)
+
+// RoutingMode selects how events are disseminated through the GDS.
+type RoutingMode int
+
+// Routing modes.
+const (
+	// RouteBroadcast floods every event to every server (the paper's
+	// primary design, §4.2).
+	RouteBroadcast RoutingMode = iota + 1
+	// RouteMulticast scopes dissemination to collection-interest groups:
+	// each server joins the multicast group of every collection its
+	// profiles cover, and publishers multicast instead of broadcasting.
+	// Profiles without a finite collection cover put their server into the
+	// catch-all group, which every publisher also addresses — so the mode
+	// is an optimisation, never a correctness change (paper §6 names
+	// multicast as a GDS capability; this is the ablation for it).
+	RouteMulticast
+)
+
+// catchAllGroup receives every event: members host profiles whose
+// collection scope cannot be bounded.
+const catchAllGroup = "gsalert.any"
+
+// collGroup names the multicast group of one collection.
+func collGroup(qualified string) string {
+	return "coll:" + strings.ToLower(qualified)
+}
+
+// SetRoutingMode switches dissemination modes. Switching to multicast
+// (re)announces group memberships for every registered profile; switching
+// back to broadcast leaves memberships in place (they are simply unused).
+func (s *Service) SetRoutingMode(ctx context.Context, mode RoutingMode) error {
+	if mode != RouteBroadcast && mode != RouteMulticast {
+		return fmt.Errorf("core: unknown routing mode %d", mode)
+	}
+	s.mu.Lock()
+	s.routing = mode
+	s.mu.Unlock()
+	if mode != RouteMulticast || s.gdsCli == nil {
+		return nil
+	}
+	// Join groups for the current profile population.
+	for _, p := range s.matcher.All() {
+		if err := s.joinGroupsFor(ctx, p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RoutingMode reports the current mode.
+func (s *Service) RoutingMode() RoutingMode {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.routing == 0 {
+		return RouteBroadcast
+	}
+	return s.routing
+}
+
+// joinGroupsFor subscribes this server to the groups covering p, with
+// reference counting so unsubscribes can leave groups precisely.
+func (s *Service) joinGroupsFor(ctx context.Context, p *profile.Profile) error {
+	if s.gdsCli == nil {
+		return nil
+	}
+	groups := s.groupsOf(p)
+	for _, g := range groups {
+		s.mu.Lock()
+		if s.groupRefs == nil {
+			s.groupRefs = make(map[string]int)
+		}
+		s.groupRefs[g]++
+		first := s.groupRefs[g] == 1
+		s.mu.Unlock()
+		if first {
+			if err := s.gdsCli.JoinGroup(ctx, g); err != nil {
+				return fmt.Errorf("core: join %s: %w", g, err)
+			}
+		}
+	}
+	s.mu.Lock()
+	if s.groupsByProfile == nil {
+		s.groupsByProfile = make(map[string][]string)
+	}
+	s.groupsByProfile[p.ID] = groups
+	s.mu.Unlock()
+	return nil
+}
+
+// leaveGroupsFor drops group memberships owned by a removed profile.
+func (s *Service) leaveGroupsFor(ctx context.Context, profileID string) {
+	if s.gdsCli == nil {
+		return
+	}
+	s.mu.Lock()
+	groups := s.groupsByProfile[profileID]
+	delete(s.groupsByProfile, profileID)
+	var leave []string
+	for _, g := range groups {
+		s.groupRefs[g]--
+		if s.groupRefs[g] <= 0 {
+			delete(s.groupRefs, g)
+			leave = append(leave, g)
+		}
+	}
+	s.mu.Unlock()
+	for _, g := range leave {
+		_ = s.gdsCli.LeaveGroup(ctx, g) // best effort
+	}
+}
+
+// groupsOf computes the multicast groups covering a profile.
+func (s *Service) groupsOf(p *profile.Profile) []string {
+	cover, bounded := profile.CollectionCover(p.Expr)
+	if !bounded {
+		return []string{catchAllGroup}
+	}
+	groups := make([]string, 0, len(cover))
+	for _, c := range cover {
+		groups = append(groups, collGroup(c))
+	}
+	return groups
+}
+
+// multicastEvent disseminates ev to its collection's group plus the
+// catch-all group.
+func (s *Service) multicastEvent(ctx context.Context, ev *event.Event) error {
+	raw, err := ev.MarshalXMLBytes()
+	if err != nil {
+		return err
+	}
+	for _, group := range []string{collGroup(ev.Collection.String()), catchAllGroup} {
+		inner, err := protocol.NewEnvelope(s.name, protocol.MsgEvent, &protocol.EventPayload{Event: protocol.Wrap(raw)})
+		if err != nil {
+			return err
+		}
+		if err := s.gdsCli.Multicast(ctx, group, inner); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"context"
+	"sync"
+
+	"github.com/gsalert/gsalert/internal/protocol"
+	"github.com/gsalert/gsalert/internal/transport"
+)
+
+// MemoryNotifier records notifications in memory; tests, simulations and
+// in-process clients use it.
+type MemoryNotifier struct {
+	mu   sync.Mutex
+	got  []Notification
+	subs []chan Notification
+}
+
+var _ Notifier = (*MemoryNotifier)(nil)
+
+// NewMemoryNotifier builds an empty recorder.
+func NewMemoryNotifier() *MemoryNotifier { return &MemoryNotifier{} }
+
+// Notify implements Notifier.
+func (m *MemoryNotifier) Notify(n Notification) {
+	m.mu.Lock()
+	m.got = append(m.got, n)
+	subs := append([]chan Notification(nil), m.subs...)
+	m.mu.Unlock()
+	for _, ch := range subs {
+		select {
+		case ch <- n:
+		default: // slow consumer: drop rather than block the service
+		}
+	}
+}
+
+// All returns a copy of every recorded notification.
+func (m *MemoryNotifier) All() []Notification {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]Notification(nil), m.got...)
+}
+
+// Len reports how many notifications were received.
+func (m *MemoryNotifier) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.got)
+}
+
+// Reset clears recorded notifications.
+func (m *MemoryNotifier) Reset() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.got = nil
+}
+
+// Watch returns a channel receiving future notifications (buffered; slow
+// consumers miss rather than block).
+func (m *MemoryNotifier) Watch() <-chan Notification {
+	ch := make(chan Notification, 64)
+	m.mu.Lock()
+	m.subs = append(m.subs, ch)
+	m.mu.Unlock()
+	return ch
+}
+
+// RemoteNotifier delivers notifications to a client over the transport as
+// MsgNotify envelopes (clients connected through a receptionist on another
+// machine).
+type RemoteNotifier struct {
+	from       string
+	clientAddr string
+	tr         transport.Transport
+}
+
+var _ Notifier = (*RemoteNotifier)(nil)
+
+// NewRemoteNotifier builds a notifier pushing to clientAddr.
+func NewRemoteNotifier(from, clientAddr string, tr transport.Transport) *RemoteNotifier {
+	return &RemoteNotifier{from: from, clientAddr: clientAddr, tr: tr}
+}
+
+// Notify implements Notifier; delivery is best effort.
+func (r *RemoteNotifier) Notify(n Notification) {
+	raw, err := n.Event.MarshalXMLBytes()
+	if err != nil {
+		return
+	}
+	env, err := protocol.NewEnvelope(r.from, protocol.MsgNotify, &protocol.Notify{
+		Client:    n.Client,
+		ProfileID: n.ProfileID,
+		Event:     protocol.Wrap(raw),
+	})
+	if err != nil {
+		return
+	}
+	_ = transport.SendOneWay(context.Background(), r.tr, r.clientAddr, env) // best effort
+}

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+
+	"github.com/gsalert/gsalert/internal/profile"
+	"github.com/gsalert/gsalert/internal/protocol"
+)
+
+// Subscription state survives server restarts: user profiles must not be
+// silently dropped (that would be a permanent false negative for the user)
+// and installed auxiliary profiles must keep watching their sub-collections.
+// The snapshot format is a plain XML list of the same profile fragments the
+// wire protocol uses.
+
+// snapshot is the persisted form.
+type snapshot struct {
+	XMLName  xml.Name          `xml:"Subscriptions"`
+	Server   string            `xml:"Server,attr"`
+	Profiles []protocol.RawXML `xml:"Profile"`
+}
+
+// SaveSubscriptions writes every user and auxiliary profile to w.
+func (s *Service) SaveSubscriptions(w io.Writer) error {
+	snap := snapshot{Server: s.name}
+	for _, set := range []interface{ All() []*profile.Profile }{s.matcher, s.aux} {
+		for _, p := range set.All() {
+			raw, err := p.MarshalXMLBytes()
+			if err != nil {
+				return fmt.Errorf("core: snapshot %s: %w", p.ID, err)
+			}
+			snap.Profiles = append(snap.Profiles, protocol.Wrap(raw))
+		}
+	}
+	out, err := xml.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return fmt.Errorf("core: snapshot: %w", err)
+	}
+	if _, err := w.Write(out); err != nil {
+		return fmt.Errorf("core: snapshot write: %w", err)
+	}
+	return nil
+}
+
+// LoadSubscriptions restores a snapshot written by SaveSubscriptions,
+// merging into the current state (existing profile IDs are replaced).
+// Notifier registrations are not part of the snapshot: clients re-register
+// their delivery sinks on reconnect. It returns the number of profiles
+// restored.
+func (s *Service) LoadSubscriptions(r io.Reader) (int, error) {
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return 0, fmt.Errorf("core: snapshot read: %w", err)
+	}
+	var snap snapshot
+	if err := xml.Unmarshal(raw, &snap); err != nil {
+		return 0, fmt.Errorf("core: snapshot parse: %w", err)
+	}
+	restored := 0
+	for i, frag := range snap.Profiles {
+		p, err := profile.UnmarshalXMLBytes(frag.Bytes())
+		if err != nil {
+			return restored, fmt.Errorf("core: snapshot profile %d: %w", i, err)
+		}
+		switch p.Kind {
+		case profile.KindUser:
+			if err := s.addUserProfile(p); err != nil {
+				return restored, err
+			}
+		case profile.KindAuxiliary:
+			if p.Sub.Host != s.name {
+				return restored, fmt.Errorf("core: snapshot aux profile %s watches %s, not %s", p.ID, p.Sub, s.name)
+			}
+			if err := s.aux.Add(p); err != nil {
+				return restored, err
+			}
+		default:
+			return restored, fmt.Errorf("core: snapshot profile %s has unknown kind", p.ID)
+		}
+		restored++
+	}
+	return restored, nil
+}

@@ -1,0 +1,419 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"github.com/gsalert/gsalert/internal/collection"
+	"github.com/gsalert/gsalert/internal/event"
+	"github.com/gsalert/gsalert/internal/profile"
+	"github.com/gsalert/gsalert/internal/protocol"
+	"github.com/gsalert/gsalert/internal/queue"
+	"github.com/gsalert/gsalert/internal/transport"
+)
+
+// PublishBuild routes the events of a finished collection build: local
+// filtering + notification, auxiliary-profile forwarding over the GS
+// network, and GDS flooding. It returns the time spent in local filtering,
+// the quantity experiment E1 compares against the index build time.
+func (s *Service) PublishBuild(ctx context.Context, res *collection.BuildResult) (time.Duration, error) {
+	var filterTime time.Duration
+	for _, ev := range res.Events {
+		d, err := s.publishEvent(ctx, ev)
+		filterTime += d
+		if err != nil {
+			return filterTime, err
+		}
+	}
+	return filterTime, nil
+}
+
+// publishEvent handles an event originating at this server (a local build
+// or a transform of a forwarded event).
+func (s *Service) publishEvent(ctx context.Context, ev *event.Event) (time.Duration, error) {
+	// Mark as seen so the GDS broadcast echo (if any) is suppressed.
+	if s.dedup.Observe(ev.ID) {
+		s.mu.Lock()
+		s.stats.DuplicatesDropped++
+		s.mu.Unlock()
+		return 0, nil
+	}
+	s.mu.Lock()
+	s.stats.EventsPublished++
+	s.mu.Unlock()
+
+	// 1. Local filtering + notification (+ aux matching), timed.
+	filterTime := s.filterLocally(ev)
+
+	// 2. Forward to super-collection hosts per matching aux profiles.
+	s.forwardPerAuxProfiles(ctx, ev)
+
+	// 3. Disseminate to other servers via the GDS (flooding by default,
+	// interest-scoped multicast when enabled).
+	if s.gdsCli != nil {
+		disseminate := s.broadcastEvent
+		if s.RoutingMode() == RouteMulticast {
+			disseminate = s.multicastEvent
+		}
+		if err := disseminate(ctx, ev); err != nil {
+			// Best effort (paper §6): flooding failures are not fatal.
+			s.mu.Lock()
+			s.stats.ForwardingFailures++
+			s.mu.Unlock()
+		} else {
+			s.mu.Lock()
+			s.stats.BroadcastsSent++
+			s.mu.Unlock()
+		}
+	}
+	return filterTime, nil
+}
+
+// filterLocally matches ev against local user profiles and notifies their
+// clients, returning the filtering duration.
+func (s *Service) filterLocally(ev *event.Event) time.Duration {
+	start := time.Now()
+	matches := s.matcher.Match(ev)
+	elapsed := time.Since(start)
+
+	s.mu.Lock()
+	s.stats.FilterTime += elapsed
+	notifierOf := make(map[string]Notifier, len(matches))
+	for _, m := range matches {
+		notifierOf[m.Profile.Owner] = s.notifiers[m.Profile.Owner]
+	}
+	now := s.clock()
+	s.mu.Unlock()
+
+	for _, m := range matches {
+		n := notifierOf[m.Profile.Owner]
+		if n == nil {
+			s.mu.Lock()
+			s.stats.NotifyFailures++
+			s.mu.Unlock()
+			continue
+		}
+		n.Notify(Notification{
+			Client:    m.Profile.Owner,
+			ProfileID: m.Profile.ID,
+			Event:     ev,
+			DocIDs:    m.DocIDs,
+			At:        now,
+		})
+		s.mu.Lock()
+		s.stats.Notifications++
+		s.mu.Unlock()
+	}
+	return elapsed
+}
+
+// forwardPerAuxProfiles sends ev to the hosts of super-collections whose
+// auxiliary profiles match (paper §4.2). Unreachable hosts leave the
+// forward in the retry queue (paper §7 delayed-not-lost semantics).
+func (s *Service) forwardPerAuxProfiles(ctx context.Context, ev *event.Event) {
+	auxMatches := s.aux.Match(ev)
+	for _, m := range auxMatches {
+		super := m.Profile.Super
+		// Cycle guard at the sender: if the event already carried this
+		// super-collection's identity, forwarding would loop.
+		skip := false
+		for _, q := range ev.Chain {
+			if q == super {
+				skip = true
+				break
+			}
+		}
+		if skip {
+			s.mu.Lock()
+			s.stats.CycleRefusals++
+			s.mu.Unlock()
+			continue
+		}
+		raw, err := ev.MarshalXMLBytes()
+		if err != nil {
+			continue
+		}
+		env, err := protocol.NewEnvelope(s.name, protocol.MsgEvent, &protocol.EventPayload{
+			TransformTo: super.String(),
+			Event:       protocol.Wrap(raw),
+		})
+		if err != nil {
+			continue
+		}
+		env.Header.To = super.Host
+		s.mu.Lock()
+		s.stats.AuxForwards++
+		s.mu.Unlock()
+		s.sendOrQueue(ctx, "fwd:"+ev.ID+":"+super.String(), super.Host, env)
+	}
+}
+
+// broadcastEvent floods ev through the GDS.
+func (s *Service) broadcastEvent(ctx context.Context, ev *event.Event) error {
+	raw, err := ev.MarshalXMLBytes()
+	if err != nil {
+		return err
+	}
+	inner, err := protocol.NewEnvelope(s.name, protocol.MsgEvent, &protocol.EventPayload{Event: protocol.Wrap(raw)})
+	if err != nil {
+		return err
+	}
+	return s.gdsCli.Broadcast(ctx, inner)
+}
+
+// HandleEventEnvelope processes an incoming MsgEvent, whether delivered by
+// GDS flooding or forwarded point-to-point over the GS network.
+func (s *Service) HandleEventEnvelope(ctx context.Context, env *protocol.Envelope) error {
+	var payload protocol.EventPayload
+	if err := protocol.Decode(env, protocol.MsgEvent, &payload); err != nil {
+		return err
+	}
+	ev, err := event.UnmarshalXMLBytes(payload.Event.Bytes())
+	if err != nil {
+		return err
+	}
+	if payload.TransformTo != "" {
+		return s.handleForwardedEvent(ctx, ev, payload.TransformTo)
+	}
+	return s.handleFloodedEvent(ev)
+}
+
+// handleFloodedEvent processes an event received via GDS broadcast: filter
+// against local user profiles and notify. Flooded events are NOT re-matched
+// against auxiliary profiles: the sub-collection's own server already
+// forwarded the event over the GS network; re-forwarding from every flooded
+// copy would duplicate transforms.
+func (s *Service) handleFloodedEvent(ev *event.Event) error {
+	if s.dedup.Observe(ev.ID) {
+		s.mu.Lock()
+		s.stats.DuplicatesDropped++
+		s.mu.Unlock()
+		return nil
+	}
+	s.mu.Lock()
+	s.stats.EventsReceived++
+	s.mu.Unlock()
+	s.filterLocally(ev)
+	return nil
+}
+
+// handleForwardedEvent processes an event forwarded over the GS network by
+// a sub-collection's server: rename it to the named super-collection and
+// publish the transformed event as our own (paper §4.2: "the originating
+// collection is transformed from London.E to Hamilton.D").
+func (s *Service) handleForwardedEvent(ctx context.Context, ev *event.Event, transformTo string) error {
+	super, err := event.ParseQName(transformTo)
+	if err != nil {
+		return fmt.Errorf("core: bad transform target: %w", err)
+	}
+	if super.Host != s.name {
+		return fmt.Errorf("core: transform target %s is not hosted by %s", transformTo, s.name)
+	}
+	if s.store != nil {
+		if _, err := s.store.Get(super.Collection); err != nil {
+			return fmt.Errorf("core: transform target %s: %w", transformTo, err)
+		}
+	}
+	transformed, err := ev.Transformed(super)
+	if err != nil {
+		s.mu.Lock()
+		s.stats.CycleRefusals++
+		s.mu.Unlock()
+		var ce *event.CycleError
+		if ok := asCycleError(err, &ce); ok {
+			// Refusing the transform is the designed behaviour, not a
+			// failure: the event already visited this collection.
+			return nil
+		}
+		return err
+	}
+	s.mu.Lock()
+	s.stats.Transforms++
+	s.mu.Unlock()
+	_, err = s.publishEvent(ctx, transformed)
+	return err
+}
+
+func asCycleError(err error, target **event.CycleError) bool {
+	for err != nil {
+		if ce, ok := err.(*event.CycleError); ok {
+			*target = ce
+			return true
+		}
+		type unwrapper interface{ Unwrap() error }
+		u, ok := err.(unwrapper)
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+	}
+	return false
+}
+
+// sendOrQueue attempts an immediate unicast to a named server, falling back
+// to the retry queue when resolution or delivery fails.
+func (s *Service) sendOrQueue(ctx context.Context, itemID, destServer string, env *protocol.Envelope) {
+	if err := s.sendToServer(ctx, destServer, env); err != nil {
+		s.mu.Lock()
+		s.stats.ForwardingFailures++
+		s.mu.Unlock()
+		s.retry.Add(itemID, destServer, &queuedForward{destServer: destServer, env: env})
+	}
+}
+
+// sendToServer resolves a server name and delivers env.
+func (s *Service) sendToServer(ctx context.Context, destServer string, env *protocol.Envelope) error {
+	if s.resolver == nil {
+		return fmt.Errorf("core: no resolver configured on %s", s.name)
+	}
+	addr, err := s.resolver.Resolve(ctx, destServer)
+	if err != nil {
+		return err
+	}
+	if err := transport.SendOneWay(ctx, s.tr, addr, env); err != nil {
+		if s.gdsCli != nil {
+			s.gdsCli.InvalidateCache(destServer)
+		}
+		return err
+	}
+	return nil
+}
+
+// sendQueued is the retry queue's sender.
+func (s *Service) sendQueued(ctx context.Context, item *queue.Item) error {
+	qf, ok := item.Payload.(*queuedForward)
+	if !ok {
+		return fmt.Errorf("core: unexpected queue payload %T", item.Payload)
+	}
+	return s.sendToServer(ctx, qf.destServer, qf.env)
+}
+
+// ---------------------------------------------------------------------------
+// Auxiliary profile management
+
+// SyncAuxProfiles walks the local collection store and forwards an auxiliary
+// profile to every remote sub-collection's host (paper §4.2), and cancels
+// profiles for references that no longer exist. Call it after collection
+// configuration changes. Unreachable hosts leave installs/cancels queued.
+func (s *Service) SyncAuxProfiles(ctx context.Context) error {
+	if s.store == nil {
+		return nil
+	}
+	// Desired set: one aux profile per (super, remote sub) pair.
+	type auxKey struct{ super, sub event.QName }
+	desired := make(map[auxKey]bool)
+	for _, coll := range s.store.All() {
+		cfg := coll.Config()
+		super := event.QName{Host: s.name, Collection: cfg.Name}
+		for _, ref := range cfg.RemoteSubs() {
+			sub := event.QName{Host: ref.Host, Collection: ref.Name}
+			desired[auxKey{super: super, sub: sub}] = true
+		}
+	}
+
+	s.mu.Lock()
+	existing := make(map[string]string, len(s.forwardedAux))
+	for id, dest := range s.forwardedAux {
+		existing[id] = dest
+	}
+	s.mu.Unlock()
+
+	// Install missing.
+	for key := range desired {
+		id := auxProfileID(key.super, key.sub)
+		if _, ok := existing[id]; ok {
+			delete(existing, id) // still desired
+			continue
+		}
+		p := profile.NewAuxiliary(id, key.super, key.sub)
+		raw, err := p.MarshalXMLBytes()
+		if err != nil {
+			return err
+		}
+		env, err := protocol.NewEnvelope(s.name, protocol.MsgForwardProfile, &protocol.ForwardProfile{Profile: protocol.Wrap(raw)})
+		if err != nil {
+			return err
+		}
+		env.Header.To = key.sub.Host
+		s.mu.Lock()
+		s.forwardedAux[id] = key.sub.Host
+		s.stats.AuxInstallsSent++
+		s.mu.Unlock()
+		s.sendOrQueue(ctx, "aux-install:"+id, key.sub.Host, env)
+	}
+
+	// Cancel the leftovers (references removed by restructuring).
+	for id, dest := range existing {
+		// A queued, never-delivered install is simply dropped.
+		if s.retry.Remove("aux-install:" + id) {
+			s.mu.Lock()
+			delete(s.forwardedAux, id)
+			s.mu.Unlock()
+			continue
+		}
+		env, err := protocol.NewEnvelope(s.name, protocol.MsgCancelProfile, &protocol.CancelProfile{ProfileID: id})
+		if err != nil {
+			return err
+		}
+		env.Header.To = dest
+		s.mu.Lock()
+		delete(s.forwardedAux, id)
+		s.stats.AuxCancelsSent++
+		s.mu.Unlock()
+		s.sendOrQueue(ctx, "aux-cancel:"+id, dest, env)
+	}
+	return nil
+}
+
+// auxProfileID derives the deterministic identifier of the auxiliary
+// profile watching sub on behalf of super. Determinism makes installs and
+// cancels idempotent across restarts and retries (paper §7: "each forwarded
+// collection profile is itself unique").
+func auxProfileID(super, sub event.QName) string {
+	return "aux:" + super.String() + ">" + sub.String()
+}
+
+// HandleForwardProfile installs an auxiliary profile pushed by a
+// super-collection's server.
+func (s *Service) HandleForwardProfile(env *protocol.Envelope) error {
+	var fp protocol.ForwardProfile
+	if err := protocol.Decode(env, protocol.MsgForwardProfile, &fp); err != nil {
+		return err
+	}
+	p, err := profile.UnmarshalXMLBytes(fp.Profile.Bytes())
+	if err != nil {
+		return err
+	}
+	if p.Kind != profile.KindAuxiliary {
+		return fmt.Errorf("core: forwarded profile %s is not auxiliary", p.ID)
+	}
+	if p.Sub.Host != s.name {
+		return fmt.Errorf("core: aux profile %s watches %s, not hosted by %s", p.ID, p.Sub, s.name)
+	}
+	return s.aux.Add(p)
+}
+
+// HandleCancelProfile removes a previously forwarded auxiliary profile.
+// Cancelling an unknown profile is not an error (the install may never have
+// arrived — exactly the dangling-profile scenario the design avoids).
+func (s *Service) HandleCancelProfile(env *protocol.Envelope) error {
+	var cp protocol.CancelProfile
+	if err := protocol.Decode(env, protocol.MsgCancelProfile, &cp); err != nil {
+		return err
+	}
+	s.aux.Remove(cp.ProfileID)
+	return nil
+}
+
+// ForwardedAuxIDs lists the aux profiles this server has pushed out.
+func (s *Service) ForwardedAuxIDs() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.forwardedAux))
+	for id := range s.forwardedAux {
+		out = append(out, id)
+	}
+	sortStrings(out)
+	return out
+}

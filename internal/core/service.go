@@ -1,0 +1,350 @@
+// Package core implements the paper's primary contribution: the per-server
+// alerting service with hybrid routing (paper §4.2).
+//
+// Every Greenstone server runs one Service. User profiles are stored only at
+// the server where the user defined them (the "unified single access point"
+// with no orphan profiles, paper §1 problems 3–4). When a collection is
+// (re)built the service:
+//
+//  1. filters the build's events against local user profiles and notifies
+//     local clients;
+//  2. matches local auxiliary profiles and forwards matching events over
+//     the Greenstone network to the hosts of the referencing
+//     super-collections, which rename ("transform") the event and publish
+//     it as their own;
+//  3. floods the events to every other Greenstone server via the GDS
+//     broadcast, where step 1 repeats against that server's profiles.
+//
+// Auxiliary profile installation and event forwarding over the GS network go
+// through a retry queue so partitions delay rather than lose them (§7).
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/gsalert/gsalert/internal/collection"
+	"github.com/gsalert/gsalert/internal/event"
+	"github.com/gsalert/gsalert/internal/filter"
+	"github.com/gsalert/gsalert/internal/gds"
+	"github.com/gsalert/gsalert/internal/profile"
+	"github.com/gsalert/gsalert/internal/protocol"
+	"github.com/gsalert/gsalert/internal/queue"
+	"github.com/gsalert/gsalert/internal/transport"
+)
+
+// Resolver maps Greenstone server names to transport addresses. The GDS
+// naming service implements it; tests may use a static table.
+type Resolver interface {
+	Resolve(ctx context.Context, name string) (string, error)
+}
+
+// StaticResolver is a fixed name table.
+type StaticResolver map[string]string
+
+// Resolve implements Resolver.
+func (s StaticResolver) Resolve(_ context.Context, name string) (string, error) {
+	addr, ok := s[name]
+	if !ok {
+		return "", fmt.Errorf("%w: %q", gds.ErrNameNotFound, name)
+	}
+	return addr, nil
+}
+
+// Notification is what a client receives when one of its profiles matches.
+type Notification struct {
+	// Client is the recipient.
+	Client string
+	// ProfileID identifies the matching profile.
+	ProfileID string
+	// Event is the matching event.
+	Event *event.Event
+	// DocIDs are the matching documents (empty for event-level matches).
+	DocIDs []string
+	// At is the local delivery time.
+	At time.Time
+}
+
+// Notifier delivers notifications to one client.
+type Notifier interface {
+	Notify(n Notification)
+}
+
+// NotifierFunc adapts a function to Notifier.
+type NotifierFunc func(n Notification)
+
+// Notify implements Notifier.
+func (f NotifierFunc) Notify(n Notification) { f(n) }
+
+// Config assembles a Service.
+type Config struct {
+	// ServerName is the Greenstone server's network-internal name.
+	ServerName string
+	// ServerAddr is the server's transport address (aux forwards arrive
+	// there).
+	ServerAddr string
+	// Transport carries GS-network unicasts (aux profiles, forwarded
+	// events).
+	Transport transport.Transport
+	// GDS is the directory client for broadcasting; nil disables flooding
+	// (solitary installation).
+	GDS *gds.Client
+	// Resolver maps server names to addresses; defaults to GDS when nil.
+	Resolver Resolver
+	// Store provides the local collections (for auxiliary profile
+	// synchronisation); may be nil for servers without collections.
+	Store *collection.Store
+	// Matcher is the filtering engine; defaults to equality-preferred.
+	Matcher filter.Matcher
+	// Clock overrides time.Now for deterministic tests.
+	Clock func() time.Time
+}
+
+// Service is the alerting service of one Greenstone server.
+type Service struct {
+	name     string
+	addr     string
+	tr       transport.Transport
+	gdsCli   *gds.Client
+	resolver Resolver
+	store    *collection.Store
+	clock    func() time.Time
+
+	matcher filter.Matcher // user profiles
+	aux     filter.Matcher // auxiliary profiles installed at this server
+
+	mu        sync.Mutex
+	notifiers map[string]Notifier
+	// profilesByClient indexes user profile IDs per client for unsubscribe
+	// bookkeeping and listing.
+	profilesByClient map[string]map[string]bool
+	// forwardedAux records the aux profiles this server pushed to other
+	// servers: key = profile ID, value = destination server name.
+	forwardedAux map[string]string
+
+	dedup *event.Dedup
+	retry *queue.Queue
+
+	// routing selects broadcast (default) or multicast dissemination;
+	// groupRefs/groupsByProfile track multicast membership per profile.
+	routing         RoutingMode
+	groupRefs       map[string]int
+	groupsByProfile map[string][]string
+
+	idCounter atomic.Uint64
+	stats     ServiceStats
+}
+
+// ServiceStats counts the service's externally visible work.
+type ServiceStats struct {
+	EventsPublished    int64
+	EventsReceived     int64
+	DuplicatesDropped  int64
+	Notifications      int64
+	AuxForwards        int64 // events forwarded over the GS network
+	Transforms         int64 // events renamed to a super-collection
+	CycleRefusals      int64
+	AuxInstallsSent    int64
+	AuxCancelsSent     int64
+	BroadcastsSent     int64
+	FilterTime         time.Duration // cumulative local filtering time
+	NotifyFailures     int64
+	ForwardingFailures int64 // queued for retry
+}
+
+// Queued payload kinds for the retry queue.
+type queuedForward struct {
+	destServer string
+	env        *protocol.Envelope
+}
+
+// New assembles a Service from cfg.
+func New(cfg Config) (*Service, error) {
+	if cfg.ServerName == "" {
+		return nil, errors.New("core: ServerName required")
+	}
+	if cfg.Transport == nil {
+		return nil, errors.New("core: Transport required")
+	}
+	s := &Service{
+		name:             cfg.ServerName,
+		addr:             cfg.ServerAddr,
+		tr:               cfg.Transport,
+		gdsCli:           cfg.GDS,
+		resolver:         cfg.Resolver,
+		store:            cfg.Store,
+		clock:            cfg.Clock,
+		matcher:          cfg.Matcher,
+		aux:              filter.NewEqualityPreferred(),
+		notifiers:        make(map[string]Notifier),
+		profilesByClient: make(map[string]map[string]bool),
+		forwardedAux:     make(map[string]string),
+		dedup:            event.NewDedup(0),
+	}
+	if s.clock == nil {
+		s.clock = time.Now
+	}
+	if s.matcher == nil {
+		s.matcher = filter.NewEqualityPreferred()
+	}
+	if s.resolver == nil && s.gdsCli != nil {
+		s.resolver = s.gdsCli
+	}
+	q, err := queue.New(s.sendQueued)
+	if err != nil {
+		return nil, err
+	}
+	s.retry = q
+	return s, nil
+}
+
+// Name returns the server name.
+func (s *Service) Name() string { return s.name }
+
+// Retry exposes the retry queue (simulations flush it after healing
+// partitions; live deployments call Retry().Start).
+func (s *Service) Retry() *queue.Queue { return s.retry }
+
+// Stats returns a snapshot of counters.
+func (s *Service) Stats() ServiceStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// nextID mints a server-scoped unique identifier.
+func (s *Service) nextID(prefix string) string {
+	n := s.idCounter.Add(1)
+	return s.name + "-" + prefix + "-" + strconv.FormatUint(n, 10)
+}
+
+// ---------------------------------------------------------------------------
+// Subscriptions (user profiles)
+
+// RegisterNotifier attaches a delivery sink for a client.
+func (s *Service) RegisterNotifier(client string, n Notifier) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.notifiers[client] = n
+}
+
+// UnregisterNotifier removes a client's sink.
+func (s *Service) UnregisterNotifier(client string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.notifiers, client)
+}
+
+// Subscribe registers a user profile owned by client. The profile's ID is
+// assigned by the service and returned.
+func (s *Service) Subscribe(client string, expr profile.Expr) (string, error) {
+	p := profile.NewUser(s.nextID("p"), client, s.name, expr)
+	return p.ID, s.addUserProfile(p)
+}
+
+// SubscribeQuery registers a continuous-search profile for a collection
+// (paper §5: search queries as profile queries).
+func (s *Service) SubscribeQuery(client string, coll event.QName, field, query string) (string, error) {
+	p, err := profile.FromSearchQuery(s.nextID("p"), client, s.name, coll, field, query)
+	if err != nil {
+		return "", err
+	}
+	return p.ID, s.addUserProfile(p)
+}
+
+// WatchDocuments registers a "watch this" identity-centred profile.
+func (s *Service) WatchDocuments(client string, coll event.QName, docIDs []string) (string, error) {
+	p, err := profile.WatchThis(s.nextID("p"), client, s.name, coll, docIDs)
+	if err != nil {
+		return "", err
+	}
+	return p.ID, s.addUserProfile(p)
+}
+
+// SubscribeProfile registers a caller-constructed user profile.
+func (s *Service) SubscribeProfile(p *profile.Profile) error {
+	if p.Kind != profile.KindUser {
+		return fmt.Errorf("core: SubscribeProfile requires a user profile, got %s", p.Kind)
+	}
+	return s.addUserProfile(p)
+}
+
+func (s *Service) addUserProfile(p *profile.Profile) error {
+	if err := s.matcher.Add(p); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	set := s.profilesByClient[p.Owner]
+	if set == nil {
+		set = make(map[string]bool)
+		s.profilesByClient[p.Owner] = set
+	}
+	set[p.ID] = true
+	multicast := s.routing == RouteMulticast
+	s.mu.Unlock()
+	if multicast {
+		// Group membership is best effort: a failed join degrades delivery
+		// for this profile until the next SetRoutingMode, mirroring the
+		// paper's best-effort stance; it never corrupts local state.
+		_ = s.joinGroupsFor(context.Background(), p)
+	}
+	return nil
+}
+
+// Unsubscribe removes a user profile. Removing an unknown or foreign
+// profile is an error (clients can only cancel their own profiles).
+func (s *Service) Unsubscribe(client, profileID string) error {
+	p, ok := s.matcher.Get(profileID)
+	if !ok {
+		return fmt.Errorf("core: unknown profile %q", profileID)
+	}
+	if p.Owner != client {
+		return fmt.Errorf("core: profile %q belongs to %q, not %q", profileID, p.Owner, client)
+	}
+	s.matcher.Remove(profileID)
+	s.mu.Lock()
+	if set := s.profilesByClient[client]; set != nil {
+		delete(set, profileID)
+		if len(set) == 0 {
+			delete(s.profilesByClient, client)
+		}
+	}
+	multicast := s.routing == RouteMulticast
+	s.mu.Unlock()
+	if multicast {
+		s.leaveGroupsFor(context.Background(), profileID)
+	}
+	return nil
+}
+
+// ProfilesOf lists a client's profile IDs.
+func (s *Service) ProfilesOf(client string) []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	set := s.profilesByClient[client]
+	out := make([]string, 0, len(set))
+	for id := range set {
+		out = append(out, id)
+	}
+	sortStrings(out)
+	return out
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// UserProfileCount reports registered user profiles.
+func (s *Service) UserProfileCount() int { return s.matcher.Len() }
+
+// AuxProfileCount reports installed auxiliary profiles.
+func (s *Service) AuxProfileCount() int { return s.aux.Len() }

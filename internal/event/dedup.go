@@ -1,0 +1,90 @@
+package event
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Dedup is a bounded, thread-safe set of recently seen message or event IDs.
+// The GDS tree is acyclic by construction, but merged directories, retries
+// and GS-network forwarding can all re-present a message, so every consumer
+// of flooded traffic deduplicates (paper §1 problem 2: "possible infinite
+// loops and duplicates of event messages").
+//
+// Eviction is FIFO over a fixed capacity, which matches the traffic pattern:
+// duplicates arrive close together in time.
+type Dedup struct {
+	mu    sync.Mutex
+	cap   int
+	seen  map[string]*list.Element
+	order *list.List
+	hits  int64
+}
+
+// DefaultDedupCapacity bounds the window of remembered IDs.
+const DefaultDedupCapacity = 8192
+
+// NewDedup builds a deduplicator holding at most capacity IDs; non-positive
+// capacities fall back to DefaultDedupCapacity.
+func NewDedup(capacity int) *Dedup {
+	if capacity <= 0 {
+		capacity = DefaultDedupCapacity
+	}
+	return &Dedup{
+		cap:   capacity,
+		seen:  make(map[string]*list.Element, capacity),
+		order: list.New(),
+	}
+}
+
+// Observe records id and reports whether it was already present (true means
+// duplicate: the caller should suppress the message).
+func (d *Dedup) Observe(id string) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, dup := d.seen[id]; dup {
+		d.hits++
+		return true
+	}
+	el := d.order.PushBack(id)
+	d.seen[id] = el
+	if d.order.Len() > d.cap {
+		oldest := d.order.Front()
+		d.order.Remove(oldest)
+		if key, ok := oldest.Value.(string); ok {
+			delete(d.seen, key)
+		}
+	}
+	return false
+}
+
+// Seen reports whether id is currently remembered, without recording it.
+func (d *Dedup) Seen(id string) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	_, ok := d.seen[id]
+	return ok
+}
+
+// Len reports the number of remembered IDs.
+func (d *Dedup) Len() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.order.Len()
+}
+
+// Hits reports how many duplicates have been suppressed.
+func (d *Dedup) Hits() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.hits
+}
+
+// Reset forgets everything.
+func (d *Dedup) Reset() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.seen = make(map[string]*list.Element, d.cap)
+	d.order = list.New()
+	d.hits = 0
+}

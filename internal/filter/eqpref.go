@@ -1,0 +1,332 @@
+package filter
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"github.com/gsalert/gsalert/internal/event"
+	"github.com/gsalert/gsalert/internal/index"
+	"github.com/gsalert/gsalert/internal/profile"
+)
+
+// conjEntry is one indexed DNF conjunction of a profile.
+type conjEntry struct {
+	profileID string
+	conj      profile.Conjunction
+	// eventOnly marks conjunctions whose predicates reference only
+	// event-level attributes: they can be decided once per event instead of
+	// once per document.
+	eventOnly bool
+}
+
+// EqualityPreferred hash-indexes each DNF conjunction of every profile by
+// one of its positive equality predicates, preferring document-attribute
+// predicates (selective) over event-level ones (a collection name repeats
+// for every local event). Document-indexed conjunctions are evaluated only
+// against documents that actually expose the access value — the Fabret-
+// style access-predicate discipline that keeps filtering cost proportional
+// to the event content rather than to the profile population (paper §5).
+type EqualityPreferred struct {
+	mu       sync.Mutex
+	profiles map[string]*profile.Profile
+	// docIndex: access key over document attributes -> conjunctions.
+	docIndex map[string][]*conjEntry
+	// evtIndex: access key over event attributes -> conjunctions.
+	evtIndex map[string][]*conjEntry
+	// residual: conjunctions with no positive equality predicate at all;
+	// they are evaluated for every event.
+	residual []*conjEntry
+	// keysByProfile remembers where each profile's entries live.
+	keysByProfile map[string]*profileKeys
+	stats         Stats
+}
+
+type profileKeys struct {
+	docKeys []string
+	evtKeys []string
+	inRes   bool
+}
+
+// NewEqualityPreferred builds an empty equality-preferred matcher.
+func NewEqualityPreferred() *EqualityPreferred {
+	return &EqualityPreferred{
+		profiles:      make(map[string]*profile.Profile),
+		docIndex:      make(map[string][]*conjEntry),
+		evtIndex:      make(map[string][]*conjEntry),
+		keysByProfile: make(map[string]*profileKeys),
+	}
+}
+
+var _ Matcher = (*EqualityPreferred)(nil)
+
+func accessKey(attr, value string) string {
+	return attr + "\x00" + strings.ToLower(value)
+}
+
+// eventAttrNames mirrors the event-level attributes of the profile package.
+var eventAttrNames = map[string]bool{
+	"collection": true,
+	"host":       true,
+	"origin":     true,
+	"event.type": true,
+}
+
+// chooseAccess picks the access predicate for a conjunction: the first
+// positive equality over a document attribute if any (selective), else the
+// first positive equality over an event attribute, else none.
+func chooseAccess(c profile.Conjunction) (pred *profile.Pred, onDoc bool) {
+	var evtPred *profile.Pred
+	for _, p := range c {
+		if p.Op != profile.OpEq || p.Neg {
+			continue
+		}
+		if !eventAttrNames[p.Attr] {
+			return p, true
+		}
+		if evtPred == nil {
+			evtPred = p
+		}
+	}
+	return evtPred, false
+}
+
+func conjIsEventOnly(c profile.Conjunction) bool {
+	for _, p := range c {
+		if !eventAttrNames[p.Attr] {
+			return false
+		}
+	}
+	return true
+}
+
+// Add registers p, normalising its expression to DNF for indexing.
+func (e *EqualityPreferred) Add(p *profile.Profile) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	conjunctions, err := profile.ToDNF(p.Expr)
+	if err != nil {
+		return fmt.Errorf("filter: profile %s: %w", p.ID, err)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, exists := e.profiles[p.ID]; exists {
+		e.removeLocked(p.ID)
+	}
+	e.profiles[p.ID] = p
+	keys := &profileKeys{}
+	e.keysByProfile[p.ID] = keys
+	for _, c := range conjunctions {
+		entry := &conjEntry{profileID: p.ID, conj: c, eventOnly: conjIsEventOnly(c)}
+		access, onDoc := chooseAccess(c)
+		switch {
+		case access == nil:
+			e.residual = append(e.residual, entry)
+			keys.inRes = true
+		case onDoc:
+			k := accessKey(access.Attr, access.Value)
+			e.docIndex[k] = append(e.docIndex[k], entry)
+			keys.docKeys = append(keys.docKeys, k)
+		default:
+			k := accessKey(access.Attr, access.Value)
+			e.evtIndex[k] = append(e.evtIndex[k], entry)
+			keys.evtKeys = append(keys.evtKeys, k)
+		}
+	}
+	return nil
+}
+
+// Remove deletes a profile by ID.
+func (e *EqualityPreferred) Remove(id string) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, ok := e.profiles[id]; !ok {
+		return false
+	}
+	e.removeLocked(id)
+	return true
+}
+
+func dropEntries(entries []*conjEntry, profileID string) []*conjEntry {
+	kept := entries[:0]
+	for _, en := range entries {
+		if en.profileID != profileID {
+			kept = append(kept, en)
+		}
+	}
+	return kept
+}
+
+func (e *EqualityPreferred) removeLocked(id string) {
+	delete(e.profiles, id)
+	keys := e.keysByProfile[id]
+	delete(e.keysByProfile, id)
+	if keys == nil {
+		return
+	}
+	for _, k := range keys.docKeys {
+		if left := dropEntries(e.docIndex[k], id); len(left) == 0 {
+			delete(e.docIndex, k)
+		} else {
+			e.docIndex[k] = left
+		}
+	}
+	for _, k := range keys.evtKeys {
+		if left := dropEntries(e.evtIndex[k], id); len(left) == 0 {
+			delete(e.evtIndex, k)
+		} else {
+			e.evtIndex[k] = left
+		}
+	}
+	if keys.inRes {
+		e.residual = dropEntries(e.residual, id)
+	}
+}
+
+// Get returns a profile by ID.
+func (e *EqualityPreferred) Get(id string) (*profile.Profile, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	p, ok := e.profiles[id]
+	return p, ok
+}
+
+// All returns every profile sorted by ID.
+func (e *EqualityPreferred) All() []*profile.Profile {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return sortedProfiles(e.profiles)
+}
+
+// Len reports the profile count.
+func (e *EqualityPreferred) Len() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.profiles)
+}
+
+// Stats reports counters. Evaluations counts conjunction evaluations — the
+// unit of work the access-predicate index saves.
+func (e *EqualityPreferred) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+// Match is semantically identical to Naive.Match: a profile matches when
+// some document satisfies its expression (or the event alone does, for
+// doc-less events), and matching documents are reported in event order.
+func (e *EqualityPreferred) Match(ev *event.Event) []Match {
+	attrs := ev.Attrs()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.stats.Events++
+
+	// matchedDocs[profileID] = set of matching doc positions; matchedEvent
+	// marks doc-less event-level matches.
+	matchedDocs := make(map[string]map[int]bool)
+	matchedEvent := make(map[string]bool)
+
+	evalConj := func(c profile.Conjunction, ctx *profile.EvalContext) bool {
+		e.stats.Evaluations++
+		return profile.EvalConjunction(c, ctx)
+	}
+	markDoc := func(id string, docIdx int) {
+		set := matchedDocs[id]
+		if set == nil {
+			set = make(map[int]bool)
+			matchedDocs[id] = set
+		}
+		set[docIdx] = true
+	}
+
+	// Event-indexed and residual conjunctions.
+	globalEntries := make([]*conjEntry, 0, len(e.residual)+8)
+	globalEntries = append(globalEntries, e.residual...)
+	for attr, v := range attrs {
+		globalEntries = append(globalEntries, e.evtIndex[accessKey(attr, v)]...)
+	}
+	for _, en := range globalEntries {
+		if len(ev.Docs) == 0 {
+			if evalConj(en.conj, &profile.EvalContext{Attrs: attrs}) {
+				matchedEvent[en.profileID] = true
+			}
+			continue
+		}
+		if en.eventOnly {
+			// Document-independent: decide once; every doc then matches
+			// trivially (the naive engine reports them all too).
+			if evalConj(en.conj, &profile.EvalContext{Attrs: attrs}) {
+				for i := range ev.Docs {
+					markDoc(en.profileID, i)
+				}
+			}
+			continue
+		}
+		for i := range ev.Docs {
+			d := docRefToIndexDoc(&ev.Docs[i])
+			if evalConj(en.conj, &profile.EvalContext{Attrs: attrs, Doc: &d}) {
+				markDoc(en.profileID, i)
+			}
+		}
+	}
+
+	// Document-indexed conjunctions: only documents exposing the access
+	// value trigger evaluation — and only against that document.
+	if len(e.docIndex) > 0 {
+		seenKey := make(map[string]bool, 8)
+		for i := range ev.Docs {
+			doc := &ev.Docs[i]
+			d := docRefToIndexDoc(doc)
+			clear(seenKey)
+			tryKey := func(k string) {
+				if seenKey[k] {
+					return
+				}
+				seenKey[k] = true
+				for _, en := range e.docIndex[k] {
+					if evalConj(en.conj, &profile.EvalContext{Attrs: attrs, Doc: &d}) {
+						markDoc(en.profileID, i)
+					}
+				}
+			}
+			tryKey(accessKey("doc.id", doc.ID))
+			for attr, values := range doc.Metadata {
+				for _, v := range values {
+					tryKey(accessKey(attr, v))
+				}
+			}
+		}
+	}
+
+	out := make([]Match, 0, len(matchedDocs)+len(matchedEvent))
+	for id, docSet := range matchedDocs {
+		p := e.profiles[id]
+		if p == nil {
+			continue
+		}
+		ids := make([]string, 0, len(docSet))
+		for i := range ev.Docs {
+			if docSet[i] {
+				ids = append(ids, ev.Docs[i].ID)
+			}
+		}
+		out = append(out, Match{Profile: p, DocIDs: ids})
+	}
+	for id := range matchedEvent {
+		if _, dup := matchedDocs[id]; dup {
+			continue
+		}
+		if p := e.profiles[id]; p != nil {
+			out = append(out, Match{Profile: p})
+		}
+	}
+	e.stats.Matches += int64(len(out))
+	sortMatches(out)
+	return out
+}
+
+func docRefToIndexDoc(d *event.DocRef) index.Doc {
+	return index.Doc{ID: d.ID, Fields: d.Metadata, Text: d.Snippet}
+}

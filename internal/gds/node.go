@@ -1,0 +1,540 @@
+// Package gds implements the Greenstone Directory Service of paper §4.1/§6:
+// a tree of auxiliary directory nodes organised in strata (stratum 1 is the
+// primary). Greenstone servers register with exactly one GDS node. The GDS
+// provides:
+//
+//   - a DNS-like naming service: server names resolve to transport
+//     addresses, with registrations propagated towards the root so any node
+//     can answer for its whole subtree and delegate upwards otherwise;
+//   - anonymous best-effort broadcast: a message handed to any node is
+//     flooded "upwards within the tree and downwards to all tree leaves",
+//     reaching every registered server, with bounded-memory deduplication
+//     guarding against duplicates;
+//   - multicast groups: joins propagate towards the root like names and
+//     multicasts descend only into subtrees that contain members.
+package gds
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"github.com/gsalert/gsalert/internal/event"
+	"github.com/gsalert/gsalert/internal/protocol"
+	"github.com/gsalert/gsalert/internal/transport"
+)
+
+// member records one group member and which child subtree (if any) it was
+// learned from.
+type member struct {
+	addr     string
+	viaChild string // child node ID, or "" when registered directly here
+}
+
+// Node is one GDS installation.
+type Node struct {
+	id      string
+	addr    string
+	stratum int
+	tr      transport.Transport
+
+	mu         sync.Mutex
+	parentID   string
+	parentAddr string
+	children   map[string]string // child node ID -> addr
+	// servers are Greenstone servers registered directly at this node.
+	servers map[string]string // server name -> addr
+	// subtree is the name table for everything below (and at) this node.
+	subtree map[string]string
+	// groups maps group name -> member name -> member record.
+	groups map[string]map[string]member
+
+	dedup    *event.Dedup
+	listener io.Closer
+	closed   bool
+
+	// deliveries counts inner envelopes handed to registered servers.
+	deliveries int64
+}
+
+// NewNode creates a GDS node listening on addr at the given stratum.
+func NewNode(id, addr string, stratum int, tr transport.Transport) (*Node, error) {
+	if id == "" || addr == "" {
+		return nil, fmt.Errorf("gds: node needs id and addr")
+	}
+	if stratum < 1 {
+		return nil, fmt.Errorf("gds: stratum must be >= 1, got %d", stratum)
+	}
+	n := &Node{
+		id:       id,
+		addr:     addr,
+		stratum:  stratum,
+		tr:       tr,
+		children: make(map[string]string),
+		servers:  make(map[string]string),
+		subtree:  make(map[string]string),
+		groups:   make(map[string]map[string]member),
+		dedup:    event.NewDedup(0),
+	}
+	l, err := tr.Listen(addr, transport.HandlerFunc(n.handle))
+	if err != nil {
+		return nil, fmt.Errorf("gds: node %s listen: %w", id, err)
+	}
+	n.listener = l
+	return n, nil
+}
+
+// ID returns the node identifier.
+func (n *Node) ID() string { return n.id }
+
+// Addr returns the node's transport address.
+func (n *Node) Addr() string { return n.addr }
+
+// Stratum returns the node's stratum.
+func (n *Node) Stratum() int { return n.stratum }
+
+// Close detaches the node from the transport.
+func (n *Node) Close() error {
+	n.mu.Lock()
+	n.closed = true
+	l := n.listener
+	n.listener = nil
+	n.mu.Unlock()
+	if l != nil {
+		return l.Close()
+	}
+	return nil
+}
+
+// AttachToParent registers this node as a child of the GDS node at
+// parentAddr and re-propagates the local subtree's names upward.
+func (n *Node) AttachToParent(ctx context.Context, parentID, parentAddr string) error {
+	env, err := protocol.NewEnvelope(n.id, protocol.MsgRegisterChild, &protocol.RegisterChild{
+		NodeID:  n.id,
+		Addr:    n.addr,
+		Stratum: n.stratum,
+	})
+	if err != nil {
+		return err
+	}
+	if err := transport.SendOneWay(ctx, n.tr, parentAddr, env); err != nil {
+		return fmt.Errorf("gds: attach %s to %s: %w", n.id, parentID, err)
+	}
+	n.mu.Lock()
+	n.parentID = parentID
+	n.parentAddr = parentAddr
+	names := make(map[string]string, len(n.subtree))
+	for name, addr := range n.subtree {
+		names[name] = addr
+	}
+	groups := make(map[string]map[string]member, len(n.groups))
+	for g, ms := range n.groups {
+		cp := make(map[string]member, len(ms))
+		for name, m := range ms {
+			cp[name] = m
+		}
+		groups[g] = cp
+	}
+	n.mu.Unlock()
+
+	// Re-propagate names and groups so the new ancestors learn them.
+	for name, addr := range names {
+		if err := n.propagateRegistration(ctx, name, addr); err != nil {
+			return err
+		}
+	}
+	for g, ms := range groups {
+		for name, m := range ms {
+			if err := n.propagateJoin(ctx, g, name, m.addr); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// handle dispatches incoming protocol messages.
+func (n *Node) handle(ctx context.Context, env *protocol.Envelope) (*protocol.Envelope, error) {
+	switch env.Header.Type {
+	case protocol.MsgRegisterChild:
+		return n.handleRegisterChild(env)
+	case protocol.MsgRegisterServer:
+		return n.handleRegisterServer(ctx, env)
+	case protocol.MsgUnregisterServer:
+		return n.handleUnregisterServer(ctx, env)
+	case protocol.MsgResolve:
+		return n.handleResolve(ctx, env)
+	case protocol.MsgBroadcast:
+		return n.handleBroadcast(ctx, env)
+	case protocol.MsgMulticast:
+		return n.handleMulticast(ctx, env)
+	case protocol.MsgJoinGroup:
+		return n.handleJoinGroup(ctx, env)
+	case protocol.MsgLeaveGroup:
+		return n.handleLeaveGroup(ctx, env)
+	case protocol.MsgPing:
+		return protocol.Ack(n.id, env), nil
+	default:
+		return protocol.Errorf(n.id, "unsupported", "node %s cannot handle %s", n.id, env.Header.Type), nil
+	}
+}
+
+func (n *Node) handleRegisterChild(env *protocol.Envelope) (*protocol.Envelope, error) {
+	var rc protocol.RegisterChild
+	if err := protocol.Decode(env, protocol.MsgRegisterChild, &rc); err != nil {
+		return protocol.Errorf(n.id, "decode", "%v", err), nil
+	}
+	if rc.Stratum <= n.stratum {
+		return protocol.Errorf(n.id, "stratum", "child stratum %d must exceed parent stratum %d", rc.Stratum, n.stratum), nil
+	}
+	n.mu.Lock()
+	n.children[rc.NodeID] = rc.Addr
+	n.mu.Unlock()
+	return protocol.Ack(n.id, env), nil
+}
+
+func (n *Node) handleRegisterServer(ctx context.Context, env *protocol.Envelope) (*protocol.Envelope, error) {
+	var rs protocol.RegisterServer
+	if err := protocol.Decode(env, protocol.MsgRegisterServer, &rs); err != nil {
+		return protocol.Errorf(n.id, "decode", "%v", err), nil
+	}
+	if rs.Name == "" || rs.Addr == "" {
+		return protocol.Errorf(n.id, "register", "name and addr required"), nil
+	}
+	n.mu.Lock()
+	// A server registers itself directly (From == its name); anything else
+	// is a relayed registration from another directory node and must not be
+	// recorded as a direct attachment.
+	if env.Header.From == rs.Name {
+		n.servers[rs.Name] = rs.Addr
+	}
+	// Idempotence guard: only propagate changes upward. Besides saving
+	// traffic, this terminates propagation should a misconfigured directory
+	// contain a cycle.
+	old, existed := n.subtree[rs.Name]
+	changed := !existed || old != rs.Addr
+	n.subtree[rs.Name] = rs.Addr
+	n.mu.Unlock()
+
+	if !changed {
+		return protocol.Ack(n.id, env), nil
+	}
+	if err := n.propagateRegistration(ctx, rs.Name, rs.Addr); err != nil {
+		// Best effort: the parent may be temporarily unreachable; local
+		// registration still succeeded.
+		return protocol.Ack(n.id, env), nil //nolint:nilerr // best-effort upward propagation
+	}
+	return protocol.Ack(n.id, env), nil
+}
+
+func (n *Node) propagateRegistration(ctx context.Context, name, addr string) error {
+	n.mu.Lock()
+	parentAddr := n.parentAddr
+	n.mu.Unlock()
+	if parentAddr == "" {
+		return nil
+	}
+	env, err := protocol.NewEnvelope(n.id, protocol.MsgRegisterServer, &protocol.RegisterServer{Name: name, Addr: addr})
+	if err != nil {
+		return err
+	}
+	return transport.SendOneWay(ctx, n.tr, parentAddr, env)
+}
+
+func (n *Node) handleUnregisterServer(ctx context.Context, env *protocol.Envelope) (*protocol.Envelope, error) {
+	var us protocol.UnregisterServer
+	if err := protocol.Decode(env, protocol.MsgUnregisterServer, &us); err != nil {
+		return protocol.Errorf(n.id, "decode", "%v", err), nil
+	}
+	n.mu.Lock()
+	_, existed := n.subtree[us.Name]
+	delete(n.servers, us.Name)
+	delete(n.subtree, us.Name)
+	parentAddr := n.parentAddr
+	n.mu.Unlock()
+	if parentAddr != "" && existed {
+		up, err := protocol.NewEnvelope(n.id, protocol.MsgUnregisterServer, &us)
+		if err == nil {
+			_ = transport.SendOneWay(ctx, n.tr, parentAddr, up) // best effort
+		}
+	}
+	return protocol.Ack(n.id, env), nil
+}
+
+func (n *Node) handleResolve(ctx context.Context, env *protocol.Envelope) (*protocol.Envelope, error) {
+	var r protocol.Resolve
+	if err := protocol.Decode(env, protocol.MsgResolve, &r); err != nil {
+		return protocol.Errorf(n.id, "decode", "%v", err), nil
+	}
+	n.mu.Lock()
+	addr, found := n.subtree[r.Name]
+	parentAddr := n.parentAddr
+	n.mu.Unlock()
+	if found {
+		return protocol.MustEnvelope(n.id, protocol.MsgResolveResult, &protocol.ResolveResult{
+			Name: r.Name, Addr: addr, Found: true, Stratum: n.stratum,
+		}), nil
+	}
+	if r.NoRecurse || parentAddr == "" {
+		return protocol.MustEnvelope(n.id, protocol.MsgResolveResult, &protocol.ResolveResult{
+			Name: r.Name, Found: false, Stratum: n.stratum,
+		}), nil
+	}
+	// Delegate upwards: an ancestor knows every name in its larger subtree.
+	up, err := protocol.NewEnvelope(n.id, protocol.MsgResolve, &r)
+	if err != nil {
+		return protocol.Errorf(n.id, "encode", "%v", err), nil
+	}
+	var rr protocol.ResolveResult
+	if err := transport.SendExpect(ctx, n.tr, parentAddr, up, protocol.MsgResolveResult, &rr); err != nil {
+		return protocol.Errorf(n.id, "delegate", "parent resolve failed: %v", err), nil
+	}
+	return protocol.MustEnvelope(n.id, protocol.MsgResolveResult, &rr), nil
+}
+
+// handleBroadcast floods the wrapped envelope to every server in the tree:
+// it delivers to locally registered servers, then forwards up to the parent
+// and down to every child except the link it arrived on (paper §4.1).
+func (n *Node) handleBroadcast(ctx context.Context, env *protocol.Envelope) (*protocol.Envelope, error) {
+	if n.dedup.Observe(env.Header.ID) {
+		return protocol.Ack(n.id, env), nil
+	}
+	var bc protocol.Broadcast
+	if err := protocol.Decode(env, protocol.MsgBroadcast, &bc); err != nil {
+		return protocol.Errorf(n.id, "decode", "%v", err), nil
+	}
+	inner, err := protocol.Unmarshal(bc.Inner)
+	if err != nil {
+		return protocol.Errorf(n.id, "inner", "%v", err), nil
+	}
+
+	n.mu.Lock()
+	from := env.Header.From
+	targets := make([]string, 0, len(n.servers))
+	for name, addr := range n.servers {
+		if name == from {
+			continue // do not echo to the originating server
+		}
+		targets = append(targets, addr)
+	}
+	relays := make([]string, 0, len(n.children)+1)
+	if n.parentAddr != "" && from != n.parentID {
+		relays = append(relays, n.parentAddr)
+	}
+	for childID, childAddr := range n.children {
+		if childID == from {
+			continue
+		}
+		relays = append(relays, childAddr)
+	}
+	n.mu.Unlock()
+
+	// Deliver to local servers: the inner envelope inherits the broadcast's
+	// accumulated virtual latency and hop count for measurement.
+	for _, addr := range targets {
+		delivery := inner.Clone()
+		delivery.Header.VirtualLatencyMicros = env.Header.VirtualLatencyMicros
+		delivery.Header.Hops = env.Header.Hops
+		delivery.Header.From = n.id
+		_ = transport.SendOneWay(ctx, n.tr, addr, delivery) // best effort
+		n.mu.Lock()
+		n.deliveries++
+		n.mu.Unlock()
+	}
+	// Relay through the tree.
+	if env.Forwardable() {
+		for _, addr := range relays {
+			fwd := env.NextHop()
+			fwd.Header.From = n.id
+			_ = transport.SendOneWay(ctx, n.tr, addr, fwd) // best effort
+		}
+	}
+	return protocol.Ack(n.id, env), nil
+}
+
+func (n *Node) handleJoinGroup(ctx context.Context, env *protocol.Envelope) (*protocol.Envelope, error) {
+	var jg protocol.JoinGroup
+	if err := protocol.Decode(env, protocol.MsgJoinGroup, &jg); err != nil {
+		return protocol.Errorf(n.id, "decode", "%v", err), nil
+	}
+	if jg.Group == "" || jg.Name == "" {
+		return protocol.Errorf(n.id, "join", "group and name required"), nil
+	}
+	n.mu.Lock()
+	// As with registrations, a join is direct only when the member itself
+	// sent it; relayed joins record the relaying node so multicasts can
+	// descend into the right subtree.
+	viaChild := ""
+	if env.Header.From != jg.Name {
+		viaChild = env.Header.From
+	}
+	ms := n.groups[jg.Group]
+	if ms == nil {
+		ms = make(map[string]member)
+		n.groups[jg.Group] = ms
+	}
+	old, existed := ms[jg.Name]
+	changed := !existed || old.addr != jg.Addr
+	ms[jg.Name] = member{addr: jg.Addr, viaChild: viaChild}
+	n.mu.Unlock()
+
+	if !changed {
+		return protocol.Ack(n.id, env), nil
+	}
+	if err := n.propagateJoin(ctx, jg.Group, jg.Name, jg.Addr); err != nil {
+		return protocol.Ack(n.id, env), nil //nolint:nilerr // best-effort upward propagation
+	}
+	return protocol.Ack(n.id, env), nil
+}
+
+func (n *Node) propagateJoin(ctx context.Context, group, name, addr string) error {
+	n.mu.Lock()
+	parentAddr := n.parentAddr
+	n.mu.Unlock()
+	if parentAddr == "" {
+		return nil
+	}
+	env, err := protocol.NewEnvelope(n.id, protocol.MsgJoinGroup, &protocol.JoinGroup{Group: group, Name: name, Addr: addr})
+	if err != nil {
+		return err
+	}
+	return transport.SendOneWay(ctx, n.tr, parentAddr, env)
+}
+
+func (n *Node) handleLeaveGroup(ctx context.Context, env *protocol.Envelope) (*protocol.Envelope, error) {
+	var lg protocol.LeaveGroup
+	if err := protocol.Decode(env, protocol.MsgLeaveGroup, &lg); err != nil {
+		return protocol.Errorf(n.id, "decode", "%v", err), nil
+	}
+	n.mu.Lock()
+	existed := false
+	if ms := n.groups[lg.Group]; ms != nil {
+		_, existed = ms[lg.Name]
+		delete(ms, lg.Name)
+		if len(ms) == 0 {
+			delete(n.groups, lg.Group)
+		}
+	}
+	parentAddr := n.parentAddr
+	n.mu.Unlock()
+	if parentAddr != "" && existed {
+		up, err := protocol.NewEnvelope(n.id, protocol.MsgLeaveGroup, &lg)
+		if err == nil {
+			_ = transport.SendOneWay(ctx, n.tr, parentAddr, up) // best effort
+		}
+	}
+	return protocol.Ack(n.id, env), nil
+}
+
+// handleMulticast delivers the wrapped envelope to group members: directly
+// registered members receive it here; the message descends only into child
+// subtrees that reported membership and otherwise climbs towards the root.
+func (n *Node) handleMulticast(ctx context.Context, env *protocol.Envelope) (*protocol.Envelope, error) {
+	if n.dedup.Observe(env.Header.ID) {
+		return protocol.Ack(n.id, env), nil
+	}
+	var mc protocol.Multicast
+	if err := protocol.Decode(env, protocol.MsgMulticast, &mc); err != nil {
+		return protocol.Errorf(n.id, "decode", "%v", err), nil
+	}
+	inner, err := protocol.Unmarshal(mc.Inner)
+	if err != nil {
+		return protocol.Errorf(n.id, "inner", "%v", err), nil
+	}
+
+	n.mu.Lock()
+	from := env.Header.From
+	var direct []string
+	childTargets := make(map[string]string) // childID -> addr
+	for name, m := range n.groups[mc.Group] {
+		if m.viaChild == "" {
+			if name != from {
+				direct = append(direct, m.addr)
+			}
+			continue
+		}
+		if m.viaChild != from {
+			childTargets[m.viaChild] = n.children[m.viaChild]
+		}
+	}
+	var parentAddr string
+	if n.parentAddr != "" && from != n.parentID {
+		parentAddr = n.parentAddr
+	}
+	n.mu.Unlock()
+
+	for _, addr := range direct {
+		delivery := inner.Clone()
+		delivery.Header.VirtualLatencyMicros = env.Header.VirtualLatencyMicros
+		delivery.Header.Hops = env.Header.Hops
+		delivery.Header.From = n.id
+		_ = transport.SendOneWay(ctx, n.tr, addr, delivery) // best effort
+		n.mu.Lock()
+		n.deliveries++
+		n.mu.Unlock()
+	}
+	if env.Forwardable() {
+		if parentAddr != "" {
+			fwd := env.NextHop()
+			fwd.Header.From = n.id
+			_ = transport.SendOneWay(ctx, n.tr, parentAddr, fwd) // best effort
+		}
+		for _, addr := range childTargets {
+			if addr == "" {
+				continue
+			}
+			fwd := env.NextHop()
+			fwd.Header.From = n.id
+			_ = transport.SendOneWay(ctx, n.tr, addr, fwd) // best effort
+		}
+	}
+	return protocol.Ack(n.id, env), nil
+}
+
+// Info describes a node's current state for tooling and tests.
+type Info struct {
+	ID         string
+	Stratum    int
+	ParentID   string
+	Children   []string
+	Servers    []string
+	Subtree    []string
+	Groups     map[string][]string
+	Deliveries int64
+	DedupHits  int64
+}
+
+// Snapshot returns a copy of the node's state.
+func (n *Node) Snapshot() Info {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	info := Info{
+		ID:         n.id,
+		Stratum:    n.stratum,
+		ParentID:   n.parentID,
+		Deliveries: n.deliveries,
+		DedupHits:  n.dedup.Hits(),
+		Groups:     make(map[string][]string, len(n.groups)),
+	}
+	for c := range n.children {
+		info.Children = append(info.Children, c)
+	}
+	for s := range n.servers {
+		info.Servers = append(info.Servers, s)
+	}
+	for s := range n.subtree {
+		info.Subtree = append(info.Subtree, s)
+	}
+	for g, ms := range n.groups {
+		for name := range ms {
+			info.Groups[g] = append(info.Groups[g], name)
+		}
+		sort.Strings(info.Groups[g])
+	}
+	sort.Strings(info.Children)
+	sort.Strings(info.Servers)
+	sort.Strings(info.Subtree)
+	return info
+}

@@ -1,0 +1,153 @@
+package greenstone_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"github.com/gsalert/gsalert/internal/collection"
+	"github.com/gsalert/gsalert/internal/core"
+	"github.com/gsalert/gsalert/internal/profile"
+	"github.com/gsalert/gsalert/internal/protocol"
+	"github.com/gsalert/gsalert/internal/sim"
+)
+
+// buildInterestCluster creates n servers where only the first k subscribe
+// to the publisher's collection — the sparse-interest regime where
+// multicast routing should save messages.
+func buildInterestCluster(t testing.TB, n, k int, mode core.RoutingMode) (*sim.Cluster, []string) {
+	t.Helper()
+	c, err := sim.NewCluster(sim.ClusterConfig{Seed: 31, GDSNodes: 3, GDSBranching: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	ctx := context.Background()
+	names := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("M%02d", i)
+		if _, err := c.AddServer(name, i%3); err != nil {
+			t.Fatal(err)
+		}
+		names = append(names, name)
+		if err := c.Service(name).SetRoutingMode(ctx, mode); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := c.Server(names[0]).AddCollection(ctx, collection.Config{Name: "X", Public: true}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= k; i++ {
+		c.Notifier(names[i], "u")
+		if _, err := c.Service(names[i]).Subscribe("u", profile.MustParse(
+			fmt.Sprintf(`collection = "%s.X" AND event.type = "collection-built"`, names[0]))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c, names
+}
+
+func publishOnce(t testing.TB, c *sim.Cluster, publisher string) {
+	t.Helper()
+	docs := []*collection.Document{{ID: "d1", Content: "payload"}}
+	if _, _, err := c.Server(publisher).Build(context.Background(), "X", docs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func countNotified(c *sim.Cluster, names []string, k int) int {
+	notified := 0
+	for i := 1; i <= k; i++ {
+		if len(c.Notifications(names[i], "u")) > 0 {
+			notified++
+		}
+	}
+	return notified
+}
+
+func TestMulticastModeDeliversSameNotifications(t *testing.T) {
+	const n, k = 12, 3
+	// Broadcast reference run.
+	cb, namesB := buildInterestCluster(t, n, k, core.RouteBroadcast)
+	cb.TR.ResetStats()
+	publishOnce(t, cb, namesB[0])
+	broadcastNotified := countNotified(cb, namesB, k)
+	broadcastMsgs := cb.TR.Stats().Sent
+
+	// Multicast run.
+	cm, namesM := buildInterestCluster(t, n, k, core.RouteMulticast)
+	cm.TR.ResetStats()
+	publishOnce(t, cm, namesM[0])
+	multicastNotified := countNotified(cm, namesM, k)
+	multicastMsgs := cm.TR.Stats().Sent
+
+	if broadcastNotified != k || multicastNotified != k {
+		t.Fatalf("notified: broadcast=%d multicast=%d, want %d", broadcastNotified, multicastNotified, k)
+	}
+	// With 3 interested servers out of 12, multicast must be cheaper.
+	if multicastMsgs >= broadcastMsgs {
+		t.Errorf("multicast %d msgs not cheaper than broadcast %d", multicastMsgs, broadcastMsgs)
+	}
+	// Non-subscribers received no event deliveries in multicast mode.
+	for i := k + 1; i < n; i++ {
+		if got := len(cm.Notifications(namesM[i], "u")); got != 0 {
+			t.Errorf("non-subscriber %s notified %d times", namesM[i], got)
+		}
+	}
+}
+
+func TestMulticastCatchAllForUnboundedProfiles(t *testing.T) {
+	c, names := buildInterestCluster(t, 6, 0, core.RouteMulticast)
+	ctx := context.Background()
+	// A profile with no finite collection cover lands in the catch-all
+	// group and still receives everything.
+	watcher := names[4]
+	c.Notifier(watcher, "w")
+	if _, err := c.Service(watcher).Subscribe("w", profile.MustParse(
+		`event.type = "collection-built"`)); err != nil {
+		t.Fatal(err)
+	}
+	_ = ctx
+	publishOnce(t, c, names[0])
+	if got := len(c.Notifications(watcher, "w")); got != 1 {
+		t.Fatalf("catch-all subscriber notifications = %d, want 1", got)
+	}
+}
+
+func TestMulticastUnsubscribeLeavesGroup(t *testing.T) {
+	c, names := buildInterestCluster(t, 4, 1, core.RouteMulticast)
+	subscriber := names[1]
+	ids := c.Service(subscriber).ProfilesOf("u")
+	if len(ids) != 1 {
+		t.Fatalf("profiles = %v", ids)
+	}
+	if err := c.Service(subscriber).Unsubscribe("u", ids[0]); err != nil {
+		t.Fatal(err)
+	}
+	c.TR.ResetStats()
+	publishOnce(t, c, names[0])
+	if got := len(c.Notifications(subscriber, "u")); got != 0 {
+		t.Fatalf("unsubscribed server notified %d times", got)
+	}
+	// After leaving, the event multicast should not be delivered to the
+	// ex-subscriber at all (not just filtered out locally).
+	if got := c.TR.Stats().PerType[protocol.MsgEvent]; got != 0 {
+		t.Errorf("event deliveries after last unsubscribe = %d, want 0", got)
+	}
+}
+
+func TestMulticastModeSwitchJoinsExistingProfiles(t *testing.T) {
+	// Subscribe first in broadcast mode, THEN switch to multicast: the
+	// switch must join groups for the existing population.
+	c, names := buildInterestCluster(t, 6, 2, core.RouteBroadcast)
+	ctx := context.Background()
+	for _, name := range names {
+		if err := c.Service(name).SetRoutingMode(ctx, core.RouteMulticast); err != nil {
+			t.Fatal(err)
+		}
+	}
+	publishOnce(t, c, names[0])
+	if got := countNotified(c, names, 2); got != 2 {
+		t.Fatalf("notified after mode switch = %d, want 2", got)
+	}
+}

@@ -1,0 +1,244 @@
+package greenstone
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/gsalert/gsalert/internal/core"
+	"github.com/gsalert/gsalert/internal/profile"
+	"github.com/gsalert/gsalert/internal/protocol"
+	"github.com/gsalert/gsalert/internal/transport"
+)
+
+// Receptionist is the user-facing access point of paper §3: it can connect
+// to several Greenstone hosts and presents their collections through one
+// interface, with the underlying storage and distribution transparent to
+// the user. The alerting extension lets users define profiles at any
+// connected server through the same interface (paper §1 problem 3).
+type Receptionist struct {
+	name string
+	tr   transport.Transport
+
+	mu    sync.Mutex
+	hosts map[string]string // host name -> addr
+}
+
+// NewReceptionist builds a receptionist with no hosts attached.
+func NewReceptionist(name string, tr transport.Transport) *Receptionist {
+	return &Receptionist{name: name, tr: tr, hosts: make(map[string]string)}
+}
+
+// ErrUnknownHost reports an operation against a host the receptionist is
+// not connected to.
+var ErrUnknownHost = errors.New("greenstone: receptionist not connected to host")
+
+// Connect attaches a host.
+func (r *Receptionist) Connect(host, addr string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.hosts[host] = addr
+}
+
+// Disconnect removes a host.
+func (r *Receptionist) Disconnect(host string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.hosts, host)
+}
+
+// Hosts lists connected host names, sorted.
+func (r *Receptionist) Hosts() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.hosts))
+	for h := range r.hosts {
+		out = append(out, h)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (r *Receptionist) addrOf(host string) (string, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	addr, ok := r.hosts[host]
+	if !ok {
+		return "", fmt.Errorf("%w: %q", ErrUnknownHost, host)
+	}
+	return addr, nil
+}
+
+// Describe lists the public collections of every connected host (the
+// unified view of federated collections).
+func (r *Receptionist) Describe(ctx context.Context) ([]protocol.DescribeResult, error) {
+	r.mu.Lock()
+	hosts := make(map[string]string, len(r.hosts))
+	for h, a := range r.hosts {
+		hosts[h] = a
+	}
+	r.mu.Unlock()
+
+	names := make([]string, 0, len(hosts))
+	for h := range hosts {
+		names = append(names, h)
+	}
+	sort.Strings(names)
+
+	var out []protocol.DescribeResult
+	for _, h := range names {
+		env, err := protocol.NewEnvelope(r.name, protocol.MsgDescribe, &protocol.Describe{})
+		if err != nil {
+			return nil, err
+		}
+		var res protocol.DescribeResult
+		if err := transport.SendExpect(ctx, r.tr, hosts[h], env, protocol.MsgDescribeResult, &res); err != nil {
+			return nil, fmt.Errorf("greenstone: describe %s: %w", h, err)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// Search queries one collection on one host; followSubs expands distributed
+// sub-collections transparently.
+func (r *Receptionist) Search(ctx context.Context, host, coll, query, field string, limit int, followSubs bool) (*protocol.SearchResult, error) {
+	addr, err := r.addrOf(host)
+	if err != nil {
+		return nil, err
+	}
+	env, err := protocol.NewEnvelope(r.name, protocol.MsgSearch, &protocol.Search{
+		Collection: coll,
+		Query:      query,
+		Field:      field,
+		Limit:      limit,
+		FollowSubs: followSubs,
+	})
+	if err != nil {
+		return nil, err
+	}
+	var res protocol.SearchResult
+	if err := transport.SendExpect(ctx, r.tr, addr, env, protocol.MsgSearchResult, &res); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
+// Browse fetches a classifier shelf.
+func (r *Receptionist) Browse(ctx context.Context, host, coll, classifier string) (*protocol.BrowseResult, error) {
+	addr, err := r.addrOf(host)
+	if err != nil {
+		return nil, err
+	}
+	env, err := protocol.NewEnvelope(r.name, protocol.MsgBrowse, &protocol.Browse{Collection: coll, Classifier: classifier})
+	if err != nil {
+		return nil, err
+	}
+	var res protocol.BrowseResult
+	if err := transport.SendExpect(ctx, r.tr, addr, env, protocol.MsgBrowseResult, &res); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
+// GetDocument fetches one document.
+func (r *Receptionist) GetDocument(ctx context.Context, host, coll, docID string) (*protocol.DocumentPayload, error) {
+	addr, err := r.addrOf(host)
+	if err != nil {
+		return nil, err
+	}
+	env, err := protocol.NewEnvelope(r.name, protocol.MsgGetDocument, &protocol.GetDocument{Collection: coll, DocID: docID})
+	if err != nil {
+		return nil, err
+	}
+	var res protocol.DocumentResult
+	if err := transport.SendExpect(ctx, r.tr, addr, env, protocol.MsgDocumentResult, &res); err != nil {
+		return nil, err
+	}
+	if !res.Found {
+		return nil, fmt.Errorf("greenstone: document %s/%s/%s not found", host, coll, docID)
+	}
+	return res.Document, nil
+}
+
+// CollectData retrieves the complete (distributed) data of a collection.
+func (r *Receptionist) CollectData(ctx context.Context, host, coll string) (*protocol.CollectDataResult, error) {
+	addr, err := r.addrOf(host)
+	if err != nil {
+		return nil, err
+	}
+	env, err := protocol.NewEnvelope(r.name, protocol.MsgCollectData, &protocol.CollectData{Collection: coll})
+	if err != nil {
+		return nil, err
+	}
+	var res protocol.CollectDataResult
+	if err := transport.SendExpect(ctx, r.tr, addr, env, protocol.MsgCollectDataResult, &res); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
+// Subscribe registers a user profile at a host on behalf of a client. The
+// profile resides at that server only (paper §4.2).
+func (r *Receptionist) Subscribe(ctx context.Context, host string, p *profile.Profile) error {
+	addr, err := r.addrOf(host)
+	if err != nil {
+		return err
+	}
+	raw, err := p.MarshalXMLBytes()
+	if err != nil {
+		return err
+	}
+	env, err := protocol.NewEnvelope(r.name, protocol.MsgSubscribe, &protocol.Subscribe{
+		Client:  p.Owner,
+		Profile: protocol.Wrap(raw),
+	})
+	if err != nil {
+		return err
+	}
+	return transport.SendOneWay(ctx, r.tr, addr, env)
+}
+
+// Unsubscribe cancels a user profile at a host.
+func (r *Receptionist) Unsubscribe(ctx context.Context, host, client, profileID string) error {
+	addr, err := r.addrOf(host)
+	if err != nil {
+		return err
+	}
+	env, err := protocol.NewEnvelope(r.name, protocol.MsgUnsubscribe, &protocol.Unsubscribe{
+		Client:    client,
+		ProfileID: profileID,
+	})
+	if err != nil {
+		return err
+	}
+	return transport.SendOneWay(ctx, r.tr, addr, env)
+}
+
+// ListenForNotifications binds a local address for MsgNotify deliveries and
+// returns a channel of notifications. Pair it with core.NewRemoteNotifier on
+// the server side. The returned closer stops listening.
+func (r *Receptionist) ListenForNotifications(addr string) (<-chan core.Notification, func() error, error) {
+	ch := make(chan core.Notification, 64)
+	l, err := r.tr.Listen(addr, transport.HandlerFunc(func(_ context.Context, env *protocol.Envelope) (*protocol.Envelope, error) {
+		var n protocol.Notify
+		if err := protocol.Decode(env, protocol.MsgNotify, &n); err != nil {
+			return protocol.Errorf(r.name, "decode", "%v", err), nil
+		}
+		ev, err := eventFromRaw(n.Event.Bytes())
+		if err != nil {
+			return protocol.Errorf(r.name, "event", "%v", err), nil
+		}
+		select {
+		case ch <- core.Notification{Client: n.Client, ProfileID: n.ProfileID, Event: ev}:
+		default: // drop on overflow rather than blocking the server
+		}
+		return nil, nil
+	}))
+	if err != nil {
+		return nil, nil, err
+	}
+	return ch, l.Close, nil
+}

@@ -1,0 +1,10 @@
+package greenstone
+
+import (
+	"github.com/gsalert/gsalert/internal/event"
+)
+
+// eventFromRaw decodes an event XML fragment.
+func eventFromRaw(raw []byte) (*event.Event, error) {
+	return event.UnmarshalXMLBytes(raw)
+}

@@ -1,0 +1,127 @@
+package profile
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/gsalert/gsalert/internal/event"
+)
+
+func evTime() time.Time { return time.Unix(1117584000, 0) }
+
+func TestCollectionCover(t *testing.T) {
+	cases := []struct {
+		expr string
+		want string // comma-joined cover, "" means unbounded
+		ok   bool
+	}{
+		{`collection = "H.C"`, "h.c", true},
+		{`collection = "H.C" AND dc.Title contains "x"`, "h.c", true},
+		{`collection = "A.B" OR collection = "C.D"`, "a.b,c.d", true},
+		{`(collection = "A.B" AND x = "1") OR (collection = "C.D" AND y = "2")`, "a.b,c.d", true},
+		{`collection in ("A.B", "C.D")`, "a.b,c.d", true},
+		{`dc.Title contains "x"`, "", false},
+		{`collection = "A.B" OR dc.Title contains "x"`, "", false},
+		{`NOT collection = "A.B"`, "", false},
+		{`collection != "A.B"`, "", false},
+		{`collection startswith "A."`, "", false},
+	}
+	for _, c := range cases {
+		cover, ok := CollectionCover(MustParse(c.expr))
+		if ok != c.ok {
+			t.Errorf("CollectionCover(%q) ok = %v, want %v", c.expr, ok, c.ok)
+			continue
+		}
+		if got := strings.Join(cover, ","); got != c.want {
+			t.Errorf("CollectionCover(%q) = %q, want %q", c.expr, got, c.want)
+		}
+	}
+}
+
+// Soundness property: if an event matches the profile, the event's
+// collection is in the cover (when a cover exists).
+func TestCollectionCoverSoundness(t *testing.T) {
+	exprs := []string{
+		`collection = "A.B"`,
+		`collection = "A.B" OR collection = "C.D"`,
+		`(collection = "A.B" AND dc.Creator = "x") OR collection in ("C.D", "E.F")`,
+	}
+	colls := []event.QName{
+		{Host: "A", Collection: "B"}, {Host: "C", Collection: "D"},
+		{Host: "E", Collection: "F"}, {Host: "X", Collection: "Y"},
+	}
+	for _, src := range exprs {
+		e := MustParse(src)
+		cover, ok := CollectionCover(e)
+		if !ok {
+			t.Fatalf("no cover for %q", src)
+		}
+		inCover := make(map[string]bool, len(cover))
+		for _, c := range cover {
+			inCover[c] = true
+		}
+		for _, qn := range colls {
+			ev := event.New("e1", event.TypeCollectionRebuilt, qn, 1,
+				[]event.DocRef{{ID: "d", Metadata: map[string][]string{"dc.Creator": {"x"}}}}, evTime())
+			matched, _ := MatchEvent(e, ev)
+			if matched && !inCover[strings.ToLower(qn.String())] {
+				t.Errorf("%q matched %s outside its cover %v", src, qn, cover)
+			}
+		}
+	}
+}
+
+func TestSearchEquivalentRoundTrip(t *testing.T) {
+	coll := event.QName{Host: "Hamilton", Collection: "D"}
+	p, err := FromSearchQuery("p1", "alice", "Hamilton", coll, "dc.Title", "music AND theory")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotColl, gotField, gotQuery, ok := SearchEquivalent(p)
+	if !ok {
+		t.Fatal("continuous-search profile has no search equivalent")
+	}
+	if gotColl != coll || gotField != "dc.Title" || gotQuery != "music AND theory" {
+		t.Errorf("round trip = %v %q %q", gotColl, gotField, gotQuery)
+	}
+	// Full-text profiles report an empty field (search default).
+	p2, _ := FromSearchQuery("p2", "alice", "Hamilton", coll, "", "whale")
+	_, f2, q2, ok := SearchEquivalent(p2)
+	if !ok || f2 != "" || q2 != "whale" {
+		t.Errorf("text round trip: ok=%v field=%q query=%q", ok, f2, q2)
+	}
+}
+
+func TestSearchEquivalentContains(t *testing.T) {
+	p := NewUser("p1", "a", "H", MustParse(`collection = "H.C" AND dc.Title contains "music"`))
+	coll, field, query, ok := SearchEquivalent(p)
+	if !ok || coll.String() != "H.C" || field != "dc.Title" || query != "music" {
+		t.Errorf("contains equivalent: %v %q %q %v", coll, field, query, ok)
+	}
+}
+
+func TestSearchEquivalentRejects(t *testing.T) {
+	bad := []string{
+		`dc.Title contains "x"`,                                        // no collection
+		`collection = "H.C"`,                                           // no query part
+		`collection = "H.C" OR dc.Title contains "x"`,                  // disjunction
+		`collection = "H.C" AND NOT dc.Title contains "x"`,             // negation
+		`collection = "H.C" AND doc.id in ("a")`,                       // watch, not search
+		`collection = "H.C" AND year >= 1990`,                          // range, not search
+		`collection = "H.C" AND text query "a" AND text query "b"`,     // two queries
+		`collection = "H.C" AND collection = "H.D" AND text query "a"`, // two collections
+	}
+	for _, src := range bad {
+		p := NewUser("p", "a", "H", MustParse(src))
+		if _, _, _, ok := SearchEquivalent(p); ok {
+			t.Errorf("SearchEquivalent accepted %q", src)
+		}
+	}
+	// Event-type narrowing is tolerated.
+	p := NewUser("p", "a", "H", MustParse(
+		`collection = "H.C" AND event.type = "documents-added" AND text query "x"`))
+	if _, _, _, ok := SearchEquivalent(p); !ok {
+		t.Error("event-type narrowing rejected")
+	}
+}

@@ -1,0 +1,322 @@
+package profile
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+
+	"github.com/gsalert/gsalert/internal/index"
+)
+
+// Parse parses the profile language:
+//
+//	expr   = or
+//	or     = and { "OR" and }
+//	and    = unary { "AND" unary }
+//	unary  = ["NOT"] atom
+//	atom   = "(" expr ")" | pred
+//	pred   = attr op operand | attr "exists" | attr "in" "(" list ")"
+//	attr   = ident { "." ident }
+//	op     = "=" | "!=" | "<" | "<=" | ">" | ">=" | "contains" |
+//	         "startswith" | "endswith" | "matches" | "query"
+//	operand= quoted string | bare word/number
+//	list   = operand { "," operand }
+//
+// Keywords are case-insensitive. OpQuery operands are validated against the
+// retrieval query grammar at parse time so malformed sub-queries are caught
+// when the profile is defined, not when the first event arrives.
+func Parse(src string) (Expr, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	e, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if !p.done() {
+		return nil, fmt.Errorf("profile: trailing input at %q", p.peek().text)
+	}
+	if e == nil {
+		return nil, fmt.Errorf("profile: empty expression")
+	}
+	return e, nil
+}
+
+// MustParse panics on error; for tests and compile-time-constant profiles.
+func MustParse(src string) Expr {
+	e, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+type tokenKind int
+
+const (
+	tokWord tokenKind = iota + 1
+	tokString
+	tokSymbol // ( ) , = != < <= > >=
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+func lex(src string) ([]token, error) {
+	var toks []token
+	runes := []rune(src)
+	i := 0
+	for i < len(runes) {
+		r := runes[i]
+		switch {
+		case unicode.IsSpace(r):
+			i++
+		case r == '(' || r == ')' || r == ',':
+			toks = append(toks, token{kind: tokSymbol, text: string(r), pos: i})
+			i++
+		case r == '=':
+			toks = append(toks, token{kind: tokSymbol, text: "=", pos: i})
+			i++
+		case r == '!':
+			if i+1 < len(runes) && runes[i+1] == '=' {
+				toks = append(toks, token{kind: tokSymbol, text: "!=", pos: i})
+				i += 2
+			} else {
+				return nil, fmt.Errorf("profile: stray '!' at %d", i)
+			}
+		case r == '<' || r == '>':
+			text := string(r)
+			if i+1 < len(runes) && runes[i+1] == '=' {
+				text += "="
+				i++
+			}
+			toks = append(toks, token{kind: tokSymbol, text: text, pos: i})
+			i++
+		case r == '"' || r == '\'':
+			quote := r
+			j := i + 1
+			var b strings.Builder
+			closed := false
+			for j < len(runes) {
+				c := runes[j]
+				if c == '\\' && j+1 < len(runes) {
+					b.WriteRune(runes[j+1])
+					j += 2
+					continue
+				}
+				if c == quote {
+					closed = true
+					j++
+					break
+				}
+				b.WriteRune(c)
+				j++
+			}
+			if !closed {
+				return nil, fmt.Errorf("profile: unterminated string starting at %d", i)
+			}
+			toks = append(toks, token{kind: tokString, text: b.String(), pos: i})
+			i = j
+		default:
+			j := i
+			for j < len(runes) && isWordRune(runes[j]) {
+				j++
+			}
+			if j == i {
+				return nil, fmt.Errorf("profile: unexpected character %q at %d", string(r), i)
+			}
+			toks = append(toks, token{kind: tokWord, text: string(runes[i:j]), pos: i})
+			i = j
+		}
+	}
+	return toks, nil
+}
+
+func isWordRune(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '.' || r == '_' || r == '-' || r == '*' || r == '?' || r == ':' || r == '/'
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) done() bool { return p.pos >= len(p.toks) }
+
+func (p *parser) peek() token {
+	if p.done() {
+		return token{}
+	}
+	return p.toks[p.pos]
+}
+
+func (p *parser) next() token {
+	t := p.peek()
+	p.pos++
+	return t
+}
+
+func (p *parser) peekKeyword(kw string) bool {
+	t := p.peek()
+	return t.kind == tokWord && strings.EqualFold(t.text, kw)
+}
+
+func (p *parser) parseOr() (Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	children := []Expr{left}
+	for p.peekKeyword("OR") {
+		p.next()
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		children = append(children, right)
+	}
+	return NewOr(children...), nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	children := []Expr{left}
+	for p.peekKeyword("AND") {
+		p.next()
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		children = append(children, right)
+	}
+	return NewAnd(children...), nil
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if p.peekKeyword("NOT") {
+		p.next()
+		child, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return NewNot(child), nil
+	}
+	return p.parseAtom()
+}
+
+func (p *parser) parseAtom() (Expr, error) {
+	t := p.peek()
+	if t.kind == tokSymbol && t.text == "(" {
+		p.next()
+		e, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		closing := p.next()
+		if closing.kind != tokSymbol || closing.text != ")" {
+			return nil, fmt.Errorf("profile: missing ')' at %d", t.pos)
+		}
+		return e, nil
+	}
+	return p.parsePred()
+}
+
+var wordOps = map[string]Op{
+	"contains":   OpContains,
+	"startswith": OpPrefix,
+	"endswith":   OpSuffix,
+	"matches":    OpMatches,
+	"in":         OpIn,
+	"query":      OpQuery,
+	"exists":     OpExists,
+}
+
+var symbolOps = map[string]Op{
+	"=":  OpEq,
+	"!=": OpNe,
+	"<":  OpLt,
+	"<=": OpLe,
+	">":  OpGt,
+	">=": OpGe,
+}
+
+func (p *parser) parsePred() (Expr, error) {
+	attrTok := p.next()
+	if attrTok.kind != tokWord {
+		return nil, fmt.Errorf("profile: expected attribute name at %d, got %q", attrTok.pos, attrTok.text)
+	}
+	if strings.EqualFold(attrTok.text, "AND") || strings.EqualFold(attrTok.text, "OR") || strings.EqualFold(attrTok.text, "NOT") {
+		return nil, fmt.Errorf("profile: operator %q where attribute expected at %d", attrTok.text, attrTok.pos)
+	}
+	attr := attrTok.text
+
+	opTok := p.next()
+	var op Op
+	switch opTok.kind {
+	case tokSymbol:
+		var ok bool
+		op, ok = symbolOps[opTok.text]
+		if !ok {
+			return nil, fmt.Errorf("profile: expected operator after %q, got %q", attr, opTok.text)
+		}
+	case tokWord:
+		var ok bool
+		op, ok = wordOps[strings.ToLower(opTok.text)]
+		if !ok {
+			return nil, fmt.Errorf("profile: unknown operator %q after %q", opTok.text, attr)
+		}
+	default:
+		return nil, fmt.Errorf("profile: expected operator after %q", attr)
+	}
+
+	pred := &Pred{Attr: attr, Op: op}
+	switch op {
+	case OpExists:
+		// No operand.
+	case OpIn:
+		open := p.next()
+		if open.kind != tokSymbol || open.text != "(" {
+			return nil, fmt.Errorf("profile: 'in' requires a parenthesised list after %q", attr)
+		}
+		for {
+			v := p.next()
+			if v.kind != tokString && v.kind != tokWord {
+				return nil, fmt.Errorf("profile: expected value in 'in' list for %q, got %q", attr, v.text)
+			}
+			pred.Values = append(pred.Values, v.text)
+			sep := p.next()
+			if sep.kind == tokSymbol && sep.text == "," {
+				continue
+			}
+			if sep.kind == tokSymbol && sep.text == ")" {
+				break
+			}
+			return nil, fmt.Errorf("profile: expected ',' or ')' in 'in' list for %q, got %q", attr, sep.text)
+		}
+		if len(pred.Values) == 0 {
+			return nil, fmt.Errorf("profile: empty 'in' list for %q", attr)
+		}
+	default:
+		v := p.next()
+		if v.kind != tokString && v.kind != tokWord {
+			return nil, fmt.Errorf("profile: expected operand for %q %s, got %q", attr, op, v.text)
+		}
+		pred.Value = v.text
+		if op == OpQuery {
+			q, err := index.ParseQuery(v.text)
+			if err != nil {
+				return nil, fmt.Errorf("profile: invalid sub-query for %q: %w", attr, err)
+			}
+			pred.compiledQuery = q
+		}
+	}
+	return pred, nil
+}

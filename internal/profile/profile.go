@@ -1,0 +1,255 @@
+package profile
+
+import (
+	"encoding/xml"
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/gsalert/gsalert/internal/event"
+)
+
+// Kind distinguishes user profiles from the server-to-server auxiliary
+// profiles of paper §4.2.
+type Kind int
+
+// Profile kinds.
+const (
+	// KindUser is a profile defined by a library user at their home server.
+	KindUser Kind = iota + 1
+	// KindAuxiliary is a profile forwarded by a super-collection's server to
+	// a sub-collection's server; its "owner" is the super-collection's
+	// server, not a user (paper §7).
+	KindAuxiliary
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindUser:
+		return "user"
+	case KindAuxiliary:
+		return "auxiliary"
+	default:
+		return fmt.Sprintf("kind-%d", int(k))
+	}
+}
+
+// ParseKind inverts Kind.String.
+func ParseKind(s string) (Kind, error) {
+	switch s {
+	case "user":
+		return KindUser, nil
+	case "auxiliary":
+		return KindAuxiliary, nil
+	default:
+		return 0, fmt.Errorf("profile: unknown kind %q", s)
+	}
+}
+
+// Profile is a continuous query registered with the alerting service.
+type Profile struct {
+	// ID is unique across the whole system (home server + counter).
+	ID string
+	// Kind is user or auxiliary.
+	Kind Kind
+	// Owner identifies who is notified: a client ID for user profiles, a
+	// server name for auxiliary profiles.
+	Owner string
+	// HomeServer is the server where the profile was defined and resides
+	// (user profiles never leave it, paper §4.2).
+	HomeServer string
+	// Expr is the macro-level Boolean expression.
+	Expr Expr
+	// Super is, for auxiliary profiles, the super-collection on whose
+	// behalf the profile watches; events matching the profile are forwarded
+	// to Super's host and renamed to Super.
+	Super event.QName
+	// Sub is, for auxiliary profiles, the watched sub-collection.
+	Sub event.QName
+	// CreatedAt timestamps profile definition.
+	CreatedAt time.Time
+}
+
+// Validation errors.
+var (
+	ErrNoExpr   = errors.New("profile: missing expression")
+	ErrNoOwner  = errors.New("profile: missing owner")
+	ErrNoID     = errors.New("profile: missing id")
+	ErrAuxShape = errors.New("profile: auxiliary profile requires super and sub collections")
+)
+
+// Validate checks structural invariants.
+func (p *Profile) Validate() error {
+	if p.ID == "" {
+		return ErrNoID
+	}
+	if p.Owner == "" {
+		return ErrNoOwner
+	}
+	if p.Expr == nil {
+		return ErrNoExpr
+	}
+	if p.Kind == KindAuxiliary {
+		if p.Super.IsZero() || p.Sub.IsZero() {
+			return ErrAuxShape
+		}
+		// Paper §7: "Each forwarded collection profile is itself unique; it
+		// exists on only one server ... and refers only to one other host."
+		if p.Super == p.Sub {
+			return fmt.Errorf("%w: super equals sub (%s)", ErrAuxShape, p.Super)
+		}
+	}
+	return nil
+}
+
+// Matches reports whether ev matches this profile, with the matching doc IDs.
+func (p *Profile) Matches(ev *event.Event) (bool, []string) {
+	return MatchEvent(p.Expr, ev)
+}
+
+// NewUser builds a user profile.
+func NewUser(id, owner, homeServer string, expr Expr) *Profile {
+	return &Profile{
+		ID:         id,
+		Kind:       KindUser,
+		Owner:      owner,
+		HomeServer: homeServer,
+		Expr:       expr,
+		CreatedAt:  time.Now(),
+	}
+}
+
+// NewAuxiliary builds the auxiliary profile a super-collection's server
+// forwards to a sub-collection's server (paper §4.2): it matches any event
+// about the sub-collection so the sub's server knows to forward such events
+// to the super-collection's host.
+func NewAuxiliary(id string, super, sub event.QName) *Profile {
+	expr := NewAnd(
+		&Pred{Attr: "collection", Op: OpEq, Value: sub.String()},
+	)
+	return &Profile{
+		ID:         id,
+		Kind:       KindAuxiliary,
+		Owner:      super.Host,
+		HomeServer: sub.Host,
+		Expr:       expr,
+		Super:      super,
+		Sub:        sub,
+		CreatedAt:  time.Now(),
+	}
+}
+
+// xmlProfile is the wire form; the expression travels as profile-language
+// text, which keeps the format readable and versionable.
+type xmlProfile struct {
+	XMLName    xml.Name     `xml:"Profile"`
+	ID         string       `xml:"ID"`
+	Kind       string       `xml:"Kind"`
+	Owner      string       `xml:"Owner"`
+	HomeServer string       `xml:"HomeServer,omitempty"`
+	Expr       string       `xml:"Expr"`
+	Super      *event.QName `xml:"Super,omitempty"`
+	Sub        *event.QName `xml:"Sub,omitempty"`
+	CreatedAt  time.Time    `xml:"CreatedAt"`
+}
+
+// MarshalXMLBytes renders the profile as a standalone XML fragment.
+func (p *Profile) MarshalXMLBytes() ([]byte, error) {
+	if p.Expr == nil {
+		return nil, ErrNoExpr
+	}
+	w := xmlProfile{
+		ID:         p.ID,
+		Kind:       p.Kind.String(),
+		Owner:      p.Owner,
+		HomeServer: p.HomeServer,
+		Expr:       p.Expr.String(),
+		CreatedAt:  p.CreatedAt.UTC(),
+	}
+	if !p.Super.IsZero() {
+		super := p.Super
+		w.Super = &super
+	}
+	if !p.Sub.IsZero() {
+		sub := p.Sub
+		w.Sub = &sub
+	}
+	out, err := xml.Marshal(w)
+	if err != nil {
+		return nil, fmt.Errorf("profile: marshal %s: %w", p.ID, err)
+	}
+	return out, nil
+}
+
+// UnmarshalXMLBytes parses a profile fragment, re-parsing the expression.
+func UnmarshalXMLBytes(raw []byte) (*Profile, error) {
+	var w xmlProfile
+	if err := xml.Unmarshal(raw, &w); err != nil {
+		return nil, fmt.Errorf("profile: unmarshal: %w", err)
+	}
+	kind, err := ParseKind(w.Kind)
+	if err != nil {
+		return nil, err
+	}
+	expr, err := Parse(w.Expr)
+	if err != nil {
+		return nil, fmt.Errorf("profile %s: %w", w.ID, err)
+	}
+	p := &Profile{
+		ID:         w.ID,
+		Kind:       kind,
+		Owner:      w.Owner,
+		HomeServer: w.HomeServer,
+		Expr:       expr,
+		CreatedAt:  w.CreatedAt,
+	}
+	if w.Super != nil {
+		p.Super = *w.Super
+	}
+	if w.Sub != nil {
+		p.Sub = *w.Sub
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// FromSearchQuery converts an interactive search into a continuous query
+// (paper §5/§8: "smooth transformation of Greenstone search queries into
+// profiles"): the profile fires for future documents of the collection that
+// match the query in the given field.
+func FromSearchQuery(id, owner, homeServer string, coll event.QName, field, query string) (*Profile, error) {
+	if strings.TrimSpace(query) == "" {
+		return nil, fmt.Errorf("profile: empty search query")
+	}
+	if field == "" {
+		field = "text"
+	}
+	expr := NewAnd(
+		&Pred{Attr: "collection", Op: OpEq, Value: coll.String()},
+		&Pred{Attr: field, Op: OpQuery, Value: query},
+	)
+	p := NewUser(id, owner, homeServer, expr)
+	// Re-parse through the language to validate the sub-query eagerly.
+	if _, err := Parse(expr.String()); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// WatchThis builds the identity-centred observation profile behind the
+// paper's "watch this" button: it fires whenever any of the given documents
+// change in the collection.
+func WatchThis(id, owner, homeServer string, coll event.QName, docIDs []string) (*Profile, error) {
+	if len(docIDs) == 0 {
+		return nil, fmt.Errorf("profile: watch-this requires at least one document id")
+	}
+	expr := NewAnd(
+		&Pred{Attr: "collection", Op: OpEq, Value: coll.String()},
+		&Pred{Attr: "doc.id", Op: OpIn, Values: append([]string(nil), docIDs...)},
+	)
+	return NewUser(id, owner, homeServer, expr), nil
+}

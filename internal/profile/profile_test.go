@@ -1,0 +1,197 @@
+package profile
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/gsalert/gsalert/internal/event"
+)
+
+func TestProfileValidate(t *testing.T) {
+	good := NewUser("p1", "alice", "Hamilton", MustParse(`collection = "H.C"`))
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid profile rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		p    *Profile
+		want error
+	}{
+		{"no id", &Profile{Owner: "a", Expr: MustParse(`a = "1"`)}, ErrNoID},
+		{"no owner", &Profile{ID: "x", Expr: MustParse(`a = "1"`)}, ErrNoOwner},
+		{"no expr", &Profile{ID: "x", Owner: "a"}, ErrNoExpr},
+		{"aux no collections", &Profile{ID: "x", Owner: "a", Kind: KindAuxiliary, Expr: MustParse(`a = "1"`)}, ErrAuxShape},
+	}
+	for _, c := range cases {
+		if err := c.p.Validate(); !errors.Is(err, c.want) {
+			t.Errorf("%s: err = %v, want %v", c.name, err, c.want)
+		}
+	}
+	// Aux with super == sub is invalid (paper §7 uniqueness constraint).
+	same := event.QName{Host: "H", Collection: "C"}
+	aux := NewAuxiliary("a1", same, same)
+	if err := aux.Validate(); !errors.Is(err, ErrAuxShape) {
+		t.Errorf("super==sub accepted: %v", err)
+	}
+}
+
+func TestProfileXMLRoundTrip(t *testing.T) {
+	p := NewUser("Hamilton-p7", "alice", "Hamilton",
+		MustParse(`collection = "Hamilton.D" AND (dc.Title contains "music" OR doc.id in ("d1", "d2"))`))
+	p.CreatedAt = time.Date(2005, 3, 1, 9, 0, 0, 0, time.UTC)
+	raw, err := p.MarshalXMLBytes()
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	got, err := UnmarshalXMLBytes(raw)
+	if err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if got.ID != p.ID || got.Owner != p.Owner || got.Kind != KindUser || got.HomeServer != "Hamilton" {
+		t.Errorf("fields: %+v", got)
+	}
+	if got.Expr.String() != p.Expr.String() {
+		t.Errorf("expr: got %q want %q", got.Expr.String(), p.Expr.String())
+	}
+	if !got.CreatedAt.Equal(p.CreatedAt) {
+		t.Errorf("created at: %v vs %v", got.CreatedAt, p.CreatedAt)
+	}
+}
+
+func TestAuxiliaryProfileXMLRoundTrip(t *testing.T) {
+	super := event.QName{Host: "Hamilton", Collection: "D"}
+	sub := event.QName{Host: "London", Collection: "E"}
+	p := NewAuxiliary("Hamilton-aux1", super, sub)
+	raw, err := p.MarshalXMLBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalXMLBytes(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Kind != KindAuxiliary {
+		t.Errorf("kind = %v", got.Kind)
+	}
+	if got.Super != super || got.Sub != sub {
+		t.Errorf("super=%v sub=%v", got.Super, got.Sub)
+	}
+	if got.Owner != "Hamilton" {
+		t.Errorf("owner = %q", got.Owner)
+	}
+}
+
+func TestUnmarshalRejectsInvalid(t *testing.T) {
+	cases := []string{
+		`<Profile><ID>x</ID><Kind>user</Kind><Owner>a</Owner><Expr>((</Expr></Profile>`,
+		`<Profile><ID>x</ID><Kind>wat</Kind><Owner>a</Owner><Expr>a = "1"</Expr></Profile>`,
+		`<Profile><ID></ID><Kind>user</Kind><Owner>a</Owner><Expr>a = "1"</Expr></Profile>`,
+		`not xml at all`,
+	}
+	for _, c := range cases {
+		if _, err := UnmarshalXMLBytes([]byte(c)); err == nil {
+			t.Errorf("accepted %q", c)
+		}
+	}
+}
+
+func TestAuxiliaryMatchesSubCollectionEvents(t *testing.T) {
+	super := event.QName{Host: "Hamilton", Collection: "D"}
+	sub := event.QName{Host: "London", Collection: "E"}
+	aux := NewAuxiliary("a1", super, sub)
+
+	evSub := event.New("e1", event.TypeCollectionRebuilt, sub, 2, nil, time.Now())
+	if ok, _ := aux.Matches(evSub); !ok {
+		t.Error("aux profile did not match its sub-collection event")
+	}
+	evOther := event.New("e2", event.TypeCollectionRebuilt, event.QName{Host: "London", Collection: "F"}, 2, nil, time.Now())
+	if ok, _ := aux.Matches(evOther); ok {
+		t.Error("aux profile matched an unrelated collection")
+	}
+}
+
+func TestFromSearchQuery(t *testing.T) {
+	coll := event.QName{Host: "Hamilton", Collection: "D"}
+	p, err := FromSearchQuery("p1", "alice", "Hamilton", coll, "", "whale AND songs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := event.New("e1", event.TypeDocumentsAdded, coll, 1, []event.DocRef{
+		{ID: "d1", Snippet: "humpback whale songs recorded at sea"},
+		{ID: "d2", Snippet: "penguin colonies of the antarctic"},
+	}, time.Now())
+	ok, ids := p.Matches(ev)
+	if !ok || len(ids) != 1 || ids[0] != "d1" {
+		t.Errorf("ok=%v ids=%v", ok, ids)
+	}
+	// Field-restricted variant.
+	p2, err := FromSearchQuery("p2", "alice", "Hamilton", coll, "dc.Title", "music")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev2 := event.New("e2", event.TypeDocumentsAdded, coll, 1, []event.DocRef{
+		{ID: "d3", Metadata: map[string][]string{"dc.Title": {"Music Theory"}}},
+	}, time.Now())
+	if ok, _ := p2.Matches(ev2); !ok {
+		t.Error("field query did not match")
+	}
+	if _, err := FromSearchQuery("p3", "a", "H", coll, "", "  "); err == nil {
+		t.Error("empty query accepted")
+	}
+	if _, err := FromSearchQuery("p4", "a", "H", coll, "", "AND AND"); err == nil {
+		t.Error("malformed query accepted")
+	}
+}
+
+func TestWatchThis(t *testing.T) {
+	coll := event.QName{Host: "Hamilton", Collection: "D"}
+	p, err := WatchThis("w1", "bob", "Hamilton", coll, []string{"d7", "d9"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := event.New("e1", event.TypeDocumentsChanged, coll, 3, []event.DocRef{
+		{ID: "d7"}, {ID: "d8"},
+	}, time.Now())
+	ok, ids := p.Matches(ev)
+	if !ok || len(ids) != 1 || ids[0] != "d7" {
+		t.Errorf("ok=%v ids=%v", ok, ids)
+	}
+	// Same doc IDs in a different collection do not fire.
+	evOther := event.New("e2", event.TypeDocumentsChanged, event.QName{Host: "X", Collection: "Y"}, 1,
+		[]event.DocRef{{ID: "d7"}}, time.Now())
+	if ok, _ := p.Matches(evOther); ok {
+		t.Error("watch-this fired for wrong collection")
+	}
+	if _, err := WatchThis("w2", "bob", "Hamilton", coll, nil); err == nil {
+		t.Error("empty watch list accepted")
+	}
+	// The watch profile survives serialisation.
+	raw, err := p.MarshalXMLBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalXMLBytes(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := got.Matches(ev); !ok {
+		t.Error("deserialised watch-this does not match")
+	}
+}
+
+func TestKindRoundTrip(t *testing.T) {
+	for _, k := range []Kind{KindUser, KindAuxiliary} {
+		got, err := ParseKind(k.String())
+		if err != nil || got != k {
+			t.Errorf("kind %v: got %v err %v", k, got, err)
+		}
+	}
+	if _, err := ParseKind("other"); err == nil {
+		t.Error("ParseKind accepted junk")
+	}
+	if !strings.Contains(Kind(9).String(), "9") {
+		t.Error("unknown kind string")
+	}
+}

@@ -1,0 +1,288 @@
+package protocol
+
+import "encoding/xml"
+
+// This file declares the typed payloads carried inside envelope bodies.
+// Richer domain objects (events, profiles, documents) marshal themselves and
+// are embedded via their own XML forms; the payloads here are the protocol-
+// level records of the GDS and GS protocols.
+
+// RegisterServer registers a Greenstone server with a GDS node
+// (paper §4.1: "each server is registered at exactly one service
+// installation").
+type RegisterServer struct {
+	XMLName xml.Name `xml:"RegisterServer"`
+	// Name is the network-internal name of the Greenstone server.
+	Name string `xml:"Name"`
+	// Addr is the transport address at which the server listens.
+	Addr string `xml:"Addr"`
+}
+
+// UnregisterServer removes a server registration.
+type UnregisterServer struct {
+	XMLName xml.Name `xml:"UnregisterServer"`
+	Name    string   `xml:"Name"`
+}
+
+// RegisterChild attaches a child GDS node to a parent.
+type RegisterChild struct {
+	XMLName xml.Name `xml:"RegisterChild"`
+	// NodeID is the identifier of the child GDS node.
+	NodeID string `xml:"NodeID"`
+	// Addr is the child's transport address.
+	Addr string `xml:"Addr"`
+	// Stratum is the child's stratum (parent stratum + 1).
+	Stratum int `xml:"Stratum"`
+}
+
+// Resolve asks the directory for the address of a named server
+// (the DNS-like naming service of paper §4.1/§6).
+type Resolve struct {
+	XMLName xml.Name `xml:"Resolve"`
+	Name    string   `xml:"Name"`
+	// NoRecurse stops upward delegation; used between GDS nodes to ask
+	// "do *you* know this name" during downward fan-out.
+	NoRecurse bool `xml:"NoRecurse,omitempty"`
+}
+
+// ResolveResult answers Resolve.
+type ResolveResult struct {
+	XMLName xml.Name `xml:"ResolveResult"`
+	Name    string   `xml:"Name"`
+	Addr    string   `xml:"Addr,omitempty"`
+	Found   bool     `xml:"Found"`
+	// Stratum of the GDS node that answered, for diagnostics.
+	Stratum int `xml:"Stratum"`
+}
+
+// Broadcast wraps an inner envelope to be flooded to every Greenstone server
+// registered anywhere in the GDS tree (paper §4.1: "distributed upwards
+// within the tree and downwards to all tree leaves").
+type Broadcast struct {
+	XMLName xml.Name `xml:"Broadcast"`
+	// Inner is the marshalled envelope to deliver to each server.
+	Inner []byte `xml:"Inner"`
+}
+
+// Multicast wraps an inner envelope for the members of one group.
+type Multicast struct {
+	XMLName xml.Name `xml:"Multicast"`
+	Group   string   `xml:"Group"`
+	Inner   []byte   `xml:"Inner"`
+}
+
+// JoinGroup subscribes a server to a multicast group.
+type JoinGroup struct {
+	XMLName xml.Name `xml:"JoinGroup"`
+	Group   string   `xml:"Group"`
+	Name    string   `xml:"Name"`
+	Addr    string   `xml:"Addr"`
+}
+
+// LeaveGroup removes a server from a multicast group.
+type LeaveGroup struct {
+	XMLName xml.Name `xml:"LeaveGroup"`
+	Group   string   `xml:"Group"`
+	Name    string   `xml:"Name"`
+}
+
+// Describe asks a server to describe its public collections.
+type Describe struct {
+	XMLName xml.Name `xml:"Describe"`
+	// Collection optionally narrows the description to one collection.
+	Collection string `xml:"Collection,omitempty"`
+}
+
+// CollectionInfo summarises one collection in a DescribeResult.
+type CollectionInfo struct {
+	XMLName      xml.Name `xml:"CollectionInfo"`
+	Name         string   `xml:"Name"`
+	Title        string   `xml:"Title,omitempty"`
+	Public       bool     `xml:"Public"`
+	Virtual      bool     `xml:"Virtual"`
+	DocCount     int      `xml:"DocCount"`
+	BuildVersion int      `xml:"BuildVersion"`
+	// SubCollections lists qualified names ("host.collection") of
+	// sub-collections, local and remote.
+	SubCollections []string `xml:"SubCollections>Sub,omitempty"`
+	// IndexFields lists the metadata fields this collection indexes, which
+	// bounds the retrieval functionality profiles may use (paper §5).
+	IndexFields []string `xml:"IndexFields>Field,omitempty"`
+}
+
+// DescribeResult answers Describe.
+type DescribeResult struct {
+	XMLName     xml.Name         `xml:"DescribeResult"`
+	Host        string           `xml:"Host"`
+	Collections []CollectionInfo `xml:"Collections>CollectionInfo,omitempty"`
+}
+
+// Search runs a retrieval query against a collection.
+type Search struct {
+	XMLName    xml.Name `xml:"Search"`
+	Collection string   `xml:"Collection"`
+	Query      string   `xml:"Query"`
+	// Field restricts the search to one metadata field; empty searches text.
+	Field string `xml:"Field,omitempty"`
+	Limit int    `xml:"Limit,omitempty"`
+	// FollowSubs includes distributed sub-collections in the search.
+	FollowSubs bool `xml:"FollowSubs,omitempty"`
+	// Visited carries the qualified collection names already expanded, the
+	// cycle guard for cyclic sub-collection references (paper §1 problem 2).
+	Visited []string `xml:"Visited>Name,omitempty"`
+}
+
+// SearchHit is one scored result.
+type SearchHit struct {
+	XMLName    xml.Name `xml:"Hit"`
+	DocID      string   `xml:"DocID"`
+	Collection string   `xml:"Collection"`
+	Score      float64  `xml:"Score"`
+	Title      string   `xml:"Title,omitempty"`
+}
+
+// SearchResult answers Search.
+type SearchResult struct {
+	XMLName xml.Name    `xml:"SearchResult"`
+	Total   int         `xml:"Total"`
+	Hits    []SearchHit `xml:"Hits>Hit,omitempty"`
+}
+
+// Browse requests a classifier shelf of a collection.
+type Browse struct {
+	XMLName    xml.Name `xml:"Browse"`
+	Collection string   `xml:"Collection"`
+	Classifier string   `xml:"Classifier"`
+}
+
+// BrowseBucket is one shelf of a classifier.
+type BrowseBucket struct {
+	XMLName xml.Name `xml:"Bucket"`
+	Label   string   `xml:"Label"`
+	DocIDs  []string `xml:"Docs>ID,omitempty"`
+}
+
+// BrowseResult answers Browse.
+type BrowseResult struct {
+	XMLName    xml.Name       `xml:"BrowseResult"`
+	Collection string         `xml:"Collection"`
+	Classifier string         `xml:"Classifier"`
+	Buckets    []BrowseBucket `xml:"Buckets>Bucket,omitempty"`
+}
+
+// GetDocument fetches a single document.
+type GetDocument struct {
+	XMLName    xml.Name `xml:"GetDocument"`
+	Collection string   `xml:"Collection"`
+	DocID      string   `xml:"DocID"`
+}
+
+// MetaField is one metadata key with its values.
+type MetaField struct {
+	XMLName xml.Name `xml:"Meta"`
+	Name    string   `xml:"name,attr"`
+	Values  []string `xml:"Value"`
+}
+
+// DocumentPayload carries one document over the wire.
+type DocumentPayload struct {
+	XMLName  xml.Name    `xml:"Document"`
+	ID       string      `xml:"ID"`
+	MIME     string      `xml:"MIME,omitempty"`
+	Metadata []MetaField `xml:"Metadata>Meta,omitempty"`
+	Content  string      `xml:"Content,omitempty"`
+}
+
+// DocumentResult answers GetDocument.
+type DocumentResult struct {
+	XMLName  xml.Name         `xml:"DocumentResult"`
+	Found    bool             `xml:"Found"`
+	Document *DocumentPayload `xml:"Document,omitempty"`
+}
+
+// CollectData asks a server for the full data of a collection including its
+// distributed sub-collections (paper §3's Hamilton.D → London.E walk).
+type CollectData struct {
+	XMLName    xml.Name `xml:"CollectData"`
+	Collection string   `xml:"Collection"`
+	// Visited is the cycle guard of qualified names already expanded.
+	Visited []string `xml:"Visited>Name,omitempty"`
+}
+
+// CollectDataResult answers CollectData.
+type CollectDataResult struct {
+	XMLName   xml.Name          `xml:"CollectDataResult"`
+	Documents []DocumentPayload `xml:"Documents>Document,omitempty"`
+	// Truncated reports that a sub-collection could not be reached; data is
+	// best-effort complete (the paper's delayed-until-reconnect semantics
+	// apply to alerting, not retrieval).
+	Truncated bool `xml:"Truncated,omitempty"`
+}
+
+// RawXML embeds pre-marshalled XML verbatim inside a parent element, so
+// relays can carry domain payloads (profiles, events, wrapped envelopes)
+// without re-encoding or even understanding them.
+type RawXML struct {
+	Inner []byte `xml:",innerxml"`
+}
+
+// Wrap stores raw XML. Unmarshalled RawXML values expose the inner XML of
+// the wrapping element via Bytes.
+func Wrap(raw []byte) RawXML { return RawXML{Inner: raw} }
+
+// Bytes returns the embedded XML.
+func (r RawXML) Bytes() []byte { return r.Inner }
+
+// Subscribe registers a user profile. The profile XML (internal/profile) is
+// embedded verbatim.
+type Subscribe struct {
+	XMLName xml.Name `xml:"Subscribe"`
+	Client  string   `xml:"Client"`
+	Profile RawXML   `xml:"Profile"`
+}
+
+// Unsubscribe cancels a user profile.
+type Unsubscribe struct {
+	XMLName   xml.Name `xml:"Unsubscribe"`
+	Client    string   `xml:"Client"`
+	ProfileID string   `xml:"ProfileID"`
+}
+
+// ForwardProfile installs an auxiliary profile at a sub-collection's server
+// (paper §4.2). The profile XML is embedded verbatim.
+type ForwardProfile struct {
+	XMLName xml.Name `xml:"ForwardProfile"`
+	Profile RawXML   `xml:"Profile"`
+}
+
+// CancelProfile removes a forwarded auxiliary profile.
+type CancelProfile struct {
+	XMLName   xml.Name `xml:"CancelProfile"`
+	ProfileID string   `xml:"ProfileID"`
+}
+
+// EventPayload carries an alerting event; the event XML (internal/event) is
+// embedded verbatim so relays need not understand it.
+type EventPayload struct {
+	XMLName xml.Name `xml:"EventPayload"`
+	// TransformTo, when set on a GS-network forwarded event, names the
+	// super-collection ("Host.Collection") the receiving server must rename
+	// the event to before re-broadcasting (paper §4.2). Empty on GDS
+	// broadcast deliveries.
+	TransformTo string `xml:"TransformTo,omitempty"`
+	Event       RawXML `xml:"Event"`
+}
+
+// Notify delivers a notification to a client.
+type Notify struct {
+	XMLName   xml.Name `xml:"Notify"`
+	Client    string   `xml:"Client"`
+	ProfileID string   `xml:"ProfileID"`
+	Event     RawXML   `xml:"Event"`
+}
+
+// Ping is a liveness probe; Seq echoes back in the ack trace.
+type Ping struct {
+	XMLName xml.Name `xml:"Ping"`
+	Seq     int      `xml:"Seq"`
+}

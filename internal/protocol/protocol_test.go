@@ -1,0 +1,256 @@
+package protocol
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewEnvelopeRoundTrip(t *testing.T) {
+	env, err := NewEnvelope("hamilton", MsgResolve, &Resolve{Name: "london"})
+	if err != nil {
+		t.Fatalf("NewEnvelope: %v", err)
+	}
+	if env.Header.From != "hamilton" {
+		t.Errorf("From = %q, want hamilton", env.Header.From)
+	}
+	if env.Header.TTL != DefaultTTL {
+		t.Errorf("TTL = %d, want %d", env.Header.TTL, DefaultTTL)
+	}
+	raw, err := Marshal(env)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	got, err := Unmarshal(raw)
+	if err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if got.Header.ID != env.Header.ID {
+		t.Errorf("ID round trip: got %q want %q", got.Header.ID, env.Header.ID)
+	}
+	var r Resolve
+	if err := Decode(got, MsgResolve, &r); err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if r.Name != "london" {
+		t.Errorf("Resolve.Name = %q, want london", r.Name)
+	}
+}
+
+func TestDecodeTypeMismatch(t *testing.T) {
+	env := MustEnvelope("a", MsgPing, &Ping{Seq: 7})
+	var r Resolve
+	err := Decode(env, MsgResolve, &r)
+	if !errors.Is(err, ErrTypeMismatch) {
+		t.Fatalf("err = %v, want ErrTypeMismatch", err)
+	}
+}
+
+func TestDecodeNoPayload(t *testing.T) {
+	env := &Envelope{Header: Header{Type: MsgPing}}
+	var p Ping
+	if err := Decode(env, MsgPing, &p); !errors.Is(err, ErrNoPayload) {
+		t.Fatalf("err = %v, want ErrNoPayload", err)
+	}
+	if err := Decode(nil, MsgPing, &p); !errors.Is(err, ErrNoPayload) {
+		t.Fatalf("nil env err = %v, want ErrNoPayload", err)
+	}
+}
+
+func TestUnmarshalMalformed(t *testing.T) {
+	cases := []string{
+		"",
+		"<not-closed",
+		"<Envelope><Header></Header><Body/></Envelope>", // missing type
+		"plain text",
+	}
+	for _, c := range cases {
+		if _, err := Unmarshal([]byte(c)); err == nil {
+			t.Errorf("Unmarshal(%q): want error, got nil", c)
+		}
+	}
+}
+
+func TestNewIDUnique(t *testing.T) {
+	seen := make(map[string]bool, 1000)
+	for i := 0; i < 1000; i++ {
+		id := NewID("n")
+		if seen[id] {
+			t.Fatalf("duplicate id %q", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestNewIDEmbedsSender(t *testing.T) {
+	if id := NewID("hamilton"); !strings.HasPrefix(id, "hamilton-") {
+		t.Errorf("id %q does not embed sender", id)
+	}
+}
+
+func TestNextHop(t *testing.T) {
+	env := MustEnvelope("a", MsgPing, &Ping{})
+	env.Header.TTL = 2
+	h1 := env.NextHop()
+	if h1.Header.TTL != 1 || h1.Header.Hops != 1 {
+		t.Fatalf("after one hop: TTL=%d Hops=%d", h1.Header.TTL, h1.Header.Hops)
+	}
+	h2 := h1.NextHop()
+	if h2.Forwardable() {
+		t.Error("TTL 0 envelope should not be forwardable")
+	}
+	// Original must be untouched.
+	if env.Header.TTL != 2 || env.Header.Hops != 0 {
+		t.Errorf("original mutated: TTL=%d Hops=%d", env.Header.TTL, env.Header.Hops)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	env := MustEnvelope("a", MsgPing, &Ping{Seq: 1})
+	cp := env.Clone()
+	cp.Body.Inner[0] = 'X'
+	if env.Body.Inner[0] == 'X' {
+		t.Error("Clone shares body bytes with original")
+	}
+}
+
+func TestAck(t *testing.T) {
+	req := MustEnvelope("client", MsgSubscribe, &Subscribe{Client: "c1"})
+	req.Header.TraceID = "trace-9"
+	ack := Ack("server", req)
+	if ack.Header.Type != MsgAck {
+		t.Errorf("ack type = %q", ack.Header.Type)
+	}
+	if ack.Header.To != "client" || ack.Header.From != "server" {
+		t.Errorf("ack addressing = %q -> %q", ack.Header.From, ack.Header.To)
+	}
+	if ack.Header.TraceID != "trace-9" {
+		t.Errorf("ack trace = %q", ack.Header.TraceID)
+	}
+}
+
+func TestErrorEnvelope(t *testing.T) {
+	env := Errorf("srv", "not-found", "collection %q unknown", "X")
+	err := AsError(env)
+	if err == nil {
+		t.Fatal("AsError returned nil for error envelope")
+	}
+	var re *RemoteError
+	if !errors.As(err, &re) {
+		t.Fatalf("err %T is not *RemoteError", err)
+	}
+	if re.Code != "not-found" || !strings.Contains(re.Message, `"X"`) {
+		t.Errorf("remote error = %+v", re)
+	}
+	if AsError(MustEnvelope("s", MsgPing, &Ping{})) != nil {
+		t.Error("AsError on non-error envelope should be nil")
+	}
+}
+
+func TestRawXMLRoundTrip(t *testing.T) {
+	inner := []byte("<Thing><A>1</A><B>two &amp; three</B></Thing>")
+	env := MustEnvelope("s", MsgForwardProfile, &ForwardProfile{Profile: Wrap(inner)})
+	raw, err := Marshal(env)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	back, err := Unmarshal(raw)
+	if err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	var fp ForwardProfile
+	if err := Decode(back, MsgForwardProfile, &fp); err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if string(fp.Profile.Bytes()) != string(inner) {
+		t.Errorf("raw xml round trip:\n got %s\nwant %s", fp.Profile.Bytes(), inner)
+	}
+}
+
+func TestSubscribeClientSurvivesRawProfile(t *testing.T) {
+	sub := &Subscribe{Client: "alice", Profile: Wrap([]byte("<P><Q>x</Q></P>"))}
+	env := MustEnvelope("s", MsgSubscribe, sub)
+	raw, _ := Marshal(env)
+	back, err := Unmarshal(raw)
+	if err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	var got Subscribe
+	if err := Decode(back, MsgSubscribe, &got); err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if got.Client != "alice" {
+		t.Errorf("Client = %q, want alice", got.Client)
+	}
+	if string(got.Profile.Bytes()) != "<P><Q>x</Q></P>" {
+		t.Errorf("Profile = %s", got.Profile.Bytes())
+	}
+}
+
+// Property: any envelope with printable payload content survives a
+// marshal/unmarshal round trip with header intact.
+func TestEnvelopeRoundTripProperty(t *testing.T) {
+	f := func(from, name string, ttl uint8) bool {
+		env, err := NewEnvelope(sanitize(from), MsgResolve, &Resolve{Name: sanitize(name)})
+		if err != nil {
+			return false
+		}
+		env.Header.TTL = int(ttl)
+		raw, err := Marshal(env)
+		if err != nil {
+			return false
+		}
+		got, err := Unmarshal(raw)
+		if err != nil {
+			return false
+		}
+		var r Resolve
+		if err := Decode(got, MsgResolve, &r); err != nil {
+			return false
+		}
+		return got.Header.TTL == int(ttl) && r.Name == sanitize(name)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// sanitize strips characters that XML 1.0 cannot represent (control chars),
+// mirroring what callers must do with external input.
+func sanitize(s string) string {
+	return strings.Map(func(r rune) rune {
+		if r < 0x20 && r != '\t' && r != '\n' && r != '\r' {
+			return -1
+		}
+		if r == 0xFFFE || r == 0xFFFF {
+			return -1
+		}
+		return r
+	}, s)
+}
+
+func TestBroadcastWrapUnwrap(t *testing.T) {
+	innerEnv := MustEnvelope("origin", MsgEvent, &EventPayload{Event: Wrap([]byte("<Ev/>"))})
+	rawInner, err := Marshal(innerEnv)
+	if err != nil {
+		t.Fatalf("marshal inner: %v", err)
+	}
+	bc := MustEnvelope("origin", MsgBroadcast, &Broadcast{Inner: rawInner})
+	rawBC, _ := Marshal(bc)
+	back, err := Unmarshal(rawBC)
+	if err != nil {
+		t.Fatalf("unmarshal broadcast: %v", err)
+	}
+	var b Broadcast
+	if err := Decode(back, MsgBroadcast, &b); err != nil {
+		t.Fatalf("decode broadcast: %v", err)
+	}
+	inner, err := Unmarshal(b.Inner)
+	if err != nil {
+		t.Fatalf("unmarshal wrapped inner: %v", err)
+	}
+	if inner.Header.ID != innerEnv.Header.ID {
+		t.Errorf("inner id = %q want %q", inner.Header.ID, innerEnv.Header.ID)
+	}
+}

@@ -1,0 +1,269 @@
+// Package sim provides the simulation substrate for the experiment suite:
+// cluster assembly (GDS tree + Greenstone servers + alerting services over
+// the deterministic memory transport), topology and workload generators, a
+// ground-truth oracle, and the scenario runners behind every table in
+// EXPERIMENTS.md.
+package sim
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"github.com/gsalert/gsalert/internal/collection"
+	"github.com/gsalert/gsalert/internal/core"
+	"github.com/gsalert/gsalert/internal/filter"
+	"github.com/gsalert/gsalert/internal/gds"
+	"github.com/gsalert/gsalert/internal/greenstone"
+	"github.com/gsalert/gsalert/internal/transport"
+)
+
+// ClusterConfig shapes a simulated deployment.
+type ClusterConfig struct {
+	// Seed drives every random choice (reproducibility).
+	Seed int64
+	// GDSNodes is the number of directory nodes (>= 1).
+	GDSNodes int
+	// GDSBranching is the tree fan-out (>= 1).
+	GDSBranching int
+	// LinkLatency is the virtual per-hop latency (default 1ms).
+	LinkLatency time.Duration
+}
+
+// Cluster is an assembled simulated deployment.
+type Cluster struct {
+	TR    *transport.Memory
+	Nodes []*gds.Node
+
+	servers   map[string]*greenstone.Server
+	services  map[string]*core.Service
+	clients   map[string]*gds.Client
+	notifiers map[string]map[string]*core.MemoryNotifier // server -> client -> sink
+	nodeAddrs []string
+}
+
+// NewCluster builds the directory tree; servers are added with AddServer.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) {
+	if cfg.GDSNodes < 1 {
+		cfg.GDSNodes = 1
+	}
+	if cfg.GDSBranching < 1 {
+		cfg.GDSBranching = 2
+	}
+	tr := transport.NewMemory(cfg.Seed)
+	if cfg.LinkLatency > 0 {
+		tr.SetDefaultLatency(cfg.LinkLatency)
+	}
+	c := &Cluster{
+		TR:        tr,
+		servers:   make(map[string]*greenstone.Server),
+		services:  make(map[string]*core.Service),
+		clients:   make(map[string]*gds.Client),
+		notifiers: make(map[string]map[string]*core.MemoryNotifier),
+	}
+	ctx := context.Background()
+	for i := 0; i < cfg.GDSNodes; i++ {
+		id := fmt.Sprintf("gds%d", i)
+		addr := "gds://" + id
+		depth := treeDepth(i, cfg.GDSBranching)
+		node, err := gds.NewNode(id, addr, depth+1, tr)
+		if err != nil {
+			return nil, err
+		}
+		c.Nodes = append(c.Nodes, node)
+		c.nodeAddrs = append(c.nodeAddrs, addr)
+		if i > 0 {
+			parent := (i - 1) / cfg.GDSBranching
+			if err := node.AttachToParent(ctx, c.Nodes[parent].ID(), c.nodeAddrs[parent]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return c, nil
+}
+
+// treeDepth computes the depth of node i in a complete b-ary tree laid out
+// in breadth-first order (node 0 is the root).
+func treeDepth(i, b int) int {
+	depth := 0
+	for i > 0 {
+		i = (i - 1) / b
+		depth++
+	}
+	return depth
+}
+
+// Close shuts down all components.
+func (c *Cluster) Close() {
+	for _, s := range c.servers {
+		_ = s.Close()
+	}
+	for _, n := range c.Nodes {
+		_ = n.Close()
+	}
+	_ = c.TR.Close()
+}
+
+// ServerAddr is the canonical transport address of a named server.
+func ServerAddr(name string) string { return "gs://" + name }
+
+// AddServer creates a Greenstone server with alerting, registered at the
+// GDS node with index nodeIdx (-1 picks round-robin by current count).
+func (c *Cluster) AddServer(name string, nodeIdx int) (*greenstone.Server, error) {
+	if _, dup := c.servers[name]; dup {
+		return nil, fmt.Errorf("sim: server %q already exists", name)
+	}
+	if nodeIdx < 0 {
+		nodeIdx = len(c.servers) % len(c.Nodes)
+	}
+	if nodeIdx >= len(c.Nodes) {
+		return nil, fmt.Errorf("sim: node index %d out of range", nodeIdx)
+	}
+	addr := ServerAddr(name)
+	gdsCli := gds.NewClient(name, addr, c.nodeAddrs[nodeIdx], c.TR)
+	store := collection.NewStore(name)
+	svc, err := core.New(core.Config{
+		ServerName: name,
+		ServerAddr: addr,
+		Transport:  c.TR,
+		GDS:        gdsCli,
+		Store:      store,
+		Matcher:    filter.NewEqualityPreferred(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	srv, err := greenstone.NewServer(greenstone.ServerConfig{
+		Name:      name,
+		Addr:      addr,
+		Transport: c.TR,
+		Store:     store,
+		Alerting:  svc,
+		Resolver:  gdsCli,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := gdsCli.Register(context.Background()); err != nil {
+		_ = srv.Close()
+		return nil, err
+	}
+	c.servers[name] = srv
+	c.services[name] = svc
+	c.clients[name] = gdsCli
+	c.notifiers[name] = make(map[string]*core.MemoryNotifier)
+	return srv, nil
+}
+
+// Resolve looks up a server name through another server's directory client
+// (the DNS-like naming service of paper §4.1).
+func (c *Cluster) Resolve(ctx context.Context, from, target string) (string, error) {
+	cli := c.clients[from]
+	if cli == nil {
+		return "", fmt.Errorf("sim: unknown server %q", from)
+	}
+	return cli.Resolve(ctx, target)
+}
+
+// Server returns a server by name.
+func (c *Cluster) Server(name string) *greenstone.Server { return c.servers[name] }
+
+// Service returns a server's alerting service.
+func (c *Cluster) Service(name string) *core.Service { return c.services[name] }
+
+// ServerNames lists servers in insertion-independent sorted order.
+func (c *Cluster) ServerNames() []string {
+	out := make([]string, 0, len(c.servers))
+	for n := range c.servers {
+		out = append(out, n)
+	}
+	sortStrings(out)
+	return out
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// Notifier returns (creating on demand) the recording sink for a client at
+// a server, registering it with the alerting service.
+func (c *Cluster) Notifier(server, client string) *core.MemoryNotifier {
+	sinks := c.notifiers[server]
+	if sinks == nil {
+		sinks = make(map[string]*core.MemoryNotifier)
+		c.notifiers[server] = sinks
+	}
+	sink, ok := sinks[client]
+	if !ok {
+		sink = core.NewMemoryNotifier()
+		sinks[client] = sink
+		if svc := c.services[server]; svc != nil {
+			svc.RegisterNotifier(client, sink)
+		}
+	}
+	return sink
+}
+
+// Notifications returns every notification recorded for a client at a
+// server.
+func (c *Cluster) Notifications(server, client string) []core.Notification {
+	if sinks := c.notifiers[server]; sinks != nil {
+		if sink := sinks[client]; sink != nil {
+			return sink.All()
+		}
+	}
+	return nil
+}
+
+// FlushRetries flushes every server's retry queue (after healing a
+// partition), returning total deliveries.
+func (c *Cluster) FlushRetries(ctx context.Context) int {
+	total := 0
+	for _, name := range c.ServerNames() {
+		total += c.services[name].Retry().Flush(ctx, true)
+	}
+	return total
+}
+
+// PartitionServers cuts the GS-network link between two servers (their
+// direct server-to-server traffic). GDS connectivity is unaffected. The
+// memory transport identifies the sender by its logical name and the
+// receiver by its address, so both directed pairs are cut.
+func (c *Cluster) PartitionServers(a, b string) {
+	c.TR.Partition(a, ServerAddr(b))
+	c.TR.Partition(b, ServerAddr(a))
+}
+
+// HealServers restores the link between two servers.
+func (c *Cluster) HealServers(a, b string) {
+	c.TR.Heal(a, ServerAddr(b))
+	c.TR.Heal(b, ServerAddr(a))
+}
+
+// IsolateServer cuts a server off the entire network (both GS and GDS
+// traffic), modelling a solitary disconnected installation. Both the
+// transport address (inbound) and the logical name (outbound sender) are
+// marked down.
+func (c *Cluster) IsolateServer(name string, isolated bool) {
+	c.TR.SetNodeDown(ServerAddr(name), isolated)
+	c.TR.SetNodeDown(name, isolated)
+}
+
+// NewReceptionist builds a receptionist connected to the named hosts.
+func (c *Cluster) NewReceptionist(name string, hosts ...string) *greenstone.Receptionist {
+	r := greenstone.NewReceptionist(name, c.TR)
+	for _, h := range hosts {
+		r.Connect(h, ServerAddr(h))
+	}
+	return r
+}
+
+// RemoteNotifier builds a notifier that pushes MsgNotify envelopes from a
+// server to a client address over the cluster transport.
+func (c *Cluster) RemoteNotifier(server, clientAddr string) core.Notifier {
+	return core.NewRemoteNotifier(server, clientAddr, c.TR)
+}

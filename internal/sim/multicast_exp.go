@@ -1,0 +1,107 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+
+	"github.com/gsalert/gsalert/internal/collection"
+	"github.com/gsalert/gsalert/internal/core"
+	"github.com/gsalert/gsalert/internal/metrics"
+	"github.com/gsalert/gsalert/internal/profile"
+)
+
+// E9 — dissemination ablation: the paper's primary design floods every
+// event to every server; §6 also names multicast as a GDS capability. This
+// experiment quantifies the trade: with interest-scoped multicast groups,
+// message cost follows the number of interested servers instead of the
+// network size, at the price of group-membership state in the directory.
+
+// MulticastAblationResult is one E9 row.
+type MulticastAblationResult struct {
+	Mode          string
+	Servers       int
+	Interested    int
+	Events        int
+	Messages      int64
+	Notifications int
+}
+
+// RunMulticastAblation publishes events through a cluster of the given size
+// where only `interested` servers subscribe, under one routing mode.
+func RunMulticastAblation(servers, interested, events int, mode core.RoutingMode, seed int64) (MulticastAblationResult, error) {
+	c, err := NewCluster(ClusterConfig{Seed: seed, GDSNodes: maxInt(1, servers/4), GDSBranching: 3})
+	if err != nil {
+		return MulticastAblationResult{}, err
+	}
+	defer c.Close()
+	ctx := context.Background()
+	names := make([]string, 0, servers)
+	for i := 0; i < servers; i++ {
+		name := fmt.Sprintf("A%03d", i)
+		if _, err := c.AddServer(name, -1); err != nil {
+			return MulticastAblationResult{}, err
+		}
+		if err := c.Service(name).SetRoutingMode(ctx, mode); err != nil {
+			return MulticastAblationResult{}, err
+		}
+		names = append(names, name)
+	}
+	if _, err := c.Server(names[0]).AddCollection(ctx, collection.Config{Name: "X", Public: true}); err != nil {
+		return MulticastAblationResult{}, err
+	}
+	for i := 1; i <= interested && i < servers; i++ {
+		c.Notifier(names[i], "u")
+		if _, err := c.Service(names[i]).Subscribe("u", profile.MustParse(
+			fmt.Sprintf(`collection = "%s.X" AND event.type = "collection-rebuilt"`, names[0]))); err != nil {
+			return MulticastAblationResult{}, err
+		}
+	}
+	// Initial build outside the measured window.
+	if _, _, err := c.Server(names[0]).Build(ctx, "X", syntheticDocs(1, 0)); err != nil {
+		return MulticastAblationResult{}, err
+	}
+	c.TR.ResetStats()
+	for e := 0; e < events; e++ {
+		if _, _, err := c.Server(names[0]).Build(ctx, "X", syntheticDocs(1, e+1)); err != nil {
+			return MulticastAblationResult{}, err
+		}
+	}
+	out := MulticastAblationResult{
+		Servers:    servers,
+		Interested: interested,
+		Events:     events,
+		Messages:   c.TR.Stats().Sent,
+	}
+	switch mode {
+	case core.RouteBroadcast:
+		out.Mode = "broadcast"
+	case core.RouteMulticast:
+		out.Mode = "multicast"
+	}
+	for i := 1; i <= interested && i < servers; i++ {
+		out.Notifications += c.Notifier(names[i], "u").Len()
+	}
+	return out, nil
+}
+
+// MulticastAblationTable runs E9 over interest levels for both modes.
+func MulticastAblationTable(servers, events int, interestedLevels []int, seed int64) (*metrics.Table, error) {
+	t := metrics.NewTable(
+		fmt.Sprintf("E9 — dissemination ablation: broadcast vs interest-scoped multicast (%d servers, %d events)", servers, events),
+		"mode", "interested servers", "messages", "msgs/event", "notifications")
+	for _, k := range interestedLevels {
+		for _, mode := range []core.RoutingMode{core.RouteBroadcast, core.RouteMulticast} {
+			r, err := RunMulticastAblation(servers, k, events, mode, seed)
+			if err != nil {
+				return nil, err
+			}
+			wantNotifs := k * events
+			if r.Notifications != wantNotifs {
+				return nil, fmt.Errorf("sim: E9 %s k=%d delivered %d notifications, want %d — modes are not equivalent",
+					r.Mode, k, r.Notifications, wantNotifs)
+			}
+			t.AddRow(r.Mode, r.Interested, r.Messages, float64(r.Messages)/float64(events), r.Notifications)
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,229 @@
+package transport
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"github.com/gsalert/gsalert/internal/protocol"
+)
+
+// EnvelopePath is the URL path at which HTTP transports exchange envelopes.
+const EnvelopePath = "/gsalert/envelope"
+
+// maxEnvelopeBytes bounds a single envelope on the wire (16 MiB) to protect
+// servers from unbounded reads.
+const maxEnvelopeBytes = 16 << 20
+
+// HTTP carries envelopes as XML over HTTP POST, the stand-in for the
+// paper's SOAP messaging. Addresses are "host:port" strings.
+type HTTP struct {
+	client *http.Client
+
+	mu      sync.Mutex
+	servers map[string]*http.Server
+	wg      sync.WaitGroup
+	closed  bool
+}
+
+var _ Transport = (*HTTP)(nil)
+
+// NewHTTP builds an HTTP transport with sane client timeouts.
+func NewHTTP() *HTTP {
+	return &HTTP{
+		client: &http.Client{
+			Timeout: 30 * time.Second,
+			Transport: &http.Transport{
+				MaxIdleConnsPerHost: 8,
+				IdleConnTimeout:     60 * time.Second,
+			},
+		},
+		servers: make(map[string]*http.Server),
+	}
+}
+
+// Listen binds h to a local TCP address. Use "127.0.0.1:0" to pick a free
+// port; BoundAddr on the returned listener reports the resolved address.
+func (t *HTTP) Listen(addr string, h Handler) (io.Closer, error) {
+	if h == nil {
+		return nil, fmt.Errorf("transport: nil handler for %q", addr)
+	}
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil, ErrClosed
+	}
+	t.mu.Unlock()
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %q: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc(EnvelopePath, func(w http.ResponseWriter, r *http.Request) {
+		serveEnvelope(w, r, h)
+	})
+	srv := &http.Server{
+		Handler:           mux,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	bound := ln.Addr().String()
+
+	t.mu.Lock()
+	t.servers[bound] = srv
+	t.mu.Unlock()
+
+	t.wg.Add(1)
+	go func() {
+		defer t.wg.Done()
+		// ErrServerClosed is the normal shutdown signal.
+		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			_ = err // best-effort service; callers observe failures via Send
+		}
+	}()
+	return &httpListener{t: t, addr: bound, srv: srv}, nil
+}
+
+type httpListener struct {
+	t    *HTTP
+	addr string
+	srv  *http.Server
+}
+
+// BoundAddr reports the resolved listen address ("127.0.0.1:54321").
+func (l *httpListener) BoundAddr() string { return l.addr }
+
+// Close stops the listener.
+func (l *httpListener) Close() error {
+	l.t.mu.Lock()
+	delete(l.t.servers, l.addr)
+	l.t.mu.Unlock()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	return l.srv.Shutdown(ctx)
+}
+
+// BoundAddr extracts the resolved address from a listener returned by
+// HTTP.Listen; it returns "" for other listener types.
+func BoundAddr(c io.Closer) string {
+	if l, ok := c.(*httpListener); ok {
+		return l.addr
+	}
+	return ""
+}
+
+func serveEnvelope(w http.ResponseWriter, r *http.Request, h Handler) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxEnvelopeBytes+1))
+	if err != nil {
+		http.Error(w, "read: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(body) > maxEnvelopeBytes {
+		http.Error(w, "envelope too large", http.StatusRequestEntityTooLarge)
+		return
+	}
+	env, err := protocol.Unmarshal(body)
+	if err != nil {
+		http.Error(w, "malformed envelope: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	resp, err := h.Handle(r.Context(), env)
+	if err != nil {
+		resp = protocol.Errorf("", "handler", "%v", err)
+	}
+	if resp == nil {
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	raw, err := protocol.Marshal(resp)
+	if err != nil {
+		http.Error(w, "marshal response: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/xml; charset=utf-8")
+	if _, err := w.Write(raw); err != nil {
+		return // client went away; nothing to do
+	}
+}
+
+// Send POSTs the envelope to addr and parses the response envelope, if any.
+func (t *HTTP) Send(ctx context.Context, addr string, env *protocol.Envelope) (*protocol.Envelope, error) {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil, ErrClosed
+	}
+	t.mu.Unlock()
+
+	raw, err := protocol.Marshal(env)
+	if err != nil {
+		return nil, err
+	}
+	url := "http://" + addr + EnvelopePath
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(raw))
+	if err != nil {
+		return nil, fmt.Errorf("transport: build request: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/xml; charset=utf-8")
+	httpResp, err := t.client.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %q: %w", ErrUnreachable, addr, err)
+	}
+	defer func() { _ = httpResp.Body.Close() }()
+
+	if httpResp.StatusCode == http.StatusNoContent {
+		return nil, nil
+	}
+	body, err := io.ReadAll(io.LimitReader(httpResp.Body, maxEnvelopeBytes+1))
+	if err != nil {
+		return nil, fmt.Errorf("transport: read response: %w", err)
+	}
+	if httpResp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%w: %q: http %d: %s", ErrRemoteFailure, addr, httpResp.StatusCode, truncate(body, 200))
+	}
+	return protocol.Unmarshal(body)
+}
+
+// Close shuts down every listener and the client pool.
+func (t *HTTP) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	servers := make([]*http.Server, 0, len(t.servers))
+	for _, s := range t.servers {
+		servers = append(servers, s)
+	}
+	t.servers = make(map[string]*http.Server)
+	t.mu.Unlock()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	var firstErr error
+	for _, s := range servers {
+		if err := s.Shutdown(ctx); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	t.wg.Wait()
+	t.client.CloseIdleConnections()
+	return firstErr
+}
+
+func truncate(b []byte, n int) string {
+	if len(b) <= n {
+		return string(b)
+	}
+	return string(b[:n]) + "..."
+}
