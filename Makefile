@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: all build vet test race bench experiments clean
+
+all: vet build test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# Render every experiment table (E1–E11).
+experiments:
+	$(GO) run ./cmd/alert-bench
+
+clean:
+	$(GO) clean ./...

@@ -16,6 +16,7 @@ import (
 
 	"github.com/gsalert/gsalert/internal/collection"
 	"github.com/gsalert/gsalert/internal/core"
+	"github.com/gsalert/gsalert/internal/delivery"
 	"github.com/gsalert/gsalert/internal/event"
 	"github.com/gsalert/gsalert/internal/filter"
 	"github.com/gsalert/gsalert/internal/profile"
@@ -109,6 +110,7 @@ func benchAuxChain(b *testing.B, depth int) {
 			b.Fatal(err)
 		}
 	}
+	c.Settle(ctx)
 	b.StopTimer()
 	if sink.Len() != b.N {
 		b.Fatalf("watcher notifications = %d, want %d", sink.Len(), b.N)
@@ -338,3 +340,66 @@ func BenchmarkWatchThis(b *testing.B) {
 }
 
 func eventTime() time.Time { return time.Unix(1117584000, 0) } // 2005-06-01
+
+// ---------------------------------------------------------------------------
+// E11 — notification delivery: synchronous fan-out vs the sharded pipeline.
+
+// benchDelivery reuses the E11 harness (sim.RunDeliveryThroughput): a
+// simulated 20µs-per-call + 500ns-per-notification transport cost — the
+// shape batching amortises. shards == 0 is the seed's synchronous design:
+// one blocking sink call per notification on the match path.
+func benchDelivery(b *testing.B, shards int) {
+	b.Helper()
+	const (
+		clients = 32
+		perCall = 20 * time.Microsecond
+		perItem = 500 * time.Nanosecond
+	)
+	b.ResetTimer()
+	r, err := sim.RunDeliveryThroughput(b.N, clients, shards, perCall, perItem)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	b.ReportMetric(r.PerSecond, "notifs/sec")
+}
+
+// BenchmarkDeliverySharding compares the synchronous notifier baseline with
+// the pipeline at 1, 4 and 16 shards (experiment E11; the acceptance sweep
+// of the delivery subsystem).
+func BenchmarkDeliverySharding(b *testing.B) {
+	b.Run("sync", func(b *testing.B) { benchDelivery(b, 0) })
+	for _, shards := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("pipeline/shards=%d", shards), func(b *testing.B) { benchDelivery(b, shards) })
+	}
+}
+
+// BenchmarkDeliveryDurable measures the WAL write amplification of durable
+// mailboxes: enqueue+deliver with the write-ahead log on.
+func BenchmarkDeliveryDurable(b *testing.B) {
+	dir := b.TempDir()
+	p, err := delivery.NewPipeline(delivery.Config{
+		Shards:        4,
+		QueueDepth:    4096,
+		BatchSize:     64,
+		FlushInterval: time.Millisecond,
+		Dir:           dir,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer p.Close()
+	p.Attach("u", func(_ string, _ []delivery.Notification) error { return nil })
+	ev := event.New("bench-ev", event.TypeDocumentsChanged,
+		event.QName{Host: "H", Collection: "C"}, 1, nil, eventTime())
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := p.Enqueue(delivery.Notification{Client: "u", ProfileID: "p", Event: ev, At: eventTime()}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := p.Drain(ctx); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -1,15 +1,22 @@
 // Command alert-bench runs the experiment suite of EXPERIMENTS.md and
 // prints the result tables: build overhead (E1), GDS scalability (E2),
 // routing comparison on fragmented networks (E3), auxiliary-profile chains
-// (E5), partition recovery (E6), lossy flooding (E7), and continuous-search
-// fidelity (E8). The E4 filter-engine throughput comparison lives in the Go
-// benchmarks (go test -bench=BenchmarkFilterMatching).
+// (E5), partition recovery (E6), lossy flooding (E7), continuous-search
+// fidelity (E8), dissemination ablation (E9), delivery across
+// disconnect/reconnect (E10) and delivery throughput (E11). The E4
+// filter-engine throughput comparison lives in the Go benchmarks
+// (go test -bench=BenchmarkFilterMatching).
+//
+// -throughput runs only the E11 delivery-throughput sweep, with
+// -throughput-notifs/-throughput-clients/-delivery-shards controlling the
+// load shape.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"github.com/gsalert/gsalert/internal/metrics"
@@ -23,9 +30,29 @@ func main() {
 func run() int {
 	var (
 		seed = flag.Int64("seed", 2005, "random seed for all experiments")
-		only = flag.String("only", "", "comma-separated experiment ids to run (e1,e2,e3,e5,e6,e7,e8,e9); empty = all")
+		only = flag.String("only", "", "comma-separated experiment ids to run (e1,e2,e3,e5,e6,e7,e8,e9,e10,e11); empty = all")
+
+		throughput  = flag.Bool("throughput", false, "run only the delivery-throughput sweep (E11)")
+		tpNotifs    = flag.Int("throughput-notifs", 50000, "notifications pushed per throughput mode")
+		tpClients   = flag.Int("throughput-clients", 64, "destination clients in the throughput sweep")
+		shardsAflag = flag.String("delivery-shards", "1,4,16", "comma-separated shard counts for the throughput sweep")
 	)
 	flag.Parse()
+
+	shardCounts, err := parseShards(*shardsAflag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "alert-bench: %v\n", err)
+		return 1
+	}
+	if *throughput {
+		t, err := sim.DeliveryThroughputTable(*tpNotifs, *tpClients, shardCounts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "alert-bench: throughput: %v\n", err)
+			return 1
+		}
+		fmt.Println(t.Render())
+		return 0
+	}
 
 	want := map[string]bool{}
 	if *only != "" {
@@ -102,6 +129,20 @@ func run() int {
 			t.AddRow(r.Docs, r.SearchHits, r.AlertedDocs, fmt.Sprintf("%v", r.Agreement), r.WatchAlerts, r.WatchExpected)
 			return t.Render(), nil
 		}},
+		{"e10", func() (string, error) {
+			t, err := sim.DeliveryRecoveryTable([]int{1, 5, 25, 100}, *seed)
+			if err != nil {
+				return "", err
+			}
+			return t.Render(), nil
+		}},
+		{"e11", func() (string, error) {
+			t, err := sim.DeliveryThroughputTable(*tpNotifs, *tpClients, shardCounts)
+			if err != nil {
+				return "", err
+			}
+			return t.Render(), nil
+		}},
 	}
 
 	for _, s := range steps {
@@ -116,4 +157,24 @@ func run() int {
 		fmt.Println(out)
 	}
 	return 0
+}
+
+// parseShards parses a comma-separated shard-count list.
+func parseShards(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad -delivery-shards entry %q", part)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-delivery-shards is empty")
+	}
+	return out, nil
 }

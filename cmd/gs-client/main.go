@@ -30,7 +30,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: gs-client <describe|search|browse|get|subscribe|watch> [flags]
+	fmt.Fprintln(os.Stderr, `usage: gs-client <describe|search|browse|get|subscribe|listen|watch> [flags]
 run "gs-client <command> -h" for command flags`)
 }
 
@@ -58,6 +58,8 @@ func run() int {
 		err = cmdGet(ctx, recep, args)
 	case "subscribe":
 		err = cmdSubscribe(ctx, recep, args)
+	case "listen":
+		err = cmdListen(ctx, recep, args)
 	case "watch":
 		err = cmdWatch(ctx, recep, args)
 	default:
@@ -208,6 +210,24 @@ func cmdSubscribe(ctx context.Context, recep *greenstone.Receptionist, args []st
 	return listenLoop(ctx, recep, *listen, *client, *server, h)
 }
 
+// cmdListen re-attaches an existing client without creating a new profile:
+// the reconnect flow. Alerts parked in the client's server-side mailbox
+// while it was offline arrive first.
+func cmdListen(ctx context.Context, recep *greenstone.Receptionist, args []string) error {
+	fs := flag.NewFlagSet("listen", flag.ExitOnError)
+	host := hostFlag(fs)
+	server := fs.String("server", "", "server name (informational; the -host address is contacted)")
+	client := fs.String("client", "alice", "client identifier")
+	listen := fs.String("listen", "127.0.0.1:9001", "address to receive notifications on")
+	_ = fs.Parse(args)
+	h := connect(recep, *host)
+	name := *server
+	if name == "" {
+		name = h
+	}
+	return listenLoop(ctx, recep, *listen, *client, name, h)
+}
+
 func cmdWatch(ctx context.Context, recep *greenstone.Receptionist, args []string) error {
 	fs := flag.NewFlagSet("watch", flag.ExitOnError)
 	host := hostFlag(fs)
@@ -239,18 +259,27 @@ func quoteList(ids []string) string {
 	return strings.Join(quoted, ", ")
 }
 
-// listenLoop registers a notification listener address with the server and
-// prints incoming notifications until interrupted.
+// listenLoop binds a notification listener address, attaches it at the
+// server (which drains any alerts parked in the client's mailbox while it
+// was offline) and prints incoming notifications until interrupted.
 func listenLoop(ctx context.Context, recep *greenstone.Receptionist, listenAddr, client, server, host string) error {
 	ch, closeFn, err := recep.ListenForNotifications(listenAddr)
 	if err != nil {
 		return err
 	}
 	defer func() { _ = closeFn() }()
-	fmt.Printf("listening for notifications on %s (ctrl-c to stop)\n", listenAddr)
-	fmt.Printf("note: the server pushes to this address when configured with a remote notifier for client %q\n", client)
-	_ = server
-	_ = host
+	if err := recep.AttachNotifications(ctx, host, client, listenAddr); err != nil {
+		return fmt.Errorf("attach notifier at %s: %w", server, err)
+	}
+	defer func() {
+		// Detach on exit so subsequent alerts park server-side instead of
+		// being pushed at a dead address.
+		dctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = recep.DetachNotifications(dctx, host, client)
+	}()
+	fmt.Printf("listening for notifications on %s as client %q (ctrl-c to stop)\n", listenAddr, client)
+	fmt.Println("alerts parked while offline are delivered first; on exit, new alerts park at the server")
 	for {
 		select {
 		case <-ctx.Done():

@@ -27,6 +27,7 @@ import (
 
 	"github.com/gsalert/gsalert/internal/collection"
 	"github.com/gsalert/gsalert/internal/core"
+	"github.com/gsalert/gsalert/internal/delivery"
 	"github.com/gsalert/gsalert/internal/gds"
 	"github.com/gsalert/gsalert/internal/greenstone"
 	"github.com/gsalert/gsalert/internal/transport"
@@ -45,6 +46,15 @@ func run() int {
 		demoName     = flag.String("demo-name", "Demo", "demo collection name")
 		demoInterval = flag.Duration("demo-interval", 15*time.Second, "demo rebuild interval")
 		subsFlag     = flag.String("sub", "", "comma-separated remote sub-collection refs Host=Collection for the demo collection")
+
+		// Delivery pipeline knobs (internal/delivery).
+		dlvShards   = flag.Int("delivery-shards", delivery.DefaultShards, "delivery worker shards (clients hash onto shards)")
+		dlvQueue    = flag.Int("delivery-queue-depth", delivery.DefaultQueueDepth, "per-shard delivery queue depth")
+		dlvOverflow = flag.String("delivery-overflow", "block", "full-queue policy: block, drop-oldest or spill")
+		dlvBatch    = flag.Int("delivery-batch", delivery.DefaultBatchSize, "notifications per delivery batch (flush on size)")
+		dlvFlush    = flag.Duration("delivery-flush-interval", delivery.DefaultFlushInterval, "max delivery batching latency (flush on interval)")
+		mailboxDir  = flag.String("mailbox-dir", "", "directory for durable per-user mailboxes (WAL); empty = memory only")
+		mailboxCap  = flag.Int("mailbox-cap", delivery.DefaultMailboxCap, "max parked notifications per user")
 	)
 	flag.Parse()
 
@@ -52,6 +62,31 @@ func run() int {
 	defer func() { _ = tr.Close() }()
 	ctx, cancel := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer cancel()
+
+	overflow, err := delivery.ParseOverflowPolicy(*dlvOverflow)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gs-server: %v\n", err)
+		return 1
+	}
+	pipeline, err := delivery.NewPipeline(delivery.Config{
+		Shards:        *dlvShards,
+		QueueDepth:    *dlvQueue,
+		Overflow:      overflow,
+		BatchSize:     *dlvBatch,
+		FlushInterval: *dlvFlush,
+		Dir:           *mailboxDir,
+		MailboxCap:    *mailboxCap,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gs-server: delivery pipeline: %v\n", err)
+		return 1
+	}
+	defer func() { _ = pipeline.Close() }()
+	if *mailboxDir != "" {
+		if n := pipeline.Metrics().Recovered.Value(); n > 0 {
+			fmt.Printf("gs-server %s: recovered %d undelivered notifications from %s\n", *name, n, *mailboxDir)
+		}
+	}
 
 	gdsCli := gds.NewClient(*name, *addr, *gdsAddr, tr)
 	store := collection.NewStore(*name)
@@ -61,11 +96,13 @@ func run() int {
 		Transport:  tr,
 		GDS:        gdsCli,
 		Store:      store,
+		Delivery:   pipeline,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "gs-server: %v\n", err)
 		return 1
 	}
+	defer func() { _ = svc.Close() }()
 	srv, err := greenstone.NewServer(greenstone.ServerConfig{
 		Name:      *name,
 		Addr:      *addr,

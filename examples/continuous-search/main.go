@@ -59,8 +59,11 @@ func run() error {
 
 	// First build: two docs, one matching the query.
 	build := func(docs ...*collection.Document) error {
-		_, _, err := srv.Build(ctx, "Songs", docs)
-		return err
+		if _, _, err := srv.Build(ctx, "Songs", docs); err != nil {
+			return err
+		}
+		cluster.Settle(ctx)
+		return nil
 	}
 	s1 := &collection.Document{ID: "s1", Metadata: map[string][]string{"dc.Title": {"Humpback"}},
 		Content: "humpback whale songs recorded offshore"}

@@ -73,6 +73,7 @@ func run() error {
 	if _, _, err := cluster.Server("London").Build(ctx, "E", docs); err != nil {
 		return err
 	}
+	cluster.Settle(ctx)
 
 	fmt.Printf("\nafter London rebuilt London.E, carol@Berlin received %d notification(s):\n", carol.Len())
 	for _, n := range carol.All() {

@@ -72,6 +72,7 @@ func run() error {
 	if _, _, err := cluster.Server("Hamilton").Build(ctx, "Theses", docs); err != nil {
 		return err
 	}
+	cluster.Settle(ctx)
 
 	fmt.Println("\nafter Hamilton built Hamilton.Theses:")
 	for _, server := range subscribers {

@@ -103,6 +103,10 @@ func run() error {
 	if _, _, err := srv.Build(ctx, "Recordings", docs); err != nil {
 		return err
 	}
+	// Delivery is asynchronous (sharded pipeline); settle before reading.
+	if err := svc.DrainDeliveries(ctx); err != nil {
+		return err
+	}
 
 	// 6. Show what alice received.
 	fmt.Printf("\nalice received %d notifications:\n", notifications.Len())

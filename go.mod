@@ -1,0 +1,3 @@
+module github.com/gsalert/gsalert
+
+go 1.22

@@ -35,6 +35,23 @@ func (m *MemoryNotifier) Notify(n Notification) {
 	}
 }
 
+// NotifyBatch implements BatchNotifier: one append per flush.
+func (m *MemoryNotifier) NotifyBatch(ns []Notification) error {
+	m.mu.Lock()
+	m.got = append(m.got, ns...)
+	subs := append([]chan Notification(nil), m.subs...)
+	m.mu.Unlock()
+	for _, ch := range subs {
+		for _, n := range ns {
+			select {
+			case ch <- n:
+			default:
+			}
+		}
+	}
+	return nil
+}
+
 // All returns a copy of every recorded notification.
 func (m *MemoryNotifier) All() []Notification {
 	m.mu.Lock()
@@ -97,4 +114,29 @@ func (r *RemoteNotifier) Notify(n Notification) {
 		return
 	}
 	_ = transport.SendOneWay(context.Background(), r.tr, r.clientAddr, env) // best effort
+}
+
+// NotifyBatch implements BatchNotifier: the whole batch travels as one
+// MsgNotifyBatch envelope (one transport round-trip per flush). Unlike
+// Notify it reports failure, so the delivery pipeline parks the batch in the
+// client's mailbox and redelivers after the client reconnects — the paper §7
+// delayed-not-lost semantics applied to notifications.
+func (r *RemoteNotifier) NotifyBatch(ns []Notification) error {
+	payload := protocol.NotifyBatch{}
+	for _, n := range ns {
+		raw, err := n.Event.MarshalXMLBytes()
+		if err != nil {
+			return err
+		}
+		payload.Items = append(payload.Items, protocol.Notify{
+			Client:    n.Client,
+			ProfileID: n.ProfileID,
+			Event:     protocol.Wrap(raw),
+		})
+	}
+	env, err := protocol.NewEnvelope(r.from, protocol.MsgNotifyBatch, &payload)
+	if err != nil {
+		return err
+	}
+	return transport.SendOneWay(context.Background(), r.tr, r.clientAddr, env)
 }

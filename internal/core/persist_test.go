@@ -66,6 +66,75 @@ func TestSaveLoadSubscriptions(t *testing.T) {
 	}
 }
 
+// TestLoadSubscriptionsReplacesDuplicateIDs covers the merge path: loading
+// a snapshot into a service that already holds profiles with the same IDs
+// replaces them (both user and auxiliary) instead of duplicating, and the
+// replacement expression is the one that fires afterwards.
+func TestLoadSubscriptionsReplacesDuplicateIDs(t *testing.T) {
+	// Source service: one user profile matching Hamilton.D, one aux profile.
+	src := newLocalService(t)
+	userP := profile.NewUser("p-dup", "alice", "Hamilton", profile.MustParse(`collection = "Hamilton.D"`))
+	if err := src.SubscribeProfile(userP); err != nil {
+		t.Fatal(err)
+	}
+	aux := profile.NewAuxiliary("aux:X.S>Hamilton.E",
+		event.QName{Host: "X", Collection: "S"},
+		event.QName{Host: "Hamilton", Collection: "E"})
+	rawAux, _ := aux.MarshalXMLBytes()
+	env := protocol.MustEnvelope("X", protocol.MsgForwardProfile, &protocol.ForwardProfile{Profile: protocol.Wrap(rawAux)})
+	if err := src.HandleForwardProfile(env); err != nil {
+		t.Fatal(err)
+	}
+	var snap bytes.Buffer
+	if err := src.SaveSubscriptions(&snap); err != nil {
+		t.Fatal(err)
+	}
+
+	// Destination service: the SAME IDs bound to different content.
+	dst := newLocalService(t)
+	stale := profile.NewUser("p-dup", "alice", "Hamilton", profile.MustParse(`collection = "Hamilton.Other"`))
+	if err := dst.SubscribeProfile(stale); err != nil {
+		t.Fatal(err)
+	}
+	staleAux := profile.NewAuxiliary("aux:X.S>Hamilton.E",
+		event.QName{Host: "X", Collection: "S"},
+		event.QName{Host: "Hamilton", Collection: "Stale"})
+	rawStale, _ := staleAux.MarshalXMLBytes()
+	envStale := protocol.MustEnvelope("X", protocol.MsgForwardProfile, &protocol.ForwardProfile{Profile: protocol.Wrap(rawStale)})
+	if err := dst.HandleForwardProfile(envStale); err != nil {
+		t.Fatal(err)
+	}
+
+	n, err := dst.LoadSubscriptions(bytes.NewReader(snap.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("restored = %d, want 2", n)
+	}
+	// Replaced, not duplicated.
+	if dst.UserProfileCount() != 1 || dst.AuxProfileCount() != 1 {
+		t.Fatalf("counts after merge: user=%d aux=%d, want 1/1", dst.UserProfileCount(), dst.AuxProfileCount())
+	}
+	if got := dst.ProfilesOf("alice"); len(got) != 1 || got[0] != "p-dup" {
+		t.Errorf("alice profiles = %v", got)
+	}
+	// The loaded expression wins: Hamilton.D fires, Hamilton.Other does not.
+	sink := NewMemoryNotifier()
+	dst.RegisterNotifier("alice", sink)
+	store := collection.NewStore("Hamilton")
+	_, _ = store.Add(collection.Config{Name: "D", Public: true})
+	_, _ = store.Add(collection.Config{Name: "Other", Public: true})
+	buildAndPublish(t, dst, store, "Other", []*collection.Document{{ID: "o1"}})
+	if sink.Len() != 0 {
+		t.Errorf("stale expression still fires: %d", sink.Len())
+	}
+	buildAndPublish(t, dst, store, "D", []*collection.Document{{ID: "d1"}})
+	if sink.Len() != 1 {
+		t.Errorf("replacement expression notifications = %d, want 1", sink.Len())
+	}
+}
+
 func TestLoadSubscriptionsRejectsBadInput(t *testing.T) {
 	s := newLocalService(t)
 	if _, err := s.LoadSubscriptions(strings.NewReader("not xml")); err == nil {

@@ -70,8 +70,11 @@ func (s *Service) publishEvent(ctx context.Context, ev *event.Event) (time.Durat
 	return filterTime, nil
 }
 
-// filterLocally matches ev against local user profiles and notifies their
-// clients, returning the filtering duration.
+// filterLocally matches ev against local user profiles and enqueues one
+// notification per match on the asynchronous delivery pipeline, returning
+// the filtering duration. The match path never calls a client sink directly:
+// delivery latency, slow clients and offline users are the pipeline's
+// problem, not the matcher's.
 func (s *Service) filterLocally(ev *event.Event) time.Duration {
 	start := time.Now()
 	matches := s.matcher.Match(ev)
@@ -79,30 +82,28 @@ func (s *Service) filterLocally(ev *event.Event) time.Duration {
 
 	s.mu.Lock()
 	s.stats.FilterTime += elapsed
-	notifierOf := make(map[string]Notifier, len(matches))
-	for _, m := range matches {
-		notifierOf[m.Profile.Owner] = s.notifiers[m.Profile.Owner]
-	}
 	now := s.clock()
 	s.mu.Unlock()
 
+	var enqueued, refused int64
 	for _, m := range matches {
-		n := notifierOf[m.Profile.Owner]
-		if n == nil {
-			s.mu.Lock()
-			s.stats.NotifyFailures++
-			s.mu.Unlock()
-			continue
-		}
-		n.Notify(Notification{
+		err := s.delivery.Enqueue(Notification{
 			Client:    m.Profile.Owner,
 			ProfileID: m.Profile.ID,
 			Event:     ev,
 			DocIDs:    m.DocIDs,
 			At:        now,
 		})
+		if err != nil {
+			refused++
+			continue
+		}
+		enqueued++
+	}
+	if enqueued != 0 || refused != 0 {
 		s.mu.Lock()
-		s.stats.Notifications++
+		s.stats.Notifications += enqueued
+		s.stats.NotifyFailures += refused
 		s.mu.Unlock()
 	}
 	return elapsed

@@ -189,6 +189,7 @@ func TestForwardedEventValidation(t *testing.T) {
 	if err := s.HandleEventEnvelope(ctx, mkEnv("Hamilton.D", ev)); err != nil {
 		t.Fatal(err)
 	}
+	drainService(t, s)
 	if sink.Len() != 1 {
 		t.Fatalf("notifications = %d", sink.Len())
 	}
@@ -346,6 +347,7 @@ func TestPublishBuildReportsFilterTime(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	drainService(t, s)
 	if ft <= 0 {
 		t.Error("filter time not measured")
 	}

@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"github.com/gsalert/gsalert/internal/collection"
+	"github.com/gsalert/gsalert/internal/delivery"
 	"github.com/gsalert/gsalert/internal/event"
 	"github.com/gsalert/gsalert/internal/filter"
 	"github.com/gsalert/gsalert/internal/gds"
@@ -57,22 +58,22 @@ func (s StaticResolver) Resolve(_ context.Context, name string) (string, error) 
 }
 
 // Notification is what a client receives when one of its profiles matches.
-type Notification struct {
-	// Client is the recipient.
-	Client string
-	// ProfileID identifies the matching profile.
-	ProfileID string
-	// Event is the matching event.
-	Event *event.Event
-	// DocIDs are the matching documents (empty for event-level matches).
-	DocIDs []string
-	// At is the local delivery time.
-	At time.Time
-}
+// It is an alias of delivery.Notification: the match path hands matches to
+// the asynchronous delivery pipeline without conversion.
+type Notification = delivery.Notification
 
 // Notifier delivers notifications to one client.
 type Notifier interface {
 	Notify(n Notification)
+}
+
+// BatchNotifier is an optional Notifier refinement: sinks that can deliver a
+// whole batch in one transport round-trip (the pipeline's per-destination
+// batching amortisation). A non-nil error parks the batch in the client's
+// mailbox for redelivery on reconnect.
+type BatchNotifier interface {
+	Notifier
+	NotifyBatch(ns []Notification) error
 }
 
 // NotifierFunc adapts a function to Notifier.
@@ -101,6 +102,10 @@ type Config struct {
 	Store *collection.Store
 	// Matcher is the filtering engine; defaults to equality-preferred.
 	Matcher filter.Matcher
+	// Delivery is the asynchronous notification pipeline. When nil the
+	// service builds a default in-memory pipeline (sharded, non-durable);
+	// pass a configured pipeline for durability or custom backpressure.
+	Delivery *delivery.Pipeline
 	// Clock overrides time.Now for deterministic tests.
 	Clock func() time.Time
 }
@@ -118,8 +123,7 @@ type Service struct {
 	matcher filter.Matcher // user profiles
 	aux     filter.Matcher // auxiliary profiles installed at this server
 
-	mu        sync.Mutex
-	notifiers map[string]Notifier
+	mu sync.Mutex
 	// profilesByClient indexes user profile IDs per client for unsubscribe
 	// bookkeeping and listing.
 	profilesByClient map[string]map[string]bool
@@ -129,6 +133,11 @@ type Service struct {
 
 	dedup *event.Dedup
 	retry *queue.Queue
+
+	// delivery decouples client notification from the match path; matched
+	// notifications are enqueued, never delivered synchronously.
+	delivery     *delivery.Pipeline
+	ownsDelivery bool
 
 	// routing selects broadcast (default) or multicast dissemination;
 	// groupRefs/groupsByProfile track multicast membership per profile.
@@ -145,7 +154,7 @@ type ServiceStats struct {
 	EventsPublished    int64
 	EventsReceived     int64
 	DuplicatesDropped  int64
-	Notifications      int64
+	Notifications      int64 // notifications enqueued to the delivery pipeline
 	AuxForwards        int64 // events forwarded over the GS network
 	Transforms         int64 // events renamed to a super-collection
 	CycleRefusals      int64
@@ -153,8 +162,8 @@ type ServiceStats struct {
 	AuxCancelsSent     int64
 	BroadcastsSent     int64
 	FilterTime         time.Duration // cumulative local filtering time
-	NotifyFailures     int64
-	ForwardingFailures int64 // queued for retry
+	NotifyFailures     int64         // notifications refused by the pipeline
+	ForwardingFailures int64         // queued for retry
 }
 
 // Queued payload kinds for the retry queue.
@@ -181,7 +190,6 @@ func New(cfg Config) (*Service, error) {
 		clock:            cfg.Clock,
 		matcher:          cfg.Matcher,
 		aux:              filter.NewEqualityPreferred(),
-		notifiers:        make(map[string]Notifier),
 		profilesByClient: make(map[string]map[string]bool),
 		forwardedAux:     make(map[string]string),
 		dedup:            event.NewDedup(0),
@@ -195,12 +203,42 @@ func New(cfg Config) (*Service, error) {
 	if s.resolver == nil && s.gdsCli != nil {
 		s.resolver = s.gdsCli
 	}
+	s.delivery = cfg.Delivery
+	if s.delivery == nil {
+		p, err := delivery.NewPipeline(delivery.Config{})
+		if err != nil {
+			return nil, err
+		}
+		s.delivery = p
+		s.ownsDelivery = true
+	}
 	q, err := queue.New(s.sendQueued)
 	if err != nil {
 		return nil, err
 	}
 	s.retry = q
 	return s, nil
+}
+
+// Close stops the retry queue and, when the service built its own delivery
+// pipeline, flushes and closes it (compacting durable mailboxes). A pipeline
+// supplied via Config.Delivery belongs to the caller and is left running.
+func (s *Service) Close() error {
+	s.retry.Stop()
+	if s.ownsDelivery {
+		return s.delivery.Close()
+	}
+	return nil
+}
+
+// Delivery exposes the notification pipeline (metrics, pending mailboxes).
+func (s *Service) Delivery() *delivery.Pipeline { return s.delivery }
+
+// DrainDeliveries blocks until every enqueued notification is delivered or
+// parked. Simulations and tests call it to observe a quiescent state;
+// notifications parked for detached clients stay in their mailboxes.
+func (s *Service) DrainDeliveries(ctx context.Context) error {
+	return s.delivery.Drain(ctx)
 }
 
 // Name returns the server name.
@@ -226,18 +264,32 @@ func (s *Service) nextID(prefix string) string {
 // ---------------------------------------------------------------------------
 // Subscriptions (user profiles)
 
-// RegisterNotifier attaches a delivery sink for a client.
+// RegisterNotifier attaches a delivery sink for a client and drains any
+// notifications parked in the client's mailbox while it was away (paper §7
+// reconnect semantics, extended from profiles to notifications). The
+// pipeline owns the registration; the service keeps no sink state.
 func (s *Service) RegisterNotifier(client string, n Notifier) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.notifiers[client] = n
+	s.delivery.Attach(client, delivererFor(n))
 }
 
-// UnregisterNotifier removes a client's sink.
+// delivererFor adapts a Notifier to the pipeline's batch deliverer,
+// preferring one round-trip per batch when the sink supports it.
+func delivererFor(n Notifier) delivery.Deliverer {
+	return func(_ string, batch []Notification) error {
+		if bn, ok := n.(BatchNotifier); ok {
+			return bn.NotifyBatch(batch)
+		}
+		for _, x := range batch {
+			n.Notify(x)
+		}
+		return nil
+	}
+}
+
+// UnregisterNotifier removes a client's sink; subsequent notifications park
+// in the client's mailbox until it re-registers.
 func (s *Service) UnregisterNotifier(client string) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	delete(s.notifiers, client)
+	s.delivery.Detach(client)
 }
 
 // Subscribe registers a user profile owned by client. The profile's ID is

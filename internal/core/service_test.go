@@ -45,7 +45,19 @@ func buildAndPublish(t *testing.T, s *Service, store *collection.Store, name str
 	if _, err := s.PublishBuild(context.Background(), res); err != nil {
 		t.Fatal(err)
 	}
+	drainService(t, s)
 	return res
+}
+
+// drainService settles the asynchronous delivery pipeline so tests can
+// assert on notifier contents deterministically.
+func drainService(t *testing.T, s *Service) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.DrainDeliveries(ctx); err != nil {
+		t.Fatalf("drain deliveries: %v", err)
+	}
 }
 
 func TestNewValidation(t *testing.T) {
@@ -179,6 +191,7 @@ func TestDuplicateEventSuppressed(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
+	drainService(t, s)
 	if sink.Len() != 1 {
 		t.Fatalf("notifications = %d, want 1 (dedup)", sink.Len())
 	}
@@ -187,14 +200,33 @@ func TestDuplicateEventSuppressed(t *testing.T) {
 	}
 }
 
-func TestNotifierMissingCountsFailure(t *testing.T) {
+// TestOfflineClientParksAndDrainsOnRegister covers the delivery pipeline's
+// reconnect semantics end to end through the service: notifications matched
+// while a client has no registered notifier park in its mailbox and drain
+// the moment the client registers one.
+func TestOfflineClientParksAndDrainsOnRegister(t *testing.T) {
 	s := newLocalService(t)
+	defer s.Close()
 	_, _ = s.Subscribe("ghost", profile.MustParse(`collection = "Hamilton.D"`))
 	store := collection.NewStore("Hamilton")
 	_, _ = store.Add(collection.Config{Name: "D", Public: true})
 	buildAndPublish(t, s, store, "D", []*collection.Document{{ID: "d1"}})
-	if st := s.Stats(); st.NotifyFailures == 0 {
-		t.Error("missing notifier not counted")
+	// The notification is enqueued (counted), not lost and not delivered.
+	if st := s.Stats(); st.Notifications == 0 {
+		t.Error("offline match not enqueued")
+	}
+	if got := s.Delivery().Pending("ghost"); got == 0 {
+		t.Fatal("offline notification not parked in mailbox")
+	}
+	// Reconnect: registering the notifier drains the mailbox.
+	sink := NewMemoryNotifier()
+	s.RegisterNotifier("ghost", sink)
+	drainService(t, s)
+	if sink.Len() == 0 {
+		t.Fatal("parked notification not drained on register")
+	}
+	if got := s.Delivery().Pending("ghost"); got != 0 {
+		t.Errorf("pending after drain = %d", got)
 	}
 }
 

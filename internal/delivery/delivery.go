@@ -1,0 +1,739 @@
+// Package delivery implements the asynchronous notification-delivery
+// pipeline that decouples the hot profile-matching path (internal/core) from
+// client delivery. The paper's prototype notifies clients synchronously
+// inside the filtering step, which both slows the matching loop and silently
+// loses alerts for disconnected users; this package extends the paper's §7
+// partition-tolerance — "notifications ... would be delayed until the network
+// connection is reestablished" — from auxiliary profiles to the
+// notifications themselves.
+//
+// Architecture:
+//
+//	Enqueue ──▶ per-user mailbox (append; WAL when durable)
+//	        ──▶ hash(client) ──▶ shard queue (bounded) ──▶ worker
+//	                               │ overflow: block / drop-oldest / spill
+//	                               ▼
+//	                     per-client batch (flush on size / interval)
+//	                               ▼
+//	                 Deliverer (attached sink) ──▶ ack mailbox
+//	                     └─ none attached ──▶ park in mailbox
+//
+// A parked notification survives until the client re-attaches (reconnect),
+// at which point the mailbox is drained back through the pipeline. With a
+// WAL directory configured, parked notifications also survive process
+// restarts: the write-ahead log is replayed on open and compacted into a
+// snapshot once enough of it is dead.
+package delivery
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/gsalert/gsalert/internal/event"
+)
+
+// Notification is one alert addressed to one client. core.Notification is an
+// alias of this type so the match path hands matches over without copying.
+type Notification struct {
+	// Client is the recipient.
+	Client string
+	// ProfileID identifies the matching profile.
+	ProfileID string
+	// Event is the matching event.
+	Event *event.Event
+	// DocIDs are the matching documents (empty for event-level matches).
+	DocIDs []string
+	// At is the local delivery time.
+	At time.Time
+}
+
+// Deliverer pushes one batch of notifications to one client. A non-nil error
+// parks the batch in the client's mailbox for redelivery (the transport or
+// client is treated as temporarily unreachable).
+type Deliverer func(client string, batch []Notification) error
+
+// OverflowPolicy selects what Enqueue does when a shard queue is full.
+type OverflowPolicy int
+
+const (
+	// Block applies backpressure: Enqueue waits for queue space. This is
+	// the default — producers (collection builds) slow down rather than
+	// lose alerts.
+	Block OverflowPolicy = iota
+	// DropOldest displaces the oldest queued notification to its mailbox
+	// (parked, not lost) to admit the new one. Freshness over latency.
+	DropOldest
+	// SpillToDisk diverts the overflow to a per-shard disk FIFO that the
+	// worker re-ingests as the queue empties. Requires Config.Dir.
+	SpillToDisk
+)
+
+// String names the policy (flag values of cmd/gs-server).
+func (p OverflowPolicy) String() string {
+	switch p {
+	case Block:
+		return "block"
+	case DropOldest:
+		return "drop-oldest"
+	case SpillToDisk:
+		return "spill"
+	default:
+		return fmt.Sprintf("overflow-policy-%d", int(p))
+	}
+}
+
+// ParseOverflowPolicy maps a flag value back to a policy.
+func ParseOverflowPolicy(s string) (OverflowPolicy, error) {
+	switch s {
+	case "block", "":
+		return Block, nil
+	case "drop-oldest":
+		return DropOldest, nil
+	case "spill":
+		return SpillToDisk, nil
+	default:
+		return 0, fmt.Errorf("delivery: unknown overflow policy %q (want block, drop-oldest or spill)", s)
+	}
+}
+
+// Defaults used by Config when fields are zero.
+const (
+	DefaultShards        = 4
+	DefaultQueueDepth    = 1024
+	DefaultBatchSize     = 32
+	DefaultFlushInterval = 25 * time.Millisecond
+	DefaultMailboxCap    = 4096
+	DefaultRetryInterval = time.Second
+)
+
+// Config assembles a Pipeline.
+type Config struct {
+	// Shards is the number of worker pools; clients are FNV-hashed onto
+	// shards so one client's notifications stay ordered. Default 4.
+	Shards int
+	// QueueDepth bounds each shard's in-memory queue. Default 1024.
+	QueueDepth int
+	// Overflow selects the full-queue behaviour. Default Block.
+	Overflow OverflowPolicy
+	// BatchSize flushes a client's batch when it reaches this many
+	// notifications. Default 32.
+	BatchSize int
+	// FlushInterval flushes all open batches at least this often, bounding
+	// delivery latency for slow trickles. Default 25ms.
+	FlushInterval time.Duration
+	// Dir enables durability: per-user write-ahead logs (and the spill
+	// files of SpillToDisk) live here. Empty keeps mailboxes memory-only.
+	Dir string
+	// MailboxCap bounds parked notifications per user; beyond it the
+	// oldest parked alerts are dropped (counted). Default 4096.
+	MailboxCap int
+	// CompactThreshold rewrites a mailbox WAL once it holds this many dead
+	// records (delivered or dropped). Default 1024.
+	CompactThreshold int
+	// RetryInterval schedules redelivery of notifications parked by a
+	// FAILED delivery attempt while the client stays attached (a client
+	// that detaches is drained by its next Attach instead). Default 1s.
+	RetryInterval time.Duration
+}
+
+func (c *Config) fillDefaults() {
+	if c.Shards <= 0 {
+		c.Shards = DefaultShards
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = DefaultQueueDepth
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = DefaultBatchSize
+	}
+	if c.FlushInterval <= 0 {
+		c.FlushInterval = DefaultFlushInterval
+	}
+	if c.MailboxCap <= 0 {
+		c.MailboxCap = DefaultMailboxCap
+	}
+	if c.CompactThreshold <= 0 {
+		c.CompactThreshold = defaultCompactThreshold
+	}
+	if c.RetryInterval <= 0 {
+		c.RetryInterval = DefaultRetryInterval
+	}
+}
+
+// item is one queued delivery: the notification plus its mailbox sequence.
+type item struct {
+	n   Notification
+	seq uint64
+}
+
+// shard is one worker pool: a bounded queue, an optional disk spill and a
+// goroutine batching per client.
+type shard struct {
+	ch    chan item
+	spill *spillQueue // nil unless SpillToDisk
+	// admitMu serialises SpillToDisk admissions: the spill-empty check and
+	// the queue/spill placement must be atomic or two concurrent admits
+	// for one client could land out of order.
+	admitMu sync.Mutex
+	poke    chan struct{}
+	done    chan struct{}
+}
+
+// delivererEntry is a registered sink plus the generation of the Attach
+// that installed it; flush uses the generation to detect a re-Attach that
+// raced a failed or sink-less delivery.
+type delivererEntry struct {
+	fn  Deliverer
+	gen uint64
+}
+
+// Pipeline is the sharded asynchronous delivery engine.
+type Pipeline struct {
+	cfg    Config
+	shards []*shard
+	m      *Metrics
+
+	mu         sync.Mutex
+	deliverers map[string]delivererEntry
+	attachGen  uint64
+	mailboxes  map[string]*mailbox
+	// retryAt schedules a mailbox re-drain for clients whose attached sink
+	// failed a delivery; the retry loop fires due entries.
+	retryAt map[string]time.Time
+	closed  bool
+
+	// inflight counts notifications admitted to a shard queue (or spill)
+	// and not yet delivered, parked or displaced. Drain waits for zero.
+	inflight atomic.Int64
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// ErrClosed reports an Enqueue after Close.
+var ErrClosed = errors.New("delivery: pipeline closed")
+
+// NewPipeline builds and starts a pipeline. With cfg.Dir set, existing
+// mailbox WALs under it are recovered immediately (their notifications stay
+// parked until the owning clients attach).
+func NewPipeline(cfg Config) (*Pipeline, error) {
+	cfg.fillDefaults()
+	if cfg.Overflow == SpillToDisk && cfg.Dir == "" {
+		return nil, errors.New("delivery: SpillToDisk requires Config.Dir")
+	}
+	p := &Pipeline{
+		cfg:        cfg,
+		m:          newMetrics(),
+		deliverers: make(map[string]delivererEntry),
+		mailboxes:  make(map[string]*mailbox),
+		retryAt:    make(map[string]time.Time),
+		stop:       make(chan struct{}),
+	}
+	if cfg.Dir != "" {
+		boxes, err := recoverMailboxes(cfg.Dir, cfg.MailboxCap, cfg.CompactThreshold)
+		if err != nil {
+			return nil, err
+		}
+		for user, mb := range boxes {
+			p.mailboxes[user] = mb
+			p.m.Recovered.Add(int64(mb.pendingCount()))
+		}
+	}
+	for i := 0; i < cfg.Shards; i++ {
+		sh := &shard{
+			ch:   make(chan item, cfg.QueueDepth),
+			poke: make(chan struct{}, 1),
+			done: make(chan struct{}),
+		}
+		if cfg.Overflow == SpillToDisk {
+			sq, err := newSpillQueue(cfg.Dir, i)
+			if err != nil {
+				return nil, err
+			}
+			sh.spill = sq
+		}
+		p.shards = append(p.shards, sh)
+		p.wg.Add(1)
+		go p.worker(sh)
+	}
+	p.wg.Add(1)
+	go p.retryLoop()
+	return p, nil
+}
+
+// retryLoop re-drains the mailboxes of clients whose attached sink failed a
+// delivery, once their backoff elapses. Without it, alerts parked by a
+// transient transport error would wait for the client's next reconnect even
+// though the client never went away.
+func (p *Pipeline) retryLoop() {
+	defer p.wg.Done()
+	ticker := time.NewTicker(p.cfg.FlushInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-p.stop:
+			return
+		case <-ticker.C:
+		}
+		now := time.Now()
+		type drain struct {
+			mb    *mailbox
+			items []item
+		}
+		var due []drain
+		p.mu.Lock()
+		for client, at := range p.retryAt {
+			if now.Before(at) {
+				continue
+			}
+			delete(p.retryAt, client)
+			if _, attached := p.deliverers[client]; !attached {
+				continue // the next Attach drains instead
+			}
+			if mb := p.mailboxes[client]; mb != nil {
+				if items := mb.takePending(); len(items) > 0 {
+					due = append(due, drain{mb: mb, items: items})
+				}
+			}
+		}
+		p.mu.Unlock()
+		for _, d := range due {
+			for i, it := range d.items {
+				if err := p.admit(it, d.mb); err != nil {
+					for _, rest := range d.items[i+1:] {
+						d.mb.park(rest.seq)
+					}
+					return
+				}
+			}
+		}
+	}
+}
+
+// shardOf hashes a client onto a shard, keeping one client's notifications
+// on one worker (per-client FIFO ordering).
+func (p *Pipeline) shardOf(client string) *shard {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(client))
+	return p.shards[int(h.Sum32())%len(p.shards)]
+}
+
+// mailboxOf returns (creating on demand) the client's mailbox.
+func (p *Pipeline) mailboxOf(client string) (*mailbox, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	mb := p.mailboxes[client]
+	if mb == nil {
+		var err error
+		mb, err = newMailbox(p.cfg.Dir, client, p.cfg.MailboxCap, p.cfg.CompactThreshold)
+		if err != nil {
+			return nil, err
+		}
+		p.mailboxes[client] = mb
+	}
+	return mb, nil
+}
+
+// Enqueue admits one notification. It appends to the client's mailbox first
+// (write-ahead: with durability on, a process crash after Enqueue returns
+// cannot lose the alert — appends are buffered writes, so power-loss
+// durability is bounded by the OS page cache; the WAL is fsynced on
+// compaction and close), then queues it for asynchronous delivery, applying
+// the configured overflow policy when the shard is saturated.
+func (p *Pipeline) Enqueue(n Notification) error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return ErrClosed
+	}
+	p.mu.Unlock()
+
+	mb, err := p.mailboxOf(n.Client)
+	if err != nil {
+		return err
+	}
+	seq, evicted, err := mb.add(n)
+	if err != nil {
+		return err
+	}
+	p.m.Dropped.Add(int64(evicted))
+	p.m.Enqueued.Inc()
+	return p.admit(item{n: n, seq: seq}, mb)
+}
+
+// admit places an item on its shard queue, honouring the overflow policy.
+// The item must already be present (inflight) in mb.
+func (p *Pipeline) admit(it item, mb *mailbox) error {
+	sh := p.shardOf(it.n.Client)
+	p.inflight.Add(1)
+	switch p.cfg.Overflow {
+	case DropOldest:
+		for {
+			select {
+			case sh.ch <- it:
+				return nil
+			default:
+			}
+			select {
+			case old := <-sh.ch:
+				// Displace the oldest queued item back to its mailbox:
+				// parked, deliverable on the next attach/drain.
+				p.parkItems([]item{old})
+				p.m.Displaced.Inc()
+				p.inflight.Add(-1)
+			default:
+				// Queue drained concurrently; retry the send.
+			}
+		}
+	case SpillToDisk:
+		// Once anything is spilled, later items must also spill: the
+		// worker drains the queue before the spill, so admitting a newer
+		// item to the queue while older ones sit on disk would reorder a
+		// client's notifications. admitMu makes the check-and-place
+		// atomic against concurrent admits.
+		sh.admitMu.Lock()
+		if sh.spill.len() == 0 {
+			select {
+			case sh.ch <- it:
+				sh.admitMu.Unlock()
+				return nil
+			default:
+			}
+		}
+		err := sh.spill.push(it)
+		sh.admitMu.Unlock()
+		if err != nil {
+			p.inflight.Add(-1)
+			p.parkItems([]item{it})
+			return err
+		}
+		p.m.Spilled.Inc()
+		return nil
+	default: // Block: backpressure the producer.
+		select {
+		case sh.ch <- it:
+			return nil
+		case <-p.stop:
+			// Shutting down: the item stays in the mailbox, parked (and,
+			// when durable, recovered on the next start).
+			p.inflight.Add(-1)
+			p.parkItems([]item{it})
+			return ErrClosed
+		}
+	}
+}
+
+// Attach registers the delivery sink for a client and schedules redelivery
+// of everything parked in the client's mailbox (the paper-§7 reconnect
+// drain). Attaching replaces any previous sink. Registration and the
+// pending snapshot happen under one lock so a flush that is concurrently
+// parking this client's batch either parks before (we pick the entries up
+// here) or re-checks after and finds the new sink itself.
+func (p *Pipeline) Attach(client string, d Deliverer) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.attachGen++
+	p.deliverers[client] = delivererEntry{fn: d, gen: p.attachGen}
+	mb := p.mailboxes[client]
+	var items []item
+	if mb != nil {
+		items = mb.takePending()
+	}
+	p.mu.Unlock()
+	for i, it := range items {
+		if err := p.admit(it, mb); err != nil {
+			// admit parked the failed item itself; return the rest of the
+			// snapshot to the mailbox so a later Attach can still see it.
+			for _, rest := range items[i+1:] {
+				mb.park(rest.seq)
+			}
+			return
+		}
+	}
+}
+
+// Detach removes a client's sink; subsequent deliveries park in the mailbox
+// until the client re-attaches.
+func (p *Pipeline) Detach(client string) {
+	p.mu.Lock()
+	delete(p.deliverers, client)
+	p.mu.Unlock()
+}
+
+// Pending reports how many notifications are parked in a client's mailbox
+// (excluding those currently queued for delivery).
+func (p *Pipeline) Pending(client string) int {
+	p.mu.Lock()
+	mb := p.mailboxes[client]
+	p.mu.Unlock()
+	if mb == nil {
+		return 0
+	}
+	return mb.parkedCount()
+}
+
+// QueueDepths reports the current occupancy of each shard queue.
+func (p *Pipeline) QueueDepths() []int {
+	out := make([]int, len(p.shards))
+	for i, sh := range p.shards {
+		out[i] = len(sh.ch)
+	}
+	return out
+}
+
+// Metrics exposes the pipeline's counters and histograms.
+func (p *Pipeline) Metrics() *Metrics { return p.m }
+
+// Drain flushes every shard and blocks until no notification is queued,
+// batched or spilled (parked mailbox contents do not count: they are at
+// rest until their client attaches). Simulations and tests call it to make
+// asynchronous delivery deterministic.
+func (p *Pipeline) Drain(ctx context.Context) error {
+	for {
+		if p.inflight.Load() == 0 {
+			return nil
+		}
+		for _, sh := range p.shards {
+			select {
+			case sh.poke <- struct{}{}:
+			default:
+			}
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(200 * time.Microsecond):
+		}
+	}
+}
+
+// Close stops the workers (flushing open batches), compacts and closes every
+// mailbox, and rejects further Enqueues.
+func (p *Pipeline) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	p.mu.Unlock()
+	close(p.stop)
+	p.wg.Wait()
+	// An Enqueue that raced Close may have landed an item on a queue after
+	// its worker exited (the buffered send and the stop case are both ready
+	// in admit's select). Park such stragglers so they stay visible in
+	// their mailboxes and inflight returns to zero.
+	for _, sh := range p.shards {
+	drainShard:
+		for {
+			select {
+			case it := <-sh.ch:
+				p.parkItems([]item{it})
+				p.inflight.Add(-1)
+			default:
+				break drainShard
+			}
+		}
+		if sh.spill != nil {
+			for {
+				it, ok, dropped, err := sh.spill.pop()
+				if err != nil {
+					p.inflight.Add(-int64(dropped))
+					p.m.Dropped.Add(int64(dropped))
+					break
+				}
+				if !ok {
+					break
+				}
+				p.parkItems([]item{it})
+				p.inflight.Add(-1)
+			}
+		}
+	}
+	var firstErr error
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, mb := range p.mailboxes {
+		if err := mb.close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	for _, sh := range p.shards {
+		if sh.spill != nil {
+			if err := sh.spill.close(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	return firstErr
+}
+
+// ---------------------------------------------------------------------------
+// Worker
+
+// worker is one shard's goroutine: it accumulates per-client batches and
+// flushes them on size, interval, drain pokes and shutdown.
+func (p *Pipeline) worker(sh *shard) {
+	defer p.wg.Done()
+	defer close(sh.done)
+	batches := make(map[string][]item)
+	ticker := time.NewTicker(p.cfg.FlushInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case it := <-sh.ch:
+			p.ingest(sh, batches, it)
+		case <-ticker.C:
+			p.drainQueue(sh, batches)
+			p.flushAll(batches)
+		case <-sh.poke:
+			p.drainQueue(sh, batches)
+			p.flushAll(batches)
+		case <-p.stop:
+			p.drainQueue(sh, batches)
+			p.flushAll(batches)
+			return
+		}
+	}
+}
+
+// ingest adds one item to its client batch, flushing on size.
+func (p *Pipeline) ingest(sh *shard, batches map[string][]item, it item) {
+	b := append(batches[it.n.Client], it)
+	if len(b) >= p.cfg.BatchSize {
+		delete(batches, it.n.Client)
+		p.flush(it.n.Client, b)
+		return
+	}
+	batches[it.n.Client] = b
+}
+
+// drainQueue consumes everything currently queued (and spilled) without
+// blocking.
+func (p *Pipeline) drainQueue(sh *shard, batches map[string][]item) {
+	for {
+		select {
+		case it := <-sh.ch:
+			p.ingest(sh, batches, it)
+			continue
+		default:
+		}
+		if sh.spill == nil || sh.spill.len() == 0 {
+			return
+		}
+		it, ok, dropped, err := sh.spill.pop()
+		if err != nil {
+			// The spill reset itself; settle the accounting for the
+			// discarded queue copies (durable copies stay in the WALs).
+			p.inflight.Add(-int64(dropped))
+			p.m.Dropped.Add(int64(dropped))
+			return
+		}
+		if !ok {
+			return
+		}
+		p.ingest(sh, batches, it)
+	}
+}
+
+// flushAll flushes every open batch.
+func (p *Pipeline) flushAll(batches map[string][]item) {
+	for client, b := range batches {
+		delete(batches, client)
+		p.flush(client, b)
+	}
+}
+
+// flush delivers one client's batch through its attached sink, acking the
+// mailbox on success and parking on failure or when no sink is attached.
+// Parking happens under p.mu after re-reading the sink registration, so a
+// concurrent Attach cannot slip between the lookup and the park and leave
+// the batch stranded: either the Attach's takePending sees the parked
+// entries, or flush sees the freshly attached sink and delivers to it.
+func (p *Pipeline) flush(client string, b []item) {
+	if len(b) == 0 {
+		return
+	}
+	defer p.inflight.Add(-int64(len(b)))
+	ns := make([]Notification, len(b))
+	for i, it := range b {
+		ns[i] = it.n
+	}
+	var triedGen uint64
+	tried := false
+	for {
+		p.mu.Lock()
+		e, attached := p.deliverers[client]
+		if !attached || (tried && e.gen == triedGen) {
+			// No sink, or the sink we already tried is still the current
+			// one: park. A sink installed by a *newer* Attach loops back
+			// and is tried instead.
+			mb := p.mailboxes[client]
+			if mb != nil {
+				for _, it := range b {
+					mb.park(it.seq)
+				}
+			}
+			if tried {
+				// The sink is still attached but failing: schedule an
+				// automatic re-drain instead of waiting for a reconnect.
+				p.retryAt[client] = time.Now().Add(p.cfg.RetryInterval)
+			}
+			p.mu.Unlock()
+			p.m.Parked.Add(int64(len(b)))
+			if tried {
+				p.m.Retried.Add(int64(len(b)))
+			}
+			return
+		}
+		d, gen := e.fn, e.gen
+		p.mu.Unlock()
+		start := time.Now()
+		err := d(client, ns)
+		p.m.FlushLatency.ObserveDuration(time.Since(start))
+		p.m.BatchSizes.Observe(float64(len(b)))
+		p.m.Batches.Inc()
+		if err == nil {
+			p.ackItems(client, b)
+			p.m.Delivered.Add(int64(len(b)))
+			return
+		}
+		tried, triedGen = true, gen
+	}
+}
+
+// ackItems removes delivered items from the client's mailbox.
+func (p *Pipeline) ackItems(client string, b []item) {
+	p.mu.Lock()
+	mb := p.mailboxes[client]
+	p.mu.Unlock()
+	if mb == nil {
+		return
+	}
+	seqs := make([]uint64, len(b))
+	for i, it := range b {
+		seqs[i] = it.seq
+	}
+	mb.ack(seqs)
+}
+
+// parkItems returns items to their mailboxes as parked (deliverable on the
+// next attach).
+func (p *Pipeline) parkItems(b []item) {
+	for _, it := range b {
+		p.mu.Lock()
+		mb := p.mailboxes[it.n.Client]
+		p.mu.Unlock()
+		if mb != nil {
+			mb.park(it.seq)
+		}
+	}
+}

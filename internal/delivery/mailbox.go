@@ -1,0 +1,534 @@
+package delivery
+
+import (
+	"encoding/binary"
+	"encoding/xml"
+	"errors"
+	"fmt"
+	"io"
+	"net/url"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/gsalert/gsalert/internal/event"
+)
+
+// A mailbox holds one user's undelivered notifications. Entries move through
+// three states: inflight (queued on a shard), parked (at rest, waiting for
+// the client to attach) and gone (delivered or evicted). With a WAL the
+// pending set survives restarts: every add appends an 'A' record, every
+// delivery an 'K' (ack) record, and once enough of the log is dead it is
+// compacted into a snapshot holding only the live entries.
+//
+// The WAL is a sequence of length-delimited binary records:
+//
+//	'A' seq(u64) len(u32) payload   — notification appended
+//	'K' seq(u64)                    — notification delivered/evicted
+//
+// A torn trailing record (crash mid-write) is detected by length and
+// silently discarded on recovery; everything before it is intact.
+
+const (
+	recAppend byte = 'A'
+	recAck    byte = 'K'
+
+	walSuffix               = ".wal"
+	defaultCompactThreshold = 1024
+
+	// maxWALRecord bounds one record's payload; a larger length prefix
+	// means corruption, not a notification.
+	maxWALRecord = 16 << 20
+)
+
+type entry struct {
+	seq      uint64
+	n        Notification
+	inflight bool
+}
+
+type mailbox struct {
+	mu      sync.Mutex
+	user    string
+	entries []entry // ordered by seq
+	nextSeq uint64
+	cap     int
+
+	wal          *os.File // nil when memory-only
+	walPath      string
+	deadRecords  int // acked records since last compaction
+	totalRecords int
+	compactAt    int
+}
+
+// newMailbox opens (or creates) a mailbox. With dir == "" the mailbox is
+// memory-only.
+func newMailbox(dir, user string, capacity, compactAt int) (*mailbox, error) {
+	mb := &mailbox{user: user, nextSeq: 1, cap: capacity, compactAt: compactAt}
+	if dir == "" {
+		return mb, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("delivery: mailbox dir: %w", err)
+	}
+	mb.walPath = filepath.Join(dir, mailboxFileName(user))
+	if err := mb.recover(); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(mb.walPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("delivery: mailbox wal: %w", err)
+	}
+	mb.wal = f
+	return mb, nil
+}
+
+// mailboxFileName escapes a user name into a safe file name.
+func mailboxFileName(user string) string {
+	return url.PathEscape(user) + walSuffix
+}
+
+// userFromFileName reverses mailboxFileName; ok is false for foreign files.
+func userFromFileName(name string) (string, bool) {
+	if !strings.HasSuffix(name, walSuffix) {
+		return "", false
+	}
+	user, err := url.PathUnescape(strings.TrimSuffix(name, walSuffix))
+	if err != nil {
+		return "", false
+	}
+	return user, true
+}
+
+// recoverMailboxes opens every mailbox WAL found under dir. Recovered
+// entries are parked: their users have not attached yet.
+func recoverMailboxes(dir string, capacity, compactAt int) (map[string]*mailbox, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("delivery: mailbox dir: %w", err)
+	}
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("delivery: mailbox dir: %w", err)
+	}
+	out := make(map[string]*mailbox)
+	for _, de := range des {
+		if de.IsDir() {
+			continue
+		}
+		user, ok := userFromFileName(de.Name())
+		if !ok {
+			continue
+		}
+		mb, err := newMailbox(dir, user, capacity, compactAt)
+		if err != nil {
+			return nil, err
+		}
+		out[user] = mb
+	}
+	return out, nil
+}
+
+// recover replays the WAL into the in-memory pending set. A torn tail
+// (crash mid-append) is truncated away so the file ends at the last intact
+// record — otherwise subsequent appends would land behind unreadable bytes
+// and be silently lost on the next recovery.
+func (mb *mailbox) recover() error {
+	f, err := os.Open(mb.walPath)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("delivery: mailbox recover: %w", err)
+	}
+	defer f.Close()
+	type rec struct {
+		n     Notification
+		alive bool
+	}
+	order := make([]uint64, 0, 64)
+	live := make(map[uint64]*rec)
+	cr := &countingReader{r: f}
+	r := newWALReader(cr)
+	goodOff := int64(0)
+	torn := false
+	for {
+		kind, seq, n, err := r.next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			// Torn or corrupt tail: keep everything read so far and cut
+			// the file back to the last intact record below.
+			torn = true
+			break
+		}
+		goodOff = cr.n
+		switch kind {
+		case recAppend:
+			if _, dup := live[seq]; !dup {
+				order = append(order, seq)
+			}
+			live[seq] = &rec{n: n, alive: true}
+		case recAck:
+			if rc, ok := live[seq]; ok {
+				rc.alive = false
+			}
+		}
+		if seq >= mb.nextSeq {
+			mb.nextSeq = seq + 1
+		}
+		mb.totalRecords++
+	}
+	for _, seq := range order {
+		if rc := live[seq]; rc.alive {
+			mb.entries = append(mb.entries, entry{seq: seq, n: rc.n})
+		} else {
+			mb.deadRecords++
+		}
+	}
+	if torn {
+		if err := os.Truncate(mb.walPath, goodOff); err != nil {
+			return fmt.Errorf("delivery: mailbox truncate torn tail: %w", err)
+		}
+	}
+	return nil
+}
+
+// countingReader tracks bytes consumed so recovery knows where the last
+// intact record ends.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// add appends a notification, evicting the oldest parked entries beyond the
+// cap. It returns the assigned sequence and how many entries were evicted.
+func (mb *mailbox) add(n Notification) (seq uint64, evicted int, err error) {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	seq = mb.nextSeq
+	mb.nextSeq++
+	if err := mb.walAppend(seq, n); err != nil {
+		return 0, 0, err
+	}
+	mb.entries = append(mb.entries, entry{seq: seq, n: n, inflight: true})
+	// Evict oldest parked entries when over capacity; inflight entries are
+	// spoken for (their shard will ack or park them).
+	for len(mb.entries) > mb.cap {
+		idx := -1
+		for i := range mb.entries {
+			if !mb.entries[i].inflight {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			break
+		}
+		gone := mb.entries[idx].seq
+		mb.entries = append(mb.entries[:idx], mb.entries[idx+1:]...)
+		_ = mb.walAck(gone)
+		evicted++
+	}
+	mb.maybeCompactLocked()
+	return seq, evicted, nil
+}
+
+// ack removes delivered entries.
+func (mb *mailbox) ack(seqs []uint64) {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	gone := make(map[uint64]bool, len(seqs))
+	for _, s := range seqs {
+		gone[s] = true
+	}
+	kept := mb.entries[:0]
+	for _, e := range mb.entries {
+		if gone[e.seq] {
+			_ = mb.walAck(e.seq)
+			continue
+		}
+		kept = append(kept, e)
+	}
+	mb.entries = kept
+	mb.maybeCompactLocked()
+}
+
+// park marks an entry at rest (undelivered, waiting for attach).
+func (mb *mailbox) park(seq uint64) {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for i := range mb.entries {
+		if mb.entries[i].seq == seq {
+			mb.entries[i].inflight = false
+			return
+		}
+	}
+}
+
+// takePending marks every parked entry inflight and returns them in order,
+// for redelivery through the pipeline.
+func (mb *mailbox) takePending() []item {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	var out []item
+	for i := range mb.entries {
+		if !mb.entries[i].inflight {
+			mb.entries[i].inflight = true
+			out = append(out, item{n: mb.entries[i].n, seq: mb.entries[i].seq})
+		}
+	}
+	return out
+}
+
+// parkedCount reports entries at rest.
+func (mb *mailbox) parkedCount() int {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	n := 0
+	for i := range mb.entries {
+		if !mb.entries[i].inflight {
+			n++
+		}
+	}
+	return n
+}
+
+// pendingCount reports all undelivered entries (parked and inflight).
+func (mb *mailbox) pendingCount() int {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	return len(mb.entries)
+}
+
+// close compacts (snapshotting live entries) and closes the WAL.
+func (mb *mailbox) close() error {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	if mb.wal == nil {
+		return nil
+	}
+	err := mb.compactLocked()
+	cerr := mb.wal.Close()
+	mb.wal = nil
+	if err != nil {
+		return err
+	}
+	return cerr
+}
+
+// ---------------------------------------------------------------------------
+// WAL encoding
+
+func (mb *mailbox) walAppend(seq uint64, n Notification) error {
+	if mb.wal == nil {
+		return nil
+	}
+	mb.totalRecords++
+	payload, err := marshalNotification(n)
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, 1+8+4, 1+8+4+len(payload))
+	buf[0] = recAppend
+	binary.BigEndian.PutUint64(buf[1:9], seq)
+	binary.BigEndian.PutUint32(buf[9:13], uint32(len(payload)))
+	buf = append(buf, payload...)
+	if _, err := mb.wal.Write(buf); err != nil {
+		return fmt.Errorf("delivery: wal append: %w", err)
+	}
+	return nil
+}
+
+func (mb *mailbox) walAck(seq uint64) error {
+	if mb.wal == nil {
+		return nil
+	}
+	mb.totalRecords++
+	mb.deadRecords++
+	var buf [1 + 8]byte
+	buf[0] = recAck
+	binary.BigEndian.PutUint64(buf[1:9], seq)
+	if _, err := mb.wal.Write(buf[:]); err != nil {
+		return fmt.Errorf("delivery: wal ack: %w", err)
+	}
+	return nil
+}
+
+// maybeCompactLocked compacts once the dead-record count crosses the
+// threshold and outweighs the live set.
+func (mb *mailbox) maybeCompactLocked() {
+	if mb.wal == nil || mb.deadRecords < mb.compactAt || mb.deadRecords*2 < len(mb.entries) {
+		return
+	}
+	_ = mb.compactLocked()
+}
+
+// compactLocked rewrites the WAL as a snapshot of the live entries: write a
+// temp file, fsync, rename over the log, reopen for append.
+func (mb *mailbox) compactLocked() error {
+	if mb.wal == nil {
+		return nil
+	}
+	tmpPath := mb.walPath + ".tmp"
+	tmp, err := os.OpenFile(tmpPath, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("delivery: compact: %w", err)
+	}
+	for _, e := range mb.entries {
+		payload, err := marshalNotification(e.n)
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmpPath)
+			return err
+		}
+		buf := make([]byte, 1+8+4, 1+8+4+len(payload))
+		buf[0] = recAppend
+		binary.BigEndian.PutUint64(buf[1:9], e.seq)
+		binary.BigEndian.PutUint32(buf[9:13], uint32(len(payload)))
+		buf = append(buf, payload...)
+		if _, err := tmp.Write(buf); err != nil {
+			tmp.Close()
+			os.Remove(tmpPath)
+			return fmt.Errorf("delivery: compact write: %w", err)
+		}
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return fmt.Errorf("delivery: compact sync: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpPath)
+		return fmt.Errorf("delivery: compact close: %w", err)
+	}
+	if err := os.Rename(tmpPath, mb.walPath); err != nil {
+		os.Remove(tmpPath)
+		return fmt.Errorf("delivery: compact rename: %w", err)
+	}
+	_ = mb.wal.Close()
+	f, err := os.OpenFile(mb.walPath, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		mb.wal = nil
+		return fmt.Errorf("delivery: compact reopen: %w", err)
+	}
+	mb.wal = f
+	mb.totalRecords = len(mb.entries)
+	mb.deadRecords = 0
+	return nil
+}
+
+// walReader decodes WAL records from a stream.
+type walReader struct {
+	r io.Reader
+}
+
+func newWALReader(r io.Reader) *walReader { return &walReader{r: r} }
+
+// next returns the next record; io.EOF at a clean end, other errors on a
+// torn or corrupt tail.
+func (w *walReader) next() (kind byte, seq uint64, n Notification, err error) {
+	var head [1 + 8]byte
+	if _, err = io.ReadFull(w.r, head[:1]); err != nil {
+		return 0, 0, n, io.EOF
+	}
+	kind = head[0]
+	if kind != recAppend && kind != recAck {
+		return 0, 0, n, fmt.Errorf("delivery: wal: bad record kind %q", kind)
+	}
+	if _, err = io.ReadFull(w.r, head[1:9]); err != nil {
+		return 0, 0, n, fmt.Errorf("delivery: wal: torn header: %w", err)
+	}
+	seq = binary.BigEndian.Uint64(head[1:9])
+	if kind == recAck {
+		return kind, seq, n, nil
+	}
+	var lenBuf [4]byte
+	if _, err = io.ReadFull(w.r, lenBuf[:]); err != nil {
+		return 0, 0, n, fmt.Errorf("delivery: wal: torn length: %w", err)
+	}
+	size := binary.BigEndian.Uint32(lenBuf[:])
+	if size > maxWALRecord {
+		return 0, 0, n, fmt.Errorf("delivery: wal: record size %d exceeds limit", size)
+	}
+	payload := make([]byte, size)
+	if _, err = io.ReadFull(w.r, payload); err != nil {
+		return 0, 0, n, fmt.Errorf("delivery: wal: torn payload: %w", err)
+	}
+	n, err = unmarshalNotification(payload)
+	if err != nil {
+		return 0, 0, n, err
+	}
+	return kind, seq, n, nil
+}
+
+// ---------------------------------------------------------------------------
+// Notification serialisation (the same XML forms the wire protocol uses)
+
+// rawXML embeds pre-marshalled XML verbatim inside a wrapping element (the
+// same idiom internal/protocol uses for events on the wire).
+type rawXML struct {
+	Inner []byte `xml:",innerxml"`
+}
+
+// walNotification is the persisted form of a Notification.
+type walNotification struct {
+	XMLName   xml.Name `xml:"Notification"`
+	Client    string   `xml:"Client"`
+	ProfileID string   `xml:"ProfileID"`
+	DocIDs    []string `xml:"Docs>ID,omitempty"`
+	AtNano    int64    `xml:"At,omitempty"`
+	Event     rawXML   `xml:"Event"`
+}
+
+func marshalNotification(n Notification) ([]byte, error) {
+	w := walNotification{
+		Client:    n.Client,
+		ProfileID: n.ProfileID,
+		DocIDs:    n.DocIDs,
+		AtNano:    n.At.UnixNano(),
+	}
+	if n.Event != nil {
+		raw, err := n.Event.MarshalXMLBytes()
+		if err != nil {
+			return nil, fmt.Errorf("delivery: marshal event: %w", err)
+		}
+		w.Event.Inner = raw
+	}
+	out, err := xml.Marshal(&w)
+	if err != nil {
+		return nil, fmt.Errorf("delivery: marshal notification: %w", err)
+	}
+	return out, nil
+}
+
+func unmarshalNotification(raw []byte) (Notification, error) {
+	var w walNotification
+	if err := xml.Unmarshal(raw, &w); err != nil {
+		return Notification{}, fmt.Errorf("delivery: unmarshal notification: %w", err)
+	}
+	n := Notification{
+		Client:    w.Client,
+		ProfileID: w.ProfileID,
+		DocIDs:    w.DocIDs,
+	}
+	if w.AtNano != 0 {
+		n.At = time.Unix(0, w.AtNano)
+	}
+	if len(w.Event.Inner) > 0 {
+		ev, err := event.UnmarshalXMLBytes(w.Event.Inner)
+		if err != nil {
+			return Notification{}, fmt.Errorf("delivery: unmarshal event: %w", err)
+		}
+		n.Event = ev
+	}
+	return n, nil
+}

@@ -1,0 +1,68 @@
+package delivery
+
+import (
+	"github.com/gsalert/gsalert/internal/metrics"
+)
+
+// Metrics are the pipeline's externally visible counters and histograms,
+// built on internal/metrics so the experiment harness renders them in the
+// same tables as every other subsystem.
+type Metrics struct {
+	// Enqueued counts notifications accepted by Enqueue.
+	Enqueued metrics.Counter
+	// Delivered counts notifications successfully handed to a sink.
+	Delivered metrics.Counter
+	// Parked counts notifications returned to a mailbox because no sink
+	// was attached or the sink failed.
+	Parked metrics.Counter
+	// Retried counts notifications parked after a failed delivery attempt
+	// (a subset of Parked).
+	Retried metrics.Counter
+	// Displaced counts notifications pushed out of a full shard queue by
+	// the DropOldest policy (parked, not lost).
+	Displaced metrics.Counter
+	// Spilled counts notifications diverted to disk by SpillToDisk.
+	Spilled metrics.Counter
+	// Dropped counts notifications evicted from a full mailbox — the only
+	// counter representing actual loss.
+	Dropped metrics.Counter
+	// Recovered counts notifications restored from mailbox WALs at start.
+	Recovered metrics.Counter
+	// Batches counts delivery flushes.
+	Batches metrics.Counter
+	// FlushLatency samples sink round-trip time per flush (µs).
+	FlushLatency metrics.Histogram
+	// BatchSizes samples notifications per flush.
+	BatchSizes metrics.Histogram
+}
+
+func newMetrics() *Metrics { return &Metrics{} }
+
+// Snapshot is a point-in-time copy of the counters, convenient for tests
+// and stat dumps.
+type Snapshot struct {
+	Enqueued  int64
+	Delivered int64
+	Parked    int64
+	Retried   int64
+	Displaced int64
+	Spilled   int64
+	Dropped   int64
+	Recovered int64
+	Batches   int64
+}
+
+// Snapshot captures the current counter values.
+func (m *Metrics) Snapshot() Snapshot {
+	return Snapshot{
+		Enqueued:  m.Enqueued.Value(),
+		Delivered: m.Delivered.Value(),
+		Parked:    m.Parked.Value(),
+		Retried:   m.Retried.Value(),
+		Displaced: m.Displaced.Value(),
+		Spilled:   m.Spilled.Value(),
+		Dropped:   m.Dropped.Value(),
+		Recovered: m.Recovered.Value(),
+		Batches:   m.Batches.Value(),
+	}
+}

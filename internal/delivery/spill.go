@@ -1,0 +1,135 @@
+package delivery
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// spillQueue is a disk-backed FIFO absorbing shard-queue overflow under the
+// SpillToDisk policy. Items are appended at the tail and read back from a
+// moving head offset; once the head catches the tail the file is truncated
+// so the spill never grows without bound across bursts.
+//
+// Records reuse the mailbox WAL payload encoding prefixed with the mailbox
+// sequence:
+//
+//	seq(u64) len(u32) payload
+type spillQueue struct {
+	mu      sync.Mutex
+	f       *os.File
+	path    string
+	readOff int64
+	size    int64
+	count   int
+}
+
+func newSpillQueue(dir string, shard int) (*spillQueue, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("delivery: spill dir: %w", err)
+	}
+	path := filepath.Join(dir, fmt.Sprintf("shard-%d.spill", shard))
+	// Spill contents are transient overflow; a leftover file from a crash
+	// holds items that are also in the mailbox WALs, so start clean.
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("delivery: spill open: %w", err)
+	}
+	return &spillQueue{f: f, path: path}, nil
+}
+
+// push appends one item at the tail.
+func (s *spillQueue) push(it item) error {
+	payload, err := marshalNotification(it.n)
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, 8+4, 8+4+len(payload))
+	binary.BigEndian.PutUint64(buf[:8], it.seq)
+	binary.BigEndian.PutUint32(buf[8:12], uint32(len(payload)))
+	buf = append(buf, payload...)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, err := s.f.WriteAt(buf, s.size); err != nil {
+		return fmt.Errorf("delivery: spill write: %w", err)
+	}
+	s.size += int64(len(buf))
+	s.count++
+	return nil
+}
+
+// pop reads the oldest spilled item; ok is false when the queue is empty.
+// A corrupt or unreadable record poisons everything behind it (records are
+// not self-synchronising), so on error the spill is reset and the number of
+// discarded queue copies is returned — the caller settles the inflight
+// accounting. Durable deployments still hold those notifications in the
+// mailbox WALs, where a restart recovers them.
+func (s *spillQueue) pop() (it item, ok bool, dropped int, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.count == 0 {
+		return item{}, false, 0, nil
+	}
+	fail := func(cause error) (item, bool, int, error) {
+		n := s.count
+		s.resetLocked()
+		return item{}, false, n, cause
+	}
+	var head [12]byte
+	if _, err := s.f.ReadAt(head[:], s.readOff); err != nil {
+		return fail(fmt.Errorf("delivery: spill read: %w", err))
+	}
+	seq := binary.BigEndian.Uint64(head[:8])
+	size := binary.BigEndian.Uint32(head[8:12])
+	if size > maxWALRecord {
+		return fail(fmt.Errorf("delivery: spill: record size %d exceeds limit", size))
+	}
+	payload := make([]byte, size)
+	if _, err := s.f.ReadAt(payload, s.readOff+12); err != nil {
+		return fail(fmt.Errorf("delivery: spill read: %w", err))
+	}
+	n, err := unmarshalNotification(payload)
+	if err != nil {
+		return fail(err)
+	}
+	s.readOff += 12 + int64(size)
+	s.count--
+	if s.count == 0 {
+		s.resetLocked()
+	}
+	return item{n: n, seq: seq}, true, 0, nil
+}
+
+// resetLocked reclaims the file (or, if truncation fails, at least skips
+// the dead region) so the queue never wedges on the same bytes twice.
+func (s *spillQueue) resetLocked() {
+	s.count = 0
+	if err := s.f.Truncate(0); err == nil {
+		s.readOff, s.size = 0, 0
+		_, _ = s.f.Seek(0, io.SeekStart)
+		return
+	}
+	s.readOff = s.size
+}
+
+// len reports spilled items not yet re-ingested.
+func (s *spillQueue) len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.count
+}
+
+func (s *spillQueue) close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return nil
+	}
+	err := s.f.Close()
+	s.f = nil
+	_ = os.Remove(s.path)
+	return err
+}

@@ -3,6 +3,7 @@ package event
 import (
 	"container/list"
 	"sync"
+	"sync/atomic"
 )
 
 // Dedup is a bounded, thread-safe set of recently seen message or event IDs.
@@ -18,7 +19,9 @@ type Dedup struct {
 	cap   int
 	seen  map[string]*list.Element
 	order *list.List
-	hits  int64
+	// hits is atomic so monitoring paths read it without contending on mu
+	// against the hot Observe path.
+	hits atomic.Int64
 }
 
 // DefaultDedupCapacity bounds the window of remembered IDs.
@@ -43,7 +46,7 @@ func (d *Dedup) Observe(id string) bool {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if _, dup := d.seen[id]; dup {
-		d.hits++
+		d.hits.Add(1)
 		return true
 	}
 	el := d.order.PushBack(id)
@@ -73,11 +76,10 @@ func (d *Dedup) Len() int {
 	return d.order.Len()
 }
 
-// Hits reports how many duplicates have been suppressed.
+// Hits reports how many duplicates have been suppressed. It reads the
+// counter atomically, without taking the mutex.
 func (d *Dedup) Hits() int64 {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.hits
+	return d.hits.Load()
 }
 
 // Reset forgets everything.
@@ -86,5 +88,5 @@ func (d *Dedup) Reset() {
 	defer d.mu.Unlock()
 	d.seen = make(map[string]*list.Element, d.cap)
 	d.order = list.New()
-	d.hits = 0
+	d.hits.Store(0)
 }

@@ -1,0 +1,129 @@
+package event
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestDedupConcurrentObserve hammers one Dedup from many goroutines (run
+// with -race) and checks the invariants that must survive contention: the
+// window never exceeds its capacity, a duplicate observed N times yields
+// exactly N-1 hits, and the atomic hit counter can be read concurrently
+// with the observers.
+func TestDedupConcurrentObserve(t *testing.T) {
+	const (
+		capacity   = 64
+		goroutines = 8
+		perG       = 500
+	)
+	d := NewDedup(capacity)
+
+	// Concurrent readers of the atomic counter while observers run.
+	stopRead := make(chan struct{})
+	var readers sync.WaitGroup
+	readers.Add(1)
+	go func() {
+		defer readers.Done()
+		for {
+			select {
+			case <-stopRead:
+				return
+			default:
+				_ = d.Hits()
+				_ = d.Len()
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				// Disjoint per-goroutine IDs: no cross-goroutine dups, so hit
+				// accounting below stays exact.
+				d.Observe(fmt.Sprintf("g%d-id%d", g, i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(stopRead)
+	readers.Wait()
+
+	if got := d.Len(); got != capacity {
+		t.Errorf("window size = %d, want cap %d", got, capacity)
+	}
+	if got := d.Hits(); got != 0 {
+		t.Errorf("hits = %d for disjoint IDs, want 0", got)
+	}
+
+	// N goroutines observing the SAME fresh id: exactly one admission,
+	// N-1 suppressions — the mutex serialises, the counter is exact.
+	before := d.Hits()
+	var dupWG sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		dupWG.Add(1)
+		go func() {
+			defer dupWG.Done()
+			d.Observe("shared-id")
+		}()
+	}
+	dupWG.Wait()
+	if got := d.Hits() - before; got != goroutines-1 {
+		t.Errorf("shared-id hits = %d, want %d", got, goroutines-1)
+	}
+}
+
+// TestDedupFIFOEvictionUnderParallelObserve checks FIFO eviction across a
+// concurrent phase: IDs planted before the parallel storm must be fully
+// evicted (the storm exceeds capacity many times over), while the newest
+// sequentially-observed IDs survive.
+func TestDedupFIFOEvictionUnderParallelObserve(t *testing.T) {
+	const capacity = 32
+	d := NewDedup(capacity)
+	// Plant old IDs.
+	for i := 0; i < capacity; i++ {
+		d.Observe(fmt.Sprintf("old-%d", i))
+	}
+	// Parallel storm of fresh IDs, several times the capacity.
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 4*capacity; i++ {
+				d.Observe(fmt.Sprintf("storm-%d-%d", g, i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	// Every planted ID was pushed out by the storm (FIFO: oldest first).
+	for i := 0; i < capacity; i++ {
+		if d.Seen(fmt.Sprintf("old-%d", i)) {
+			t.Errorf("old-%d survived a %dx-capacity storm", i, 16)
+		}
+	}
+	if got := d.Len(); got != capacity {
+		t.Errorf("window size = %d, want %d", got, capacity)
+	}
+	// Deterministic tail: sequentially observe capacity fresh IDs; they are
+	// now the complete window, in order.
+	for i := 0; i < capacity; i++ {
+		d.Observe(fmt.Sprintf("tail-%d", i))
+	}
+	for i := 0; i < capacity; i++ {
+		if !d.Seen(fmt.Sprintf("tail-%d", i)) {
+			t.Errorf("tail-%d missing from window", i)
+		}
+	}
+	// Re-observing the oldest tail ID is a hit, not a re-admission.
+	before := d.Hits()
+	if !d.Observe("tail-0") {
+		t.Error("tail-0 not recognised as duplicate")
+	}
+	if d.Hits() != before+1 {
+		t.Error("duplicate hit not counted")
+	}
+}

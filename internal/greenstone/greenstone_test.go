@@ -287,6 +287,7 @@ func TestFigure3AuxRoundTrip(t *testing.T) {
 	if _, _, err := c.Server("London").Build(ctx, "E", docsWith("e", 2)); err != nil {
 		t.Fatal(err)
 	}
+	c.Settle(ctx)
 
 	// dave sees the raw London.E event.
 	if dave.Len() != 1 {
@@ -347,6 +348,7 @@ func TestCyclicSuperSubAlertingTerminates(t *testing.T) {
 	if _, _, err := c.Server("Y").Build(ctx, "Q", docsWith("q", 1)); err != nil {
 		t.Fatal(err)
 	}
+	c.Settle(ctx)
 	// One raw event (Y.Q) + one transform (X.P); the transform back to Y.Q
 	// is refused by the chain guard.
 	if zp.Len() != 2 {
@@ -397,6 +399,7 @@ func TestDanglingProfileCases(t *testing.T) {
 	if _, _, err := c.Server("London").Build(ctx, "E", docsWith("e", 1)); err != nil {
 		t.Fatal(err)
 	}
+	c.Settle(ctx)
 	if alice.Len() != 0 {
 		t.Fatalf("alice notified during partition: %+v", alice.All())
 	}
@@ -412,6 +415,7 @@ func TestDanglingProfileCases(t *testing.T) {
 	if n := c.FlushRetries(ctx); n == 0 {
 		t.Fatal("retry flush delivered nothing after heal")
 	}
+	c.Settle(ctx)
 	if alice.Len() != 1 {
 		t.Fatalf("alice notifications after heal = %d, want 1", alice.Len())
 	}
@@ -438,6 +442,7 @@ func TestDanglingProfileCases(t *testing.T) {
 	if _, _, err := c.Server("London").Build(ctx, "E", docsWith("e", 2)); err != nil {
 		t.Fatal(err)
 	}
+	c.Settle(ctx)
 	// alice subscribed to Hamilton.D; with the sub-reference gone she must
 	// NOT be notified about London.E rebuilds (no false positives).
 	if alice.Len() != 0 {
@@ -472,6 +477,7 @@ func TestRemoveCollectionEmitsEventAndCancelsAux(t *testing.T) {
 	if err := c.Server("Hamilton").RemoveCollection(ctx, "D"); err != nil {
 		t.Fatal(err)
 	}
+	c.Settle(ctx)
 	if got := c.Service("London").AuxProfileCount(); got != 0 {
 		t.Errorf("aux after removal = %d", got)
 	}
@@ -504,6 +510,7 @@ func TestSubscribeViaReceptionist(t *testing.T) {
 	if _, _, err := c.Server("London").Build(ctx, "E", docsWith("e", 4)); err != nil {
 		t.Fatal(err)
 	}
+	c.Settle(ctx)
 	select {
 	case n := <-ch:
 		if n.Client != "client7" || n.ProfileID != "client7-p1" {
@@ -571,5 +578,79 @@ func TestGetDocument(t *testing.T) {
 	}
 	if _, err := recep.GetDocument(ctx, "Hamilton", "D", "nope"); err == nil {
 		t.Error("phantom document fetched")
+	}
+}
+
+// TestReceptionistReconnectDrainsMailbox exercises the delivery pipeline's
+// partition-tolerance over the wire protocol: a client attaches a remote
+// notifier, goes offline while builds happen (alerts park server-side in its
+// durable mailbox), then re-attaches and receives everything it missed.
+func TestReceptionistReconnectDrainsMailbox(t *testing.T) {
+	c := figure1Cluster(t)
+	ctx := context.Background()
+	recep := c.NewReceptionist("recep-III", "London")
+
+	p := profile.NewUser("client9-p1", "client9", "London",
+		profile.MustParse(`collection = "London.E" AND event.type = "collection-rebuilt"`))
+	if err := recep.Subscribe(ctx, "London", p); err != nil {
+		t.Fatal(err)
+	}
+	const clientAddr = "client://client9"
+	ch, closeFn, err := recep.ListenForNotifications(clientAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = closeFn() }()
+	received := func() int {
+		n := 0
+		for {
+			select {
+			case <-ch:
+				n++
+			default:
+				return n
+			}
+		}
+	}
+
+	// Online: one build delivers live via MsgAttachNotifier push.
+	if err := recep.AttachNotifications(ctx, "London", "client9", clientAddr); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Server("London").Build(ctx, "E", docsWith("e", 5)); err != nil {
+		t.Fatal(err)
+	}
+	c.Settle(ctx)
+	if got := received(); got != 1 {
+		t.Fatalf("live notifications = %d, want 1", got)
+	}
+
+	// Offline: two builds park in the server-side mailbox.
+	if err := recep.DetachNotifications(ctx, "London", "client9"); err != nil {
+		t.Fatal(err)
+	}
+	for round := 6; round <= 7; round++ {
+		if _, _, err := c.Server("London").Build(ctx, "E", docsWith("e", round)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Settle(ctx)
+	if got := received(); got != 0 {
+		t.Fatalf("detached client received %d notifications", got)
+	}
+	if got := c.Service("London").Delivery().Pending("client9"); got != 2 {
+		t.Fatalf("parked = %d, want 2", got)
+	}
+
+	// Reconnect: the mailbox drains through the batch protocol.
+	if err := recep.AttachNotifications(ctx, "London", "client9", clientAddr); err != nil {
+		t.Fatal(err)
+	}
+	c.Settle(ctx)
+	if got := received(); got != 2 {
+		t.Fatalf("drained on reconnect = %d, want 2", got)
+	}
+	if got := c.Service("London").Delivery().Pending("client9"); got != 0 {
+		t.Errorf("still parked after reconnect: %d", got)
 	}
 }

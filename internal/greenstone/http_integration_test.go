@@ -216,6 +216,9 @@ func TestPersistenceAcrossRestartHTTP(t *testing.T) {
 	if _, _, err := srv3.Build(ctx, "C", []*collection.Document{{ID: "d1"}}); err != nil {
 		t.Fatal(err)
 	}
+	if err := svc2.DrainDeliveries(ctx); err != nil {
+		t.Fatal(err)
+	}
 	if sink.Len() != 1 {
 		t.Fatalf("restored profile notifications = %d, want 1", sink.Len())
 	}

@@ -53,6 +53,7 @@ func publishOnce(t testing.TB, c *sim.Cluster, publisher string) {
 	if _, _, err := c.Server(publisher).Build(context.Background(), "X", docs); err != nil {
 		t.Fatal(err)
 	}
+	c.Settle(context.Background())
 }
 
 func countNotified(c *sim.Cluster, names []string, k int) int {

@@ -217,25 +217,79 @@ func (r *Receptionist) Unsubscribe(ctx context.Context, host, client, profileID 
 	return transport.SendOneWay(ctx, r.tr, addr, env)
 }
 
-// ListenForNotifications binds a local address for MsgNotify deliveries and
-// returns a channel of notifications. Pair it with core.NewRemoteNotifier on
-// the server side. The returned closer stops listening.
+// AttachNotifications asks a host to push a client's notifications to addr
+// (typically one bound with ListenForNotifications). Attaching drains the
+// client's server-side mailbox: alerts parked while the client was offline
+// arrive immediately (paper §7 reconnect semantics for notifications).
+func (r *Receptionist) AttachNotifications(ctx context.Context, host, client, addr string) error {
+	hostAddr, err := r.addrOf(host)
+	if err != nil {
+		return err
+	}
+	env, err := protocol.NewEnvelope(r.name, protocol.MsgAttachNotifier, &protocol.AttachNotifier{
+		Client: client,
+		Addr:   addr,
+	})
+	if err != nil {
+		return err
+	}
+	return transport.SendOneWay(ctx, r.tr, hostAddr, env)
+}
+
+// DetachNotifications stops push delivery for a client; its notifications
+// park at the host until the next AttachNotifications.
+func (r *Receptionist) DetachNotifications(ctx context.Context, host, client string) error {
+	hostAddr, err := r.addrOf(host)
+	if err != nil {
+		return err
+	}
+	env, err := protocol.NewEnvelope(r.name, protocol.MsgDetachNotifier, &protocol.DetachNotifier{Client: client})
+	if err != nil {
+		return err
+	}
+	return transport.SendOneWay(ctx, r.tr, hostAddr, env)
+}
+
+// ListenForNotifications binds a local address for MsgNotify and
+// MsgNotifyBatch deliveries and returns a channel of notifications. Pair it
+// with AttachNotifications (or core.NewRemoteNotifier on the server side).
+// The returned closer stops listening.
 func (r *Receptionist) ListenForNotifications(addr string) (<-chan core.Notification, func() error, error) {
 	ch := make(chan core.Notification, 64)
-	l, err := r.tr.Listen(addr, transport.HandlerFunc(func(_ context.Context, env *protocol.Envelope) (*protocol.Envelope, error) {
-		var n protocol.Notify
-		if err := protocol.Decode(env, protocol.MsgNotify, &n); err != nil {
-			return protocol.Errorf(r.name, "decode", "%v", err), nil
-		}
+	deliver := func(n protocol.Notify) error {
 		ev, err := eventFromRaw(n.Event.Bytes())
 		if err != nil {
-			return protocol.Errorf(r.name, "event", "%v", err), nil
+			return err
 		}
 		select {
 		case ch <- core.Notification{Client: n.Client, ProfileID: n.ProfileID, Event: ev}:
 		default: // drop on overflow rather than blocking the server
 		}
-		return nil, nil
+		return nil
+	}
+	l, err := r.tr.Listen(addr, transport.HandlerFunc(func(_ context.Context, env *protocol.Envelope) (*protocol.Envelope, error) {
+		switch env.Header.Type {
+		case protocol.MsgNotifyBatch:
+			var b protocol.NotifyBatch
+			if err := protocol.Decode(env, protocol.MsgNotifyBatch, &b); err != nil {
+				return protocol.Errorf(r.name, "decode", "%v", err), nil
+			}
+			for _, n := range b.Items {
+				if err := deliver(n); err != nil {
+					return protocol.Errorf(r.name, "event", "%v", err), nil
+				}
+			}
+			return nil, nil
+		default:
+			var n protocol.Notify
+			if err := protocol.Decode(env, protocol.MsgNotify, &n); err != nil {
+				return protocol.Errorf(r.name, "decode", "%v", err), nil
+			}
+			if err := deliver(n); err != nil {
+				return protocol.Errorf(r.name, "event", "%v", err), nil
+			}
+			return nil, nil
+		}
 	}))
 	if err != nil {
 		return nil, nil, err

@@ -238,6 +238,10 @@ func (s *Server) handle(ctx context.Context, env *protocol.Envelope) (*protocol.
 		return s.handleSubscribe(env)
 	case protocol.MsgUnsubscribe:
 		return s.handleUnsubscribe(env)
+	case protocol.MsgAttachNotifier:
+		return s.handleAttachNotifier(env)
+	case protocol.MsgDetachNotifier:
+		return s.handleDetachNotifier(env)
 	default:
 		return protocol.Errorf(s.name, "unsupported", "server %s cannot handle %s", s.name, env.Header.Type), nil
 	}
@@ -552,6 +556,38 @@ func (s *Server) handleSubscribe(env *protocol.Envelope) (*protocol.Envelope, er
 	if err := s.alert.SubscribeProfile(p); err != nil {
 		return protocol.Errorf(s.name, "subscribe", "%v", err), nil
 	}
+	return protocol.Ack(s.name, env), nil
+}
+
+// handleAttachNotifier starts push delivery of a client's notifications to
+// the given address. Registering the remote sink drains anything parked in
+// the client's mailbox while it was disconnected (paper §7 reconnect).
+func (s *Server) handleAttachNotifier(env *protocol.Envelope) (*protocol.Envelope, error) {
+	if s.alert == nil {
+		return protocol.Errorf(s.name, "no-alerting", "server %s has alerting disabled", s.name), nil
+	}
+	var at protocol.AttachNotifier
+	if err := protocol.Decode(env, protocol.MsgAttachNotifier, &at); err != nil {
+		return protocol.Errorf(s.name, "decode", "%v", err), nil
+	}
+	if at.Client == "" || at.Addr == "" {
+		return protocol.Errorf(s.name, "attach-notifier", "client and addr required"), nil
+	}
+	s.alert.RegisterNotifier(at.Client, core.NewRemoteNotifier(s.name, at.Addr, s.tr))
+	return protocol.Ack(s.name, env), nil
+}
+
+// handleDetachNotifier stops push delivery; the client's notifications park
+// server-side until it re-attaches.
+func (s *Server) handleDetachNotifier(env *protocol.Envelope) (*protocol.Envelope, error) {
+	if s.alert == nil {
+		return protocol.Errorf(s.name, "no-alerting", "server %s has alerting disabled", s.name), nil
+	}
+	var dt protocol.DetachNotifier
+	if err := protocol.Decode(env, protocol.MsgDetachNotifier, &dt); err != nil {
+		return protocol.Errorf(s.name, "decode", "%v", err), nil
+	}
+	s.alert.UnregisterNotifier(dt.Client)
 	return protocol.Ack(s.name, env), nil
 }
 

@@ -281,6 +281,31 @@ type Notify struct {
 	Event     RawXML   `xml:"Event"`
 }
 
+// NotifyBatch delivers several notifications to one client in a single
+// envelope, amortising transport round-trips (delivery pipeline batching).
+type NotifyBatch struct {
+	XMLName xml.Name `xml:"NotifyBatch"`
+	Items   []Notify `xml:"Items>Notify,omitempty"`
+}
+
+// AttachNotifier subscribes a client address to push delivery of the
+// client's notifications; anything parked in the client's server-side
+// mailbox drains immediately (paper §7 reconnect, applied to alerts).
+type AttachNotifier struct {
+	XMLName xml.Name `xml:"AttachNotifier"`
+	Client  string   `xml:"Client"`
+	// Addr is the transport address MsgNotify/MsgNotifyBatch envelopes are
+	// pushed to.
+	Addr string `xml:"Addr"`
+}
+
+// DetachNotifier stops push delivery for a client; subsequent notifications
+// park in the client's server-side mailbox until it re-attaches.
+type DetachNotifier struct {
+	XMLName xml.Name `xml:"DetachNotifier"`
+	Client  string   `xml:"Client"`
+}
+
 // Ping is a liveness probe; Seq echoes back in the ack trace.
 type Ping struct {
 	XMLName xml.Name `xml:"Ping"`

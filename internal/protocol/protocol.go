@@ -85,6 +85,14 @@ const (
 	MsgUnsubscribe MessageType = "gs.unsubscribe"
 	// MsgNotify delivers a notification to a client.
 	MsgNotify MessageType = "gs.notify"
+	// MsgNotifyBatch delivers a batch of notifications to a client in one
+	// round-trip (the delivery pipeline's per-destination batching).
+	MsgNotifyBatch MessageType = "gs.notify-batch"
+	// MsgAttachNotifier asks a server to push a client's notifications to
+	// an address; parked mailbox contents drain immediately (reconnect).
+	MsgAttachNotifier MessageType = "gs.attach-notifier"
+	// MsgDetachNotifier stops pushing; notifications park at the server.
+	MsgDetachNotifier MessageType = "gs.detach-notifier"
 )
 
 // Generic message types.

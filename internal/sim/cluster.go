@@ -98,10 +98,24 @@ func (c *Cluster) Close() {
 	for _, s := range c.servers {
 		_ = s.Close()
 	}
+	for _, svc := range c.services {
+		_ = svc.Close()
+	}
 	for _, n := range c.Nodes {
 		_ = n.Close()
 	}
 	_ = c.TR.Close()
+}
+
+// Settle drains every server's delivery pipeline, blocking until all
+// enqueued notifications are delivered (or parked for detached clients).
+// The memory transport runs handlers synchronously, so after a Build
+// returns, every matching service has already enqueued — Settle is the only
+// synchronisation experiments need before reading notification counts.
+func (c *Cluster) Settle(ctx context.Context) {
+	for _, name := range c.ServerNames() {
+		_ = c.services[name].DrainDeliveries(ctx)
+	}
 }
 
 // ServerAddr is the canonical transport address of a named server.

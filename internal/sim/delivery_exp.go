@@ -1,0 +1,282 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/gsalert/gsalert/internal/collection"
+	"github.com/gsalert/gsalert/internal/delivery"
+	"github.com/gsalert/gsalert/internal/event"
+	"github.com/gsalert/gsalert/internal/metrics"
+	"github.com/gsalert/gsalert/internal/profile"
+)
+
+// E10 — notification delivery across a disconnect/reconnect cycle. The
+// paper's §7 treats partitions for auxiliary profiles ("delayed until the
+// network connection is reestablished"); the delivery pipeline extends the
+// same guarantee to the notifications themselves: alerts matched while a
+// client is offline park in its server-side mailbox and drain on reconnect.
+
+// DeliveryRecoveryResult summarises one E10 run.
+type DeliveryRecoveryResult struct {
+	Builds int
+	// LiveDelivered counts notifications pushed while the client was
+	// attached (before the disconnect).
+	LiveDelivered int
+	// ParkedWhileOffline counts notifications held in the mailbox during
+	// the disconnect (must equal the offline builds).
+	ParkedWhileOffline int
+	// DrainedOnReconnect counts notifications received after re-attaching
+	// (must equal ParkedWhileOffline: nothing lost, nothing duplicated).
+	DrainedOnReconnect int
+}
+
+// RunDeliveryRecovery subscribes a remote client through a receptionist,
+// delivers one build live, disconnects the client for `builds` rebuilds and
+// measures what parks and what drains after reconnect.
+func RunDeliveryRecovery(builds int, seed int64) (DeliveryRecoveryResult, error) {
+	c, err := NewCluster(ClusterConfig{Seed: seed, GDSNodes: 1, GDSBranching: 2})
+	if err != nil {
+		return DeliveryRecoveryResult{}, err
+	}
+	defer c.Close()
+	ctx := context.Background()
+	if _, err := c.AddServer("Hamilton", 0); err != nil {
+		return DeliveryRecoveryResult{}, err
+	}
+	if _, err := c.Server("Hamilton").AddCollection(ctx, collection.Config{Name: "D", Public: true}); err != nil {
+		return DeliveryRecoveryResult{}, err
+	}
+	if _, err := c.Service("Hamilton").Subscribe("alice", profile.MustParse(
+		`collection = "Hamilton.D" AND (event.type = "collection-built" OR event.type = "collection-rebuilt")`)); err != nil {
+		return DeliveryRecoveryResult{}, err
+	}
+
+	recep := c.NewReceptionist("r", "Hamilton")
+	const clientAddr = "client://alice"
+	ch, closeListen, err := recep.ListenForNotifications(clientAddr)
+	if err != nil {
+		return DeliveryRecoveryResult{}, err
+	}
+	defer func() { _ = closeListen() }()
+	drainChannel := func() int {
+		n := 0
+		for {
+			select {
+			case <-ch:
+				n++
+			default:
+				return n
+			}
+		}
+	}
+
+	out := DeliveryRecoveryResult{Builds: builds}
+
+	// Phase 1: attached — one build delivers live.
+	if err := recep.AttachNotifications(ctx, "Hamilton", "alice", clientAddr); err != nil {
+		return out, err
+	}
+	if _, _, err := c.Server("Hamilton").Build(ctx, "D", syntheticDocs(2, 0)); err != nil {
+		return out, err
+	}
+	c.Settle(ctx)
+	out.LiveDelivered = drainChannel()
+
+	// Phase 2: detached — rebuilds park in the mailbox.
+	if err := recep.DetachNotifications(ctx, "Hamilton", "alice"); err != nil {
+		return out, err
+	}
+	for i := 0; i < builds; i++ {
+		if _, _, err := c.Server("Hamilton").Build(ctx, "D", syntheticDocs(2, i+1)); err != nil {
+			return out, err
+		}
+	}
+	c.Settle(ctx)
+	out.ParkedWhileOffline = c.Service("Hamilton").Delivery().Pending("alice")
+	if got := drainChannel(); got != 0 {
+		return out, fmt.Errorf("sim: E10 delivered %d notifications to a detached client", got)
+	}
+
+	// Phase 3: reconnect — the mailbox drains. The count comes from the
+	// pipeline's delivered counter: each batch reaches the client address
+	// through a synchronous MsgNotifyBatch round-trip, so delivered means
+	// pushed to the client. (The harness's listener channel is shallower
+	// than a long backlog, so it is emptied concurrently but not counted.)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-ch:
+			case <-stop:
+				return
+			}
+		}
+	}()
+	defer func() {
+		close(stop)
+		wg.Wait()
+	}()
+	before := c.Service("Hamilton").Delivery().Metrics().Snapshot().Delivered
+	if err := recep.AttachNotifications(ctx, "Hamilton", "alice", clientAddr); err != nil {
+		return out, err
+	}
+	c.Settle(ctx)
+	after := c.Service("Hamilton").Delivery().Metrics().Snapshot().Delivered
+	out.DrainedOnReconnect = int(after - before)
+	if got := c.Service("Hamilton").Delivery().Pending("alice"); got != 0 {
+		return out, fmt.Errorf("sim: E10 mailbox still holds %d after reconnect", got)
+	}
+	return out, nil
+}
+
+// DeliveryRecoveryTable runs E10 over offline-build counts.
+func DeliveryRecoveryTable(buildCounts []int, seed int64) (*metrics.Table, error) {
+	t := metrics.NewTable("E10 — delivery across disconnect/reconnect (offline alerts park, then drain)",
+		"offline builds", "live delivered", "parked while offline", "drained on reconnect")
+	for _, b := range buildCounts {
+		r, err := RunDeliveryRecovery(b, seed)
+		if err != nil {
+			return nil, err
+		}
+		if r.ParkedWhileOffline != b || r.DrainedOnReconnect != b {
+			return nil, fmt.Errorf("sim: E10 builds=%d parked=%d drained=%d — delivery not partition-tolerant",
+				b, r.ParkedWhileOffline, r.DrainedOnReconnect)
+		}
+		t.AddRow(r.Builds, r.LiveDelivered, r.ParkedWhileOffline, r.DrainedOnReconnect)
+	}
+	return t, nil
+}
+
+// ---------------------------------------------------------------------------
+// E11 — delivery throughput: synchronous fan-out vs the sharded pipeline.
+
+// DeliveryThroughputResult is one E11 row.
+type DeliveryThroughputResult struct {
+	Mode          string
+	Shards        int
+	Notifications int
+	Elapsed       time.Duration
+	PerSecond     float64
+	Batches       int64
+}
+
+// deliveryCost simulates one transport round-trip to a client sink: the
+// dominant term is per-call (connection + envelope overhead), with a small
+// per-notification serialisation cost — exactly the shape batching
+// amortises.
+func deliveryCost(batchLen int, perCall, perItem time.Duration) {
+	busyWait(perCall + time.Duration(batchLen)*perItem)
+}
+
+// busyWait spins instead of sleeping: at microsecond scales sleep rounds up
+// wildly, which would swamp the measurement.
+func busyWait(d time.Duration) {
+	end := time.Now().Add(d)
+	for time.Now().Before(end) {
+	}
+}
+
+// syntheticNotification builds one pipeline payload.
+func syntheticNotification(client string, i int) delivery.Notification {
+	ev := event.New(fmt.Sprintf("tp-ev-%d", i), event.TypeDocumentsChanged,
+		event.QName{Host: "Host", Collection: "Col"}, i, nil, time.Unix(1117584000, 0))
+	return delivery.Notification{
+		Client:    client,
+		ProfileID: "p-" + client,
+		Event:     ev,
+		At:        time.Unix(1117584000, 0),
+	}
+}
+
+// RunDeliveryThroughput pushes `notifs` notifications across `clients`
+// destinations. shards == 0 measures the synchronous baseline (the seed's
+// design: one blocking sink call per notification on the match path);
+// shards > 0 measures the pipeline at that worker count.
+func RunDeliveryThroughput(notifs, clients, shards int, perCall, perItem time.Duration) (DeliveryThroughputResult, error) {
+	clientName := func(i int) string { return fmt.Sprintf("c%03d", i%clients) }
+
+	if shards == 0 {
+		start := time.Now()
+		for i := 0; i < notifs; i++ {
+			_ = syntheticNotification(clientName(i), i)
+			deliveryCost(1, perCall, perItem)
+		}
+		elapsed := time.Since(start)
+		return DeliveryThroughputResult{
+			Mode:          "sync",
+			Notifications: notifs,
+			Elapsed:       elapsed,
+			PerSecond:     float64(notifs) / elapsed.Seconds(),
+			Batches:       int64(notifs),
+		}, nil
+	}
+
+	p, err := delivery.NewPipeline(delivery.Config{
+		Shards:        shards,
+		QueueDepth:    4096,
+		BatchSize:     64,
+		FlushInterval: time.Millisecond,
+	})
+	if err != nil {
+		return DeliveryThroughputResult{}, err
+	}
+	defer p.Close()
+	for c := 0; c < clients; c++ {
+		p.Attach(clientName(c), func(_ string, batch []delivery.Notification) error {
+			deliveryCost(len(batch), perCall, perItem)
+			return nil
+		})
+	}
+	start := time.Now()
+	for i := 0; i < notifs; i++ {
+		if err := p.Enqueue(syntheticNotification(clientName(i), i)); err != nil {
+			return DeliveryThroughputResult{}, err
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	if err := p.Drain(ctx); err != nil {
+		return DeliveryThroughputResult{}, err
+	}
+	elapsed := time.Since(start)
+	s := p.Metrics().Snapshot()
+	if s.Delivered != int64(notifs) {
+		return DeliveryThroughputResult{}, fmt.Errorf("sim: E11 delivered %d of %d", s.Delivered, notifs)
+	}
+	return DeliveryThroughputResult{
+		Mode:          fmt.Sprintf("pipeline/%d", shards),
+		Shards:        shards,
+		Notifications: notifs,
+		Elapsed:       elapsed,
+		PerSecond:     float64(notifs) / elapsed.Seconds(),
+		Batches:       s.Batches,
+	}, nil
+}
+
+// DeliveryThroughputTable runs E11 for the sync baseline and each shard
+// count, with a 50µs per-call and 1µs per-notification simulated sink cost.
+func DeliveryThroughputTable(notifs, clients int, shardCounts []int) (*metrics.Table, error) {
+	const (
+		perCall = 50 * time.Microsecond
+		perItem = time.Microsecond
+	)
+	t := metrics.NewTable(
+		fmt.Sprintf("E11 — delivery throughput, sync fan-out vs sharded pipeline (%d notifs, %d clients, %v/call + %v/notif sink cost)",
+			notifs, clients, perCall, perItem),
+		"mode", "elapsed", "notifs/sec", "flushes")
+	rows := append([]int{0}, shardCounts...)
+	for _, shards := range rows {
+		r, err := RunDeliveryThroughput(notifs, clients, shards, perCall, perItem)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(r.Mode, r.Elapsed, r.PerSecond, r.Batches)
+	}
+	return t, nil
+}

@@ -176,6 +176,7 @@ func RunGDSScale(servers, branching int, seed int64) (GDSScaleResult, error) {
 	if _, _, err := c.Server("Srv0000").Build(ctx, "X", syntheticDocs(3, 0)); err != nil {
 		return GDSScaleResult{}, err
 	}
+	c.Settle(ctx)
 
 	st := c.TR.Stats()
 	out := GDSScaleResult{
@@ -386,6 +387,7 @@ func RunAuxChain(depth int, seed int64) (AuxChainResult, error) {
 	if _, _, err := c.Server(leaf).Build(ctx, fmt.Sprintf("C%d", depth), syntheticDocs(2, 0)); err != nil {
 		return AuxChainResult{}, err
 	}
+	c.Settle(ctx)
 
 	out := AuxChainResult{Depth: depth, Notifications: sink.Len(), Messages: c.TR.Stats().Sent}
 	for _, n := range sink.All() {
@@ -458,10 +460,12 @@ func RunLossyBroadcast(servers, events int, dropRate float64, seed int64) (LossR
 	if _, err := c.Server("L000").AddCollection(ctx, collection.Config{Name: "X", Public: true}); err != nil {
 		return LossResult{}, err
 	}
-	// Build once reliably to initialise, then inject loss.
+	// Build once reliably to initialise, then inject loss. Settle so the
+	// initialisation notifications land before the counters reset.
 	if _, _, err := c.Server("L000").Build(ctx, "X", syntheticDocs(1, 0)); err != nil {
 		return LossResult{}, err
 	}
+	c.Settle(ctx)
 	for _, n := range names {
 		c.Notifier(n, "u").Reset()
 	}
@@ -472,6 +476,7 @@ func RunLossyBroadcast(servers, events int, dropRate float64, seed int64) (LossR
 		}
 	}
 	c.TR.SetDropRate(0)
+	c.Settle(ctx)
 
 	out := LossResult{DropRate: dropRate, Servers: servers, Events: events}
 	out.Expected = (servers) * events // every server incl. origin notifies its subscriber
@@ -557,12 +562,14 @@ func RunPartitionRecovery(cycles int, seed int64) (PartitionRecoveryResult, erro
 		if _, _, err := c.Server("London").Build(ctx, "E", syntheticDocs(2, i)); err != nil {
 			return out, err
 		}
+		c.Settle(ctx)
 		out.DuringPartition += sink.Len()
 		if q := c.Service("London").Retry().Len(); q > out.QueuedPeak {
 			out.QueuedPeak = q
 		}
 		c.HealServers("Hamilton", "London")
 		c.FlushRetries(ctx)
+		c.Settle(ctx)
 		out.AfterHeal += sink.Len()
 		sink.Reset()
 	}
@@ -606,6 +613,7 @@ func RunContinuousSearch(docs int, seed int64) (ContinuousSearchResult, error) {
 	if _, _, err := c.Server("Host").Build(ctx, "Col", set); err != nil {
 		return ContinuousSearchResult{}, err
 	}
+	c.Settle(ctx)
 
 	// Interactive search over the now-built collection.
 	recep := c.NewReceptionist("r", "Host")
@@ -642,6 +650,7 @@ func RunContinuousSearch(docs int, seed int64) (ContinuousSearchResult, error) {
 	if _, _, err := c.Server("Host").Build(ctx, "Col", set2); err != nil {
 		return ContinuousSearchResult{}, err
 	}
+	c.Settle(ctx)
 	watchedAlerted := make(map[string]bool)
 	for _, n := range watch.All() {
 		for _, id := range n.DocIDs {

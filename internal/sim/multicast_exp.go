@@ -66,6 +66,7 @@ func RunMulticastAblation(servers, interested, events int, mode core.RoutingMode
 			return MulticastAblationResult{}, err
 		}
 	}
+	c.Settle(ctx)
 	out := MulticastAblationResult{
 		Servers:    servers,
 		Interested: interested,

@@ -275,3 +275,41 @@ func TestTreeDepth(t *testing.T) {
 		}
 	}
 }
+
+func TestRunDeliveryRecovery(t *testing.T) {
+	r, err := RunDeliveryRecovery(4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.LiveDelivered != 1 {
+		t.Errorf("live delivered = %d, want 1", r.LiveDelivered)
+	}
+	if r.ParkedWhileOffline != 4 {
+		t.Errorf("parked while offline = %d, want 4", r.ParkedWhileOffline)
+	}
+	if r.DrainedOnReconnect != 4 {
+		t.Errorf("drained on reconnect = %d, want 4 (delayed, not lost)", r.DrainedOnReconnect)
+	}
+}
+
+func TestRunDeliveryThroughput(t *testing.T) {
+	// Smoke-check both modes deliver everything; relative speed is the
+	// benchmark suite's business, correctness is this test's.
+	sync, err := RunDeliveryThroughput(200, 8, 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sync.Notifications != 200 || sync.Mode != "sync" {
+		t.Errorf("sync result = %+v", sync)
+	}
+	piped, err := RunDeliveryThroughput(200, 8, 4, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if piped.Notifications != 200 {
+		t.Errorf("pipeline result = %+v", piped)
+	}
+	if piped.Batches >= 200 {
+		t.Errorf("batches = %d for 200 notifs — batching not amortising", piped.Batches)
+	}
+}
