@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: all build vet test race bench experiments clean
+.PHONY: all build vet test race bench experiments docs-check clean
 
-all: vet build test
+all: vet build test docs-check
 
 build:
 	$(GO) build ./...
@@ -19,9 +19,13 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem .
 
-# Render every experiment table (E1–E11).
+# Render every experiment table (E1–E12).
 experiments:
 	$(GO) run ./cmd/alert-bench
+
+# Verify README package table, package doc comments and docs/ links.
+docs-check:
+	$(GO) run ./cmd/docs-check
 
 clean:
 	$(GO) clean ./...

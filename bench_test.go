@@ -304,6 +304,38 @@ func BenchmarkMulticastAblation(b *testing.B) {
 }
 
 // ---------------------------------------------------------------------------
+// E12 — the dissemination ladder: flood vs multicast vs content routing.
+
+// BenchmarkRoutingModes runs the E12 workload (rebuilds emitting several
+// event types, a minority of servers interested in one of them) through
+// all three dissemination modes, reporting per-round message cost
+// (experiment E12; see docs/ROUTING.md for the modes).
+func BenchmarkRoutingModes(b *testing.B) {
+	const (
+		servers    = 12
+		interested = 3
+		rounds     = 4
+	)
+	for _, mode := range []core.RoutingMode{core.RouteBroadcast, core.RouteMulticast, core.RouteContent} {
+		b.Run(mode.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r, err := sim.RunContentRouting(servers, interested, rounds, mode, int64(i+1))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if r.Notifications != interested*rounds {
+					b.Fatalf("%s delivered %d notifications, want %d", mode, r.Notifications, interested*rounds)
+				}
+				if i == 0 {
+					b.ReportMetric(float64(r.Messages)/float64(rounds), "msgs/round")
+					b.ReportMetric(float64(r.AvgLatency.Microseconds()), "latency-µs")
+				}
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
 // E8 — continuous search / watch-this.
 
 // BenchmarkWatchThis measures end-to-end watch-this alerting on rebuilds

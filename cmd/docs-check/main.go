@@ -1,0 +1,153 @@
+// Command docs-check keeps the documentation honest. It verifies that:
+//
+//   - every package directory under internal/ appears in the README's
+//     package table, and every table row names an existing directory;
+//   - every Go package in the repository (internal/..., cmd/..., examples/
+//     and the root) carries a godoc package comment;
+//   - every markdown file under docs/ is linked from the README.
+//
+// It prints one line per violation and exits non-zero if any were found.
+// Run it as `make docs-check`; CI runs it on every push.
+package main
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+func main() {
+	os.Exit(run("."))
+}
+
+func run(root string) int {
+	var problems []string
+	complain := func(format string, args ...any) {
+		problems = append(problems, fmt.Sprintf(format, args...))
+	}
+
+	readme, err := os.ReadFile(filepath.Join(root, "README.md"))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "docs-check: %v\n", err)
+		return 1
+	}
+
+	checkPackageTable(root, string(readme), complain)
+	checkDocComments(root, complain)
+	checkDocsLinked(root, string(readme), complain)
+
+	if len(problems) > 0 {
+		for _, p := range problems {
+			fmt.Fprintf(os.Stderr, "docs-check: %s\n", p)
+		}
+		fmt.Fprintf(os.Stderr, "docs-check: %d problem(s)\n", len(problems))
+		return 1
+	}
+	fmt.Println("docs-check: README package table, package comments and docs/ links are consistent")
+	return 0
+}
+
+// tableRowRe matches README package-table rows like:
+//
+//	| `internal/profile` | profile language ... |
+var tableRowRe = regexp.MustCompile("(?m)^\\|\\s*`(internal/[a-z0-9_/-]+)`")
+
+// checkPackageTable cross-checks README's package table with internal/.
+func checkPackageTable(root, readme string, complain func(string, ...any)) {
+	entries, err := os.ReadDir(filepath.Join(root, "internal"))
+	if err != nil {
+		complain("reading internal/: %v", err)
+		return
+	}
+	dirs := make(map[string]bool)
+	for _, e := range entries {
+		if e.IsDir() {
+			dirs["internal/"+e.Name()] = true
+		}
+	}
+	rows := make(map[string]bool)
+	for _, m := range tableRowRe.FindAllStringSubmatch(readme, -1) {
+		rows[m[1]] = true
+	}
+	for d := range dirs {
+		if !rows[d] {
+			complain("README package table is missing a row for %s", d)
+		}
+	}
+	for r := range rows {
+		if !dirs[r] {
+			complain("README package table lists %s, which does not exist", r)
+		}
+	}
+}
+
+// checkDocComments verifies every package has a godoc package comment.
+func checkDocComments(root string, complain func(string, ...any)) {
+	var pkgDirs []string
+	for _, base := range []string{"internal", "cmd", "examples"} {
+		entries, err := os.ReadDir(filepath.Join(root, base))
+		if err != nil {
+			continue
+		}
+		for _, e := range entries {
+			if e.IsDir() {
+				pkgDirs = append(pkgDirs, filepath.Join(base, e.Name()))
+			}
+		}
+	}
+	pkgDirs = append(pkgDirs, ".")
+	sort.Strings(pkgDirs)
+
+	fset := token.NewFileSet()
+	for _, dir := range pkgDirs {
+		files, err := filepath.Glob(filepath.Join(root, dir, "*.go"))
+		if err != nil || len(files) == 0 {
+			continue
+		}
+		documented := false
+		any := false
+		for _, f := range files {
+			// The root directory holds only the external benchmark package;
+			// _test files carry its doc comment.
+			if dir != "." && strings.HasSuffix(f, "_test.go") {
+				continue
+			}
+			any = true
+			parsed, err := parser.ParseFile(fset, f, nil, parser.ParseComments|parser.PackageClauseOnly)
+			if err != nil {
+				complain("parsing %s: %v", f, err)
+				continue
+			}
+			if parsed.Doc != nil && strings.TrimSpace(parsed.Doc.Text()) != "" {
+				documented = true
+				break
+			}
+		}
+		if any && !documented {
+			complain("package %s has no godoc package comment", dir)
+		}
+	}
+}
+
+// checkDocsLinked verifies every file under docs/ is referenced by README.
+func checkDocsLinked(root, readme string, complain func(string, ...any)) {
+	docs, err := filepath.Glob(filepath.Join(root, "docs", "*.md"))
+	if err != nil {
+		return
+	}
+	for _, d := range docs {
+		rel, err := filepath.Rel(root, d)
+		if err != nil {
+			continue
+		}
+		rel = filepath.ToSlash(rel)
+		if !strings.Contains(readme, rel) {
+			complain("%s is not linked from README.md", rel)
+		}
+	}
+}

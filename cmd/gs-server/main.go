@@ -42,6 +42,8 @@ func run() int {
 		name         = flag.String("name", "Hamilton", "server name (network-internal, resolved via the GDS)")
 		addr         = flag.String("addr", "127.0.0.1:8001", "listen address")
 		gdsAddr      = flag.String("gds", "127.0.0.1:7001", "GDS node address to register with")
+		routing      = flag.String("routing", "broadcast", "GDS dissemination mode: broadcast, multicast or content (see docs/ROUTING.md)")
+		warmup       = flag.Duration("content-warmup", core.DefaultContentWarmup, "flood-fallback window after entering content routing, while digest advertisements propagate; 0 disables")
 		demo         = flag.Bool("demo", false, "create a demo collection and rebuild it periodically")
 		demoName     = flag.String("demo-name", "Demo", "demo collection name")
 		demoInterval = flag.Duration("demo-interval", 15*time.Second, "demo rebuild interval")
@@ -57,6 +59,17 @@ func run() int {
 		mailboxCap  = flag.Int("mailbox-cap", delivery.DefaultMailboxCap, "max parked notifications per user")
 	)
 	flag.Parse()
+
+	mode, err := core.ParseRoutingMode(*routing)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gs-server: %v\n", err)
+		return 1
+	}
+	// At the config layer zero means "use the default", so translate the
+	// flag's explicit 0 ("no warm-up") to the negative sentinel.
+	if *warmup == 0 {
+		*warmup = -1
+	}
 
 	tr := transport.NewHTTP()
 	defer func() { _ = tr.Close() }()
@@ -91,12 +104,13 @@ func run() int {
 	gdsCli := gds.NewClient(*name, *addr, *gdsAddr, tr)
 	store := collection.NewStore(*name)
 	svc, err := core.New(core.Config{
-		ServerName: *name,
-		ServerAddr: *addr,
-		Transport:  tr,
-		GDS:        gdsCli,
-		Store:      store,
-		Delivery:   pipeline,
+		ServerName:    *name,
+		ServerAddr:    *addr,
+		Transport:     tr,
+		GDS:           gdsCli,
+		Store:         store,
+		Delivery:      pipeline,
+		ContentWarmup: *warmup,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "gs-server: %v\n", err)
@@ -124,6 +138,22 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "gs-server: GDS registration failed (continuing solitary): %v\n", err)
 	} else {
 		fmt.Printf("gs-server %s registered with GDS at %s\n", *name, *gdsAddr)
+	}
+
+	// Dissemination mode after registration: multicast joins groups and
+	// content routing advertises the profile digest through the GDS node.
+	if mode != core.RouteBroadcast {
+		modeCtx, modeCancel := context.WithTimeout(ctx, 10*time.Second)
+		err = svc.SetRoutingMode(modeCtx, mode)
+		modeCancel()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gs-server: routing mode %s: %v (reverting to broadcast)\n", mode, err)
+			if err := svc.SetRoutingMode(context.Background(), core.RouteBroadcast); err != nil {
+				fmt.Fprintf(os.Stderr, "gs-server: revert to broadcast: %v\n", err)
+			}
+		} else {
+			fmt.Printf("gs-server %s disseminating via %s routing\n", *name, mode)
+		}
 	}
 
 	// The retry queue delivers deferred aux-profile traffic in the

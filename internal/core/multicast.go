@@ -26,7 +26,45 @@ const (
 	// is an optimisation, never a correctness change (paper §6 names
 	// multicast as a GDS capability; this is the ablation for it).
 	RouteMulticast
+	// RouteContent routes by profile content: the server advertises a
+	// digest of its profile population (profile.Digest) to its GDS node,
+	// directory nodes aggregate digests per tree link with covering-based
+	// pruning, and published events descend only into subtrees whose digest
+	// matches the event's attributes. Strictly finer-grained than
+	// RouteMulticast (it can prune on event type, host or any event-level
+	// predicate, not just the collection) at the cost of digest state in
+	// the directory. See docs/ROUTING.md.
+	RouteContent
 )
+
+// String names the mode as accepted by ParseRoutingMode.
+func (m RoutingMode) String() string {
+	switch m {
+	case RouteBroadcast:
+		return "broadcast"
+	case RouteMulticast:
+		return "multicast"
+	case RouteContent:
+		return "content"
+	default:
+		return fmt.Sprintf("mode-%d", int(m))
+	}
+}
+
+// ParseRoutingMode inverts RoutingMode.String (the gs-server -routing
+// flag).
+func ParseRoutingMode(s string) (RoutingMode, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "broadcast", "flood":
+		return RouteBroadcast, nil
+	case "multicast":
+		return RouteMulticast, nil
+	case "content":
+		return RouteContent, nil
+	default:
+		return 0, fmt.Errorf("core: unknown routing mode %q (want broadcast, multicast or content)", s)
+	}
+}
 
 // catchAllGroup receives every event: members host profiles whose
 // collection scope cannot be bounded.
@@ -37,26 +75,69 @@ func collGroup(qualified string) string {
 	return "coll:" + strings.ToLower(qualified)
 }
 
-// SetRoutingMode switches dissemination modes. Switching to multicast
-// (re)announces group memberships for every registered profile; switching
-// back to broadcast leaves memberships in place (they are simply unused).
+// SetRoutingMode switches dissemination modes and tears the previous
+// mode's directory state down eagerly: leaving multicast leaves every
+// joined group (stale memberships would otherwise keep attracting
+// traffic), leaving content routing withdraws the advertised digest.
+// Switching to multicast (re)announces group memberships for every
+// registered profile; switching to content routing advertises the current
+// profile digest and floods for the configured warm-up window.
 func (s *Service) SetRoutingMode(ctx context.Context, mode RoutingMode) error {
-	if mode != RouteBroadcast && mode != RouteMulticast {
+	if mode != RouteBroadcast && mode != RouteMulticast && mode != RouteContent {
 		return fmt.Errorf("core: unknown routing mode %d", mode)
 	}
 	s.mu.Lock()
+	prev := s.routing
+	if prev == 0 {
+		prev = RouteBroadcast
+	}
 	s.routing = mode
+	if mode == RouteContent {
+		s.contentFloodUntil = s.clock().Add(s.contentWarmup)
+	}
 	s.mu.Unlock()
-	if mode != RouteMulticast || s.gdsCli == nil {
+	if s.gdsCli == nil {
 		return nil
 	}
-	// Join groups for the current profile population.
-	for _, p := range s.matcher.All() {
-		if err := s.joinGroupsFor(ctx, p); err != nil {
-			return err
+	if prev == RouteMulticast && mode != RouteMulticast {
+		s.leaveAllGroups(ctx)
+	}
+	if prev == RouteContent && mode != RouteContent {
+		s.mu.Lock()
+		s.advertised = ""
+		s.advertisedOnce = false
+		s.mu.Unlock()
+		_ = s.gdsCli.UnadvertiseProfiles(ctx) // best effort
+	}
+	switch mode {
+	case RouteMulticast:
+		// Join groups for the current profile population.
+		for _, p := range s.matcher.All() {
+			if err := s.joinGroupsFor(ctx, p); err != nil {
+				return err
+			}
 		}
+	case RouteContent:
+		return s.advertiseProfiles(ctx, nil)
 	}
 	return nil
+}
+
+// leaveAllGroups eagerly leaves every multicast group this server joined,
+// clearing the per-profile bookkeeping.
+func (s *Service) leaveAllGroups(ctx context.Context) {
+	s.mu.Lock()
+	var leave []string
+	for g := range s.groupRefs {
+		leave = append(leave, g)
+	}
+	s.groupRefs = nil
+	s.groupsByProfile = nil
+	s.mu.Unlock()
+	sortStrings(leave)
+	for _, g := range leave {
+		_ = s.gdsCli.LeaveGroup(ctx, g) // best effort
+	}
 }
 
 // RoutingMode reports the current mode.

@@ -50,11 +50,14 @@ func (s *Service) publishEvent(ctx context.Context, ev *event.Event) (time.Durat
 	s.forwardPerAuxProfiles(ctx, ev)
 
 	// 3. Disseminate to other servers via the GDS (flooding by default,
-	// interest-scoped multicast when enabled).
+	// interest-scoped multicast or content-based routing when enabled).
 	if s.gdsCli != nil {
 		disseminate := s.broadcastEvent
-		if s.RoutingMode() == RouteMulticast {
+		switch s.RoutingMode() {
+		case RouteMulticast:
 			disseminate = s.multicastEvent
+		case RouteContent:
+			disseminate = s.contentRouteEvent
 		}
 		if err := disseminate(ctx, ev); err != nil {
 			// Best effort (paper §6): flooding failures are not fatal.
@@ -177,15 +180,16 @@ func (s *Service) HandleEventEnvelope(ctx context.Context, env *protocol.Envelop
 	if payload.TransformTo != "" {
 		return s.handleForwardedEvent(ctx, ev, payload.TransformTo)
 	}
-	return s.handleFloodedEvent(ev)
+	return s.handleFloodedEvent(ev, env)
 }
 
-// handleFloodedEvent processes an event received via GDS broadcast: filter
-// against local user profiles and notify. Flooded events are NOT re-matched
-// against auxiliary profiles: the sub-collection's own server already
-// forwarded the event over the GS network; re-forwarding from every flooded
-// copy would duplicate transforms.
-func (s *Service) handleFloodedEvent(ev *event.Event) error {
+// handleFloodedEvent processes an event received via GDS dissemination
+// (broadcast, multicast or content routing): filter against local user
+// profiles and notify. Flooded events are NOT re-matched against auxiliary
+// profiles: the sub-collection's own server already forwarded the event
+// over the GS network; re-forwarding from every flooded copy would
+// duplicate transforms.
+func (s *Service) handleFloodedEvent(ev *event.Event, env *protocol.Envelope) error {
 	if s.dedup.Observe(ev.ID) {
 		s.mu.Lock()
 		s.stats.DuplicatesDropped++
@@ -194,6 +198,15 @@ func (s *Service) handleFloodedEvent(ev *event.Event) error {
 	}
 	s.mu.Lock()
 	s.stats.EventsReceived++
+	// Transit cost of the dissemination path, for the routing experiments:
+	// virtual per-link latency on the memory transport, wall-clock
+	// since-send otherwise.
+	if env.Header.VirtualLatencyMicros > 0 {
+		s.stats.ReceiveLatency += time.Duration(env.Header.VirtualLatencyMicros) * time.Microsecond
+	} else if env.Header.SentAtUnixNano > 0 {
+		s.stats.ReceiveLatency += s.clock().Sub(time.Unix(0, env.Header.SentAtUnixNano))
+	}
+	s.stats.ReceiveHops += int64(env.Header.Hops)
 	s.mu.Unlock()
 	s.filterLocally(ev)
 	return nil

@@ -106,6 +106,11 @@ type Config struct {
 	// service builds a default in-memory pipeline (sharded, non-durable);
 	// pass a configured pipeline for durability or custom backpressure.
 	Delivery *delivery.Pipeline
+	// ContentWarmup is how long the service keeps flooding after switching
+	// to RouteContent, while digest advertisements populate the directory's
+	// routing tables. Negative disables the warm-up (deterministic
+	// simulations); zero selects DefaultContentWarmup.
+	ContentWarmup time.Duration
 	// Clock overrides time.Now for deterministic tests.
 	Clock func() time.Time
 }
@@ -139,11 +144,26 @@ type Service struct {
 	delivery     *delivery.Pipeline
 	ownsDelivery bool
 
-	// routing selects broadcast (default) or multicast dissemination;
-	// groupRefs/groupsByProfile track multicast membership per profile.
+	// routing selects broadcast (default), multicast or content
+	// dissemination; groupRefs/groupsByProfile track multicast membership
+	// per profile.
 	routing         RoutingMode
 	groupRefs       map[string]int
 	groupsByProfile map[string][]string
+
+	// advertised is the canonical profile digest last pushed to the GDS in
+	// content mode ("" plus advertisedOnce=false when none was sent);
+	// contentFloodUntil keeps the flood fallback open while routing tables
+	// warm up. advMu serialises digest compute+send so concurrent churn
+	// cannot reorder advertisements on the wire; it also guards the
+	// incremental digestCache.
+	advMu             sync.Mutex
+	digestCache       profile.Digest
+	digestCacheOK     bool
+	advertised        string
+	advertisedOnce    bool
+	contentWarmup     time.Duration
+	contentFloodUntil time.Time
 
 	idCounter atomic.Uint64
 	stats     ServiceStats
@@ -161,9 +181,16 @@ type ServiceStats struct {
 	AuxInstallsSent    int64
 	AuxCancelsSent     int64
 	BroadcastsSent     int64
+	AdvertisementsSent int64         // profile-digest advertisements (content routing)
 	FilterTime         time.Duration // cumulative local filtering time
 	NotifyFailures     int64         // notifications refused by the pipeline
 	ForwardingFailures int64         // queued for retry
+	// ReceiveLatency accumulates the (virtual or wall-clock) transit
+	// latency of events received via GDS dissemination; divide by
+	// EventsReceived for the mean. ReceiveHops accumulates their relay
+	// counts.
+	ReceiveLatency time.Duration
+	ReceiveHops    int64
 }
 
 // Queued payload kinds for the retry queue.
@@ -196,6 +223,12 @@ func New(cfg Config) (*Service, error) {
 	}
 	if s.clock == nil {
 		s.clock = time.Now
+	}
+	s.contentWarmup = cfg.ContentWarmup
+	if s.contentWarmup == 0 {
+		s.contentWarmup = DefaultContentWarmup
+	} else if s.contentWarmup < 0 {
+		s.contentWarmup = 0
 	}
 	if s.matcher == nil {
 		s.matcher = filter.NewEqualityPreferred()
@@ -345,6 +378,9 @@ func (s *Service) addUserProfile(p *profile.Profile) error {
 		// paper's best-effort stance; it never corrupts local state.
 		_ = s.joinGroupsFor(context.Background(), p)
 	}
+	// In content mode a new profile may widen the advertised digest; the
+	// covering prune inside makes already-covered additions free.
+	s.readvertiseOnChurn(p)
 	return nil
 }
 
@@ -371,6 +407,9 @@ func (s *Service) Unsubscribe(client, profileID string) error {
 	if multicast {
 		s.leaveGroupsFor(context.Background(), profileID)
 	}
+	// In content mode a removed profile may narrow the digest; the
+	// re-advertisement lets the directory prune this server again.
+	s.readvertiseOnChurn(nil)
 	return nil
 }
 

@@ -1,0 +1,261 @@
+package gds
+
+import (
+	"context"
+	"sort"
+
+	"github.com/gsalert/gsalert/internal/profile"
+	"github.com/gsalert/gsalert/internal/protocol"
+	"github.com/gsalert/gsalert/internal/transport"
+)
+
+// Content-based routing (the third dissemination mode, extending the
+// paper's §6 multicast with SIENA-style subscription covering).
+//
+// Every tree link — a directly registered server or a child directory
+// node — may advertise a profile digest (profile.Digest): a DNF over
+// event-level attributes summarising every profile reachable over that
+// link. The node keeps one digest per link, merges them (with the
+// covering prune) into a subtree aggregate, and advertises that aggregate
+// to its own parent whenever it changes. Content-routed events then climb
+// to the root unconditionally and descend only into links whose digest
+// matches the event's attributes.
+//
+// A link that has never advertised is "unwarm" and treated as match-all:
+// servers that do not speak content routing, and tables still being
+// populated, degrade to flooding rather than losing events. An unwarm
+// link also forces the node's upward aggregate to match-all, so the
+// fallback is transitive up the tree.
+
+// linkDigestLocked returns the digest advertised over a link, with the
+// match-all default for unwarm links. Callers hold n.mu.
+func (n *Node) linkDigestLocked(link string) profile.Digest {
+	if d, ok := n.digests[link]; ok {
+		return d
+	}
+	return profile.TopDigest()
+}
+
+// aggregateDigestLocked merges every link digest into the subtree
+// summary. Any unwarm link widens the aggregate to match-all. Callers
+// hold n.mu.
+func (n *Node) aggregateDigestLocked() profile.Digest {
+	parts := make([]profile.Digest, 0, len(n.servers)+len(n.children))
+	for name := range n.servers {
+		d, ok := n.digests[name]
+		if !ok {
+			return profile.TopDigest()
+		}
+		parts = append(parts, d)
+	}
+	for child := range n.children {
+		d, ok := n.digests[child]
+		if !ok {
+			return profile.TopDigest()
+		}
+		parts = append(parts, d)
+	}
+	return profile.MergeDigests(parts...)
+}
+
+func (n *Node) handleAdvertiseProfiles(ctx context.Context, env *protocol.Envelope) (*protocol.Envelope, error) {
+	var ap protocol.AdvertiseProfiles
+	if err := protocol.Decode(env, protocol.MsgAdvertiseProfiles, &ap); err != nil {
+		return protocol.Errorf(n.id, "decode", "%v", err), nil
+	}
+	if ap.Name == "" {
+		return protocol.Errorf(n.id, "advertise", "name required"), nil
+	}
+	digest, err := profile.ParseDigest(ap.Digest)
+	if err != nil {
+		return protocol.Errorf(n.id, "advertise", "bad digest: %v", err), nil
+	}
+	n.mu.Lock()
+	n.digests[ap.Name] = digest
+	n.mu.Unlock()
+	n.propagateDigest(ctx)
+	return protocol.Ack(n.id, env), nil
+}
+
+func (n *Node) handleUnadvertiseProfiles(ctx context.Context, env *protocol.Envelope) (*protocol.Envelope, error) {
+	var up protocol.UnadvertiseProfiles
+	if err := protocol.Decode(env, protocol.MsgUnadvertiseProfiles, &up); err != nil {
+		return protocol.Errorf(n.id, "decode", "%v", err), nil
+	}
+	n.mu.Lock()
+	_, existed := n.digests[up.Name]
+	delete(n.digests, up.Name)
+	n.mu.Unlock()
+	if existed {
+		n.propagateDigest(ctx)
+	}
+	return protocol.Ack(n.id, env), nil
+}
+
+// propagateDigest recomputes the subtree aggregate and re-advertises it to
+// the parent when it changed since the last advertisement — the covering
+// prune for advertisement traffic: a new profile covered by the already
+// advertised aggregate leaves the (normalised) aggregate unchanged and
+// travels no further up the tree.
+//
+// The compute-compare-send sequence runs under n.advMu so concurrent
+// handlers cannot reorder advertisements on the wire: without it a stale
+// (narrower) aggregate could be sent after a fresh one and win at the
+// parent, which would then prune a subtree that does hold the interest.
+func (n *Node) propagateDigest(ctx context.Context) {
+	n.advMu.Lock()
+	defer n.advMu.Unlock()
+	n.mu.Lock()
+	parentAddr := n.parentAddr
+	if parentAddr == "" {
+		n.mu.Unlock()
+		return
+	}
+	agg := n.aggregateDigestLocked()
+	canon := agg.Canonical()
+	if n.advertisedUp && canon == n.advertised {
+		n.mu.Unlock()
+		return
+	}
+	n.advertised = canon
+	n.advertisedUp = true
+	n.mu.Unlock()
+	env, err := protocol.NewEnvelope(n.id, protocol.MsgAdvertiseProfiles, &protocol.AdvertiseProfiles{
+		Name:   n.id,
+		Digest: agg.Strings(),
+	})
+	if err != nil {
+		return
+	}
+	_ = transport.SendOneWay(ctx, n.tr, parentAddr, env) // best effort
+}
+
+// handleRouteContent disseminates the wrapped envelope content-based:
+// deliver to directly registered servers whose digest matches, climb
+// towards the root, and descend only into child subtrees whose digest
+// matches (paper §6's multicast descent, with digests instead of group
+// membership). Flooded (fallback) messages take the broadcast paths.
+func (n *Node) handleRouteContent(ctx context.Context, env *protocol.Envelope) (*protocol.Envelope, error) {
+	if n.dedup.Observe(env.Header.ID) {
+		return protocol.Ack(n.id, env), nil
+	}
+	var rc protocol.RouteContent
+	if err := protocol.Decode(env, protocol.MsgRouteContent, &rc); err != nil {
+		return protocol.Errorf(n.id, "decode", "%v", err), nil
+	}
+	inner, err := protocol.Unmarshal(rc.Inner)
+	if err != nil {
+		return protocol.Errorf(n.id, "inner", "%v", err), nil
+	}
+	attrs := rc.AttrMap()
+
+	n.mu.Lock()
+	from := env.Header.From
+	targets := make([]string, 0, len(n.servers))
+	for name, addr := range n.servers {
+		if name == from {
+			continue // do not echo to the originating server
+		}
+		if rc.Flood || n.linkDigestLocked(name).Matches(attrs) {
+			targets = append(targets, addr)
+		}
+	}
+	relays := make([]string, 0, len(n.children)+1)
+	if n.parentAddr != "" && from != n.parentID {
+		relays = append(relays, n.parentAddr)
+	}
+	for childID, childAddr := range n.children {
+		if childID == from {
+			continue
+		}
+		if rc.Flood || n.linkDigestLocked(childID).Matches(attrs) {
+			relays = append(relays, childAddr)
+		}
+	}
+	n.mu.Unlock()
+
+	for _, addr := range targets {
+		delivery := inner.Clone()
+		delivery.Header.VirtualLatencyMicros = env.Header.VirtualLatencyMicros
+		delivery.Header.Hops = env.Header.Hops
+		delivery.Header.From = n.id
+		_ = transport.SendOneWay(ctx, n.tr, addr, delivery) // best effort
+		n.mu.Lock()
+		n.deliveries++
+		n.mu.Unlock()
+	}
+	if env.Forwardable() {
+		for _, addr := range relays {
+			fwd := env.NextHop()
+			fwd.Header.From = n.id
+			_ = transport.SendOneWay(ctx, n.tr, addr, fwd) // best effort
+		}
+	}
+	return protocol.Ack(n.id, env), nil
+}
+
+// ---------------------------------------------------------------------------
+// Client side
+
+// AdvertiseProfiles installs (or replaces) this server's profile digest at
+// its directory node. An empty digest is the explicit "no interests":
+// content-routed events stop descending to this server until a wider
+// digest is advertised.
+func (c *Client) AdvertiseProfiles(ctx context.Context, d profile.Digest) error {
+	env, err := protocol.NewEnvelope(c.serverName, protocol.MsgAdvertiseProfiles, &protocol.AdvertiseProfiles{
+		Name:   c.serverName,
+		Digest: d.Strings(),
+	})
+	if err != nil {
+		return err
+	}
+	return transport.SendOneWay(ctx, c.tr, c.nodeAddr, env)
+}
+
+// UnadvertiseProfiles withdraws the server's digest; the directory treats
+// the server as match-all again (the safe default for servers that leave
+// content-routing mode).
+func (c *Client) UnadvertiseProfiles(ctx context.Context) error {
+	env, err := protocol.NewEnvelope(c.serverName, protocol.MsgUnadvertiseProfiles, &protocol.UnadvertiseProfiles{
+		Name: c.serverName,
+	})
+	if err != nil {
+		return err
+	}
+	return transport.SendOneWay(ctx, c.tr, c.nodeAddr, env)
+}
+
+// RouteContent disseminates inner to every server whose advertised digest
+// matches attrs. With flood set the message takes the broadcast paths
+// instead — the warm-up fallback for publishers that cannot yet rely on
+// the routing tables.
+func (c *Client) RouteContent(ctx context.Context, attrs map[string]string, inner *protocol.Envelope, flood bool) error {
+	raw, err := protocol.Marshal(inner)
+	if err != nil {
+		return err
+	}
+	wire := make([]protocol.EventAttr, 0, len(attrs))
+	for _, name := range sortedKeys(attrs) {
+		wire = append(wire, protocol.EventAttr{Name: name, Value: attrs[name]})
+	}
+	env, err := protocol.NewEnvelope(c.serverName, protocol.MsgRouteContent, &protocol.RouteContent{
+		Flood: flood,
+		Attrs: wire,
+		Inner: raw,
+	})
+	if err != nil {
+		return err
+	}
+	return transport.SendOneWay(ctx, c.tr, c.nodeAddr, env)
+}
+
+// sortedKeys returns the map keys in sorted order so wire forms are
+// deterministic.
+func sortedKeys(m map[string]string) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

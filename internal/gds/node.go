@@ -22,6 +22,7 @@ import (
 	"sync"
 
 	"github.com/gsalert/gsalert/internal/event"
+	"github.com/gsalert/gsalert/internal/profile"
 	"github.com/gsalert/gsalert/internal/protocol"
 	"github.com/gsalert/gsalert/internal/transport"
 )
@@ -50,6 +51,16 @@ type Node struct {
 	subtree map[string]string
 	// groups maps group name -> member name -> member record.
 	groups map[string]map[string]member
+	// digests maps a tree link (direct server name or child node ID) to the
+	// profile digest advertised over it; absent links are unwarm and treated
+	// as match-all (content routing).
+	digests map[string]profile.Digest
+	// advertised is the canonical aggregate digest last sent to the parent;
+	// advertisedUp records whether anything was sent at all. advMu
+	// serialises aggregate compute+send (see propagateDigest).
+	advMu        sync.Mutex
+	advertised   string
+	advertisedUp bool
 
 	dedup    *event.Dedup
 	listener io.Closer
@@ -76,6 +87,7 @@ func NewNode(id, addr string, stratum int, tr transport.Transport) (*Node, error
 		servers:  make(map[string]string),
 		subtree:  make(map[string]string),
 		groups:   make(map[string]map[string]member),
+		digests:  make(map[string]profile.Digest),
 		dedup:    event.NewDedup(0),
 	}
 	l, err := tr.Listen(addr, transport.HandlerFunc(n.handle))
@@ -152,6 +164,12 @@ func (n *Node) AttachToParent(ctx context.Context, parentID, parentAddr string) 
 			}
 		}
 	}
+	// The new ancestors have no digest for this subtree yet; force a fresh
+	// aggregate advertisement.
+	n.mu.Lock()
+	n.advertisedUp = false
+	n.mu.Unlock()
+	n.propagateDigest(ctx)
 	return nil
 }
 
@@ -174,6 +192,12 @@ func (n *Node) handle(ctx context.Context, env *protocol.Envelope) (*protocol.En
 		return n.handleJoinGroup(ctx, env)
 	case protocol.MsgLeaveGroup:
 		return n.handleLeaveGroup(ctx, env)
+	case protocol.MsgAdvertiseProfiles:
+		return n.handleAdvertiseProfiles(ctx, env)
+	case protocol.MsgUnadvertiseProfiles:
+		return n.handleUnadvertiseProfiles(ctx, env)
+	case protocol.MsgRouteContent:
+		return n.handleRouteContent(ctx, env)
 	case protocol.MsgPing:
 		return protocol.Ack(n.id, env), nil
 	default:
@@ -192,6 +216,9 @@ func (n *Node) handleRegisterChild(env *protocol.Envelope) (*protocol.Envelope, 
 	n.mu.Lock()
 	n.children[rc.NodeID] = rc.Addr
 	n.mu.Unlock()
+	// A fresh child is unwarm (match-all) until it advertises, which may
+	// widen the aggregate this node advertised upward.
+	n.propagateDigest(context.Background())
 	return protocol.Ack(n.id, env), nil
 }
 
@@ -218,6 +245,11 @@ func (n *Node) handleRegisterServer(ctx context.Context, env *protocol.Envelope)
 	n.subtree[rs.Name] = rs.Addr
 	n.mu.Unlock()
 
+	// A newly attached server is unwarm until it advertises a digest, which
+	// may widen the content-routing aggregate.
+	if env.Header.From == rs.Name {
+		n.propagateDigest(ctx)
+	}
 	if !changed {
 		return protocol.Ack(n.id, env), nil
 	}
@@ -250,10 +282,18 @@ func (n *Node) handleUnregisterServer(ctx context.Context, env *protocol.Envelop
 	}
 	n.mu.Lock()
 	_, existed := n.subtree[us.Name]
+	_, wasDirect := n.servers[us.Name]
 	delete(n.servers, us.Name)
 	delete(n.subtree, us.Name)
+	if wasDirect {
+		delete(n.digests, us.Name)
+	}
 	parentAddr := n.parentAddr
 	n.mu.Unlock()
+	if wasDirect {
+		// The departed server's interests no longer hold the aggregate open.
+		n.propagateDigest(ctx)
+	}
 	if parentAddr != "" && existed {
 		up, err := protocol.NewEnvelope(n.id, protocol.MsgUnregisterServer, &us)
 		if err == nil {
@@ -502,6 +542,12 @@ type Info struct {
 	Servers    []string
 	Subtree    []string
 	Groups     map[string][]string
+	// Digests is the content-routing table: tree link -> advertised digest
+	// conjunctions. Links missing from the map are unwarm (match-all).
+	Digests map[string][]string
+	// Advertised is the canonical aggregate digest last advertised to the
+	// parent ("" when nothing was advertised yet).
+	Advertised string
 	Deliveries int64
 	DedupHits  int64
 }
@@ -517,6 +563,11 @@ func (n *Node) Snapshot() Info {
 		Deliveries: n.deliveries,
 		DedupHits:  n.dedup.Hits(),
 		Groups:     make(map[string][]string, len(n.groups)),
+		Digests:    make(map[string][]string, len(n.digests)),
+		Advertised: n.advertised,
+	}
+	for link, d := range n.digests {
+		info.Digests[link] = d.Strings()
 	}
 	for c := range n.children {
 		info.Children = append(info.Children, c)

@@ -1,0 +1,218 @@
+package greenstone_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"github.com/gsalert/gsalert/internal/collection"
+	"github.com/gsalert/gsalert/internal/core"
+	"github.com/gsalert/gsalert/internal/profile"
+	"github.com/gsalert/gsalert/internal/protocol"
+)
+
+// End-to-end content routing (core.RouteContent) through assembled
+// clusters: servers advertise profile digests, the directory routes
+// events by attributes, and mode switches tear their state down eagerly.
+
+func TestContentModeDeliversSameNotifications(t *testing.T) {
+	const n, k = 12, 3
+	// Broadcast reference run.
+	cb, namesB := buildInterestCluster(t, n, k, core.RouteBroadcast)
+	cb.TR.ResetStats()
+	publishOnce(t, cb, namesB[0])
+	broadcastNotified := countNotified(cb, namesB, k)
+	broadcastMsgs := cb.TR.Stats().Sent
+
+	// Content run.
+	cc, namesC := buildInterestCluster(t, n, k, core.RouteContent)
+	cc.TR.ResetStats()
+	publishOnce(t, cc, namesC[0])
+	contentNotified := countNotified(cc, namesC, k)
+	contentMsgs := cc.TR.Stats().Sent
+
+	if broadcastNotified != k || contentNotified != k {
+		t.Fatalf("notified: broadcast=%d content=%d, want %d", broadcastNotified, contentNotified, k)
+	}
+	if contentMsgs >= broadcastMsgs {
+		t.Errorf("content routing %d msgs not cheaper than broadcast %d", contentMsgs, broadcastMsgs)
+	}
+	// Non-subscribers received no event deliveries at all.
+	for i := k + 1; i < n; i++ {
+		if got := len(cc.Notifications(namesC[i], "u")); got != 0 {
+			t.Errorf("non-subscriber %s notified %d times", namesC[i], got)
+		}
+	}
+}
+
+func TestContentModePrunesByEventType(t *testing.T) {
+	// The subscriber wants only collection-built events of X; a multicast
+	// group per collection cannot express that, the content digest can.
+	c, names := buildInterestCluster(t, 6, 1, core.RouteContent)
+	publishOnce(t, c, names[0]) // first build: collection-built only
+	if got := len(c.Notifications(names[1], "u")); got != 1 {
+		t.Fatalf("subscriber notifications = %d, want 1", got)
+	}
+	// A rebuild with a changed document emits collection-rebuilt +
+	// documents-changed, neither of which the digest matches: the
+	// directory prunes them before they reach the subscriber's server.
+	docs := []*collection.Document{{ID: "d1", Content: "changed payload"}}
+	if _, _, err := c.Server(names[0]).Build(context.Background(), "X", docs); err != nil {
+		t.Fatal(err)
+	}
+	c.Settle(context.Background())
+	received := c.Service(names[1]).Stats().EventsReceived
+	published := c.Service(names[0]).Stats().EventsPublished
+	if published < 3 {
+		t.Fatalf("published only %d events; rebuild emitted no extra types", published)
+	}
+	if received != 1 {
+		t.Errorf("subscriber's server received %d of %d published events, want 1 (type pruning)", received, published)
+	}
+	if got := len(c.Notifications(names[1], "u")); got != 1 {
+		t.Errorf("subscriber notifications after rebuild = %d, want still 1", got)
+	}
+}
+
+func TestContentModeChurnReadvertises(t *testing.T) {
+	c, names := buildInterestCluster(t, 4, 1, core.RouteContent)
+	subscriber := names[1]
+	ids := c.Service(subscriber).ProfilesOf("u")
+	if len(ids) != 1 {
+		t.Fatalf("profiles = %v", ids)
+	}
+	if err := c.Service(subscriber).Unsubscribe("u", ids[0]); err != nil {
+		t.Fatal(err)
+	}
+	c.TR.ResetStats()
+	publishOnce(t, c, names[0])
+	if got := len(c.Notifications(subscriber, "u")); got != 0 {
+		t.Fatalf("unsubscribed client notified %d times", got)
+	}
+	// The empty digest propagated: no event envelope reached the
+	// ex-subscriber's server at all.
+	if got := c.TR.Stats().PerType[protocol.MsgEvent]; got != 0 {
+		t.Errorf("event deliveries after last unsubscribe = %d, want 0", got)
+	}
+
+	// Subscribing again re-widens the digest (the next publish is a
+	// rebuild, so the new interest targets collection-rebuilt).
+	c.Notifier(subscriber, "u")
+	if _, err := c.Service(subscriber).Subscribe("u", profile.MustParse(
+		fmt.Sprintf(`collection = "%s.X" AND event.type = "collection-rebuilt"`, names[0]))); err != nil {
+		t.Fatal(err)
+	}
+	publishOnce(t, c, names[0])
+	if got := len(c.Notifications(subscriber, "u")); got != 1 {
+		t.Errorf("re-subscribed client notifications = %d, want 1", got)
+	}
+}
+
+func TestContentModeCoveredSubscribeSendsNoAdvertisement(t *testing.T) {
+	c, names := buildInterestCluster(t, 4, 1, core.RouteContent)
+	subscriber := names[1]
+	c.TR.ResetStats()
+	// Strictly narrower than the existing interest: covered, no message.
+	if _, err := c.Service(subscriber).Subscribe("u", profile.MustParse(
+		fmt.Sprintf(`collection = "%s.X" AND event.type = "collection-built" AND dc.Title contains "music"`, names[0]))); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.TR.Stats().PerType[protocol.MsgAdvertiseProfiles]; got != 0 {
+		t.Errorf("covered subscription sent %d advertisements, want 0", got)
+	}
+	// A genuinely new interest does advertise.
+	if _, err := c.Service(subscriber).Subscribe("u", profile.MustParse(
+		`collection = "Elsewhere.Y"`)); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.TR.Stats().PerType[protocol.MsgAdvertiseProfiles]; got == 0 {
+		t.Error("widening subscription sent no advertisement")
+	}
+}
+
+func TestModeSwitchTearsDownDirectoryState(t *testing.T) {
+	ctx := context.Background()
+
+	// Multicast -> broadcast must leave groups eagerly (a stale membership
+	// would keep attracting multicast traffic for a server that no longer
+	// reads it as such).
+	c, names := buildInterestCluster(t, 4, 2, core.RouteMulticast)
+	groupCount := func() int {
+		total := 0
+		for _, node := range c.Nodes {
+			total += len(node.Snapshot().Groups)
+		}
+		return total
+	}
+	if groupCount() == 0 {
+		t.Fatal("multicast mode joined no groups")
+	}
+	for _, name := range names {
+		if err := c.Service(name).SetRoutingMode(ctx, core.RouteBroadcast); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := groupCount(); got != 0 {
+		t.Errorf("groups left on directory nodes after switch to broadcast: %d", got)
+	}
+	// And broadcast still delivers.
+	publishOnce(t, c, names[0])
+	if got := countNotified(c, names, 2); got != 2 {
+		t.Errorf("notified after switch back = %d, want 2", got)
+	}
+
+	// Content -> broadcast must withdraw the digests.
+	c2, names2 := buildInterestCluster(t, 4, 1, core.RouteContent)
+	digestCount := func() int {
+		total := 0
+		for _, node := range c2.Nodes {
+			total += len(node.Snapshot().Digests)
+		}
+		return total
+	}
+	if digestCount() == 0 {
+		t.Fatal("content mode advertised no digests")
+	}
+	for _, name := range names2 {
+		if err := c2.Service(name).SetRoutingMode(ctx, core.RouteBroadcast); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Server links lose their digests; inter-node links may keep empty
+	// aggregates, which are equivalent to ⊤-free state only for servers.
+	for _, node := range c2.Nodes {
+		snap := node.Snapshot()
+		for link := range snap.Digests {
+			for _, name := range names2 {
+				if link == name {
+					t.Errorf("node %s still holds a digest for server %s", snap.ID, name)
+				}
+			}
+		}
+	}
+	publishOnce(t, c2, names2[0])
+	if got := countNotified(c2, names2, 1); got != 1 {
+		t.Errorf("notified after content->broadcast switch = %d, want 1", got)
+	}
+}
+
+func TestParseRoutingMode(t *testing.T) {
+	cases := map[string]core.RoutingMode{
+		"broadcast": core.RouteBroadcast,
+		"flood":     core.RouteBroadcast,
+		"Multicast": core.RouteMulticast,
+		"content":   core.RouteContent,
+	}
+	for in, want := range cases {
+		got, err := core.ParseRoutingMode(in)
+		if err != nil || got != want {
+			t.Errorf("ParseRoutingMode(%q) = %v, %v; want %v", in, got, err, want)
+		}
+		if got.String() == "" {
+			t.Errorf("mode %v has empty String()", got)
+		}
+	}
+	if _, err := core.ParseRoutingMode("gossip"); err == nil {
+		t.Error("unknown mode accepted")
+	}
+}

@@ -1,0 +1,272 @@
+package profile
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func mustDNF(t *testing.T, src string) []Conjunction {
+	t.Helper()
+	d, err := ToDNF(MustParse(src))
+	if err != nil {
+		t.Fatalf("ToDNF(%q): %v", src, err)
+	}
+	return d
+}
+
+func TestPredImplies(t *testing.T) {
+	cases := []struct {
+		p, q string // single-predicate profile expressions
+		want bool
+	}{
+		// Identity and equality.
+		{`collection = "H.X"`, `collection = "H.X"`, true},
+		{`collection = "h.x"`, `collection = "H.X"`, true}, // case folded
+		{`collection = "H.X"`, `collection = "H.Y"`, false},
+		// Different attributes are incomparable.
+		{`collection = "H.X"`, `host = "H.X"`, false},
+		// In / Eq interplay.
+		{`doc.id in ("a")`, `doc.id = "a"`, true},
+		{`doc.id in ("a", "b")`, `doc.id = "a"`, false},
+		{`doc.id = "a"`, `doc.id in ("a", "b")`, true},
+		{`doc.id in ("a", "b")`, `doc.id in ("b", "a", "c")`, true},
+		{`doc.id in ("a", "d")`, `doc.id in ("a", "b")`, false},
+		// Substring family.
+		{`dc.Title = "music history"`, `dc.Title contains "music"`, true},
+		{`dc.Title contains "music history"`, `dc.Title contains "music"`, true},
+		{`dc.Title startswith "music"`, `dc.Title contains "usi"`, true},
+		{`dc.Title endswith "history"`, `dc.Title contains "history"`, true},
+		{`dc.Title contains "music"`, `dc.Title contains "music history"`, false},
+		{`dc.Title = "music"`, `dc.Title startswith "mus"`, true},
+		{`dc.Title startswith "music"`, `dc.Title startswith "mus"`, true},
+		{`dc.Title startswith "mus"`, `dc.Title startswith "music"`, false},
+		{`dc.Title = "jazz"`, `dc.Title endswith "azz"`, true},
+		// Wildcards.
+		{`dc.Title = "music"`, `dc.Title matches "mus*"`, true},
+		{`dc.Title = "muzak"`, `dc.Title matches "mus*"`, false},
+		// Existence.
+		{`dc.Title = "x"`, `dc.Title exists`, true},
+		{`dc.Title contains "x"`, `dc.Title exists`, true},
+		{`dc.Title exists`, `dc.Title = "x"`, false},
+		// != does not imply existence (it holds vacuously when absent).
+		{`dc.Title != "x"`, `dc.Title exists`, false},
+		// Ranges: equality pins the value.
+		{`year = "1990"`, `year < "2000"`, true},
+		{`year = "2010"`, `year < "2000"`, false},
+		{`year in ("1990", "1995")`, `year <= "1995"`, true},
+		// Range-vs-range reasoning is deliberately refused (mixed
+		// numeric/lexicographic evaluation breaks transitivity).
+		{`year < "1990"`, `year < "2000"`, false},
+		// Negation: ¬A ⇒ ¬B iff B ⇒ A.
+		{`NOT dc.Title contains "music"`, `NOT dc.Title = "music history"`, true},
+		{`NOT dc.Title = "music"`, `NOT dc.Title contains "music"`, false},
+		{`NOT collection = "H.X"`, `NOT collection = "H.X"`, true},
+		{`NOT collection = "H.X"`, `collection = "H.X"`, false},
+		// != is NOT = in disguise, whichever spelling is used.
+		{`collection != "H.X"`, `NOT collection = "H.X"`, true},
+		{`NOT collection = "H.X"`, `collection != "H.X"`, true},
+	}
+	for _, tc := range cases {
+		p := singlePred(t, tc.p)
+		q := singlePred(t, tc.q)
+		if got := PredImplies(p, q); got != tc.want {
+			t.Errorf("PredImplies(%s ⇒ %s) = %v, want %v", tc.p, tc.q, got, tc.want)
+		}
+	}
+}
+
+func singlePred(t *testing.T, src string) *Pred {
+	t.Helper()
+	d, err := ToDNF(MustParse(src))
+	if err != nil || len(d) != 1 || len(d[0]) != 1 {
+		t.Fatalf("%q is not a single predicate (%v)", src, err)
+	}
+	return d[0][0]
+}
+
+func TestConjCovers(t *testing.T) {
+	cases := []struct {
+		general, specific string
+		want              bool
+	}{
+		// More predicates = more specific; fewer = more general.
+		{`collection = "H.X"`,
+			`collection = "H.X" AND event.type = "collection-rebuilt"`, true},
+		{`collection = "H.X" AND event.type = "collection-rebuilt"`,
+			`collection = "H.X"`, false},
+		// Disjoint attribute sets: neither side constrains the other's
+		// attribute, so neither covers (except the trivially empty one).
+		{`collection = "H.X"`, `event.type = "documents-added"`, false},
+		{`event.type = "documents-added"`, `collection = "H.X"`, false},
+		// Looser value constraint covers tighter one.
+		{`dc.Title contains "mus"`, `dc.Title = "music"`, true},
+		{`doc.id in ("a", "b", "c")`, `doc.id in ("a", "b")`, true},
+		// Negation must align.
+		{`NOT collection = "H.X"`, `NOT collection = "H.X" AND host = "H"`, true},
+		{`NOT collection = "H.X"`, `collection = "H.Y"`, false},
+	}
+	for _, tc := range cases {
+		g := mustDNF(t, tc.general)
+		s := mustDNF(t, tc.specific)
+		if len(g) != 1 || len(s) != 1 {
+			t.Fatalf("test case is not conjunctive: %q / %q", tc.general, tc.specific)
+		}
+		if got := ConjCovers(g[0], s[0]); got != tc.want {
+			t.Errorf("ConjCovers(%q ⊇ %q) = %v, want %v", tc.general, tc.specific, got, tc.want)
+		}
+	}
+	// The empty conjunction (⊤) covers everything, including negations and
+	// event-only conjunctions; nothing non-empty covers it.
+	top := Conjunction{}
+	for _, src := range []string{
+		`collection = "H.X"`,
+		`NOT collection = "H.X"`,
+		`event.type = "documents-added" AND host = "H"`,
+	} {
+		c := mustDNF(t, src)[0]
+		if !ConjCovers(top, c) {
+			t.Errorf("⊤ should cover %q", src)
+		}
+		if ConjCovers(c, top) {
+			t.Errorf("%q should not cover ⊤", src)
+		}
+	}
+}
+
+func TestCoversDNF(t *testing.T) {
+	cases := []struct {
+		general, specific string
+		want              bool
+	}{
+		{`collection = "H.X" OR collection = "H.Y"`, `collection = "H.X"`, true},
+		{`collection = "H.X"`, `collection = "H.X" OR collection = "H.Y"`, false},
+		{`collection = "H.X"`,
+			`collection = "H.X" AND (event.type = "documents-added" OR event.type = "documents-removed")`, true},
+		{`dc.Title contains "a" OR dc.Title contains "b"`,
+			`dc.Title = "abc" OR dc.Title = "bcd"`, true},
+	}
+	for _, tc := range cases {
+		if got := Covers(mustDNF(t, tc.general), mustDNF(t, tc.specific)); got != tc.want {
+			t.Errorf("Covers(%q ⊇ %q) = %v, want %v", tc.general, tc.specific, got, tc.want)
+		}
+	}
+	// The empty DNF matches nothing: covered by everything, covers only
+	// itself.
+	if !Covers(mustDNF(t, `collection = "H.X"`), nil) {
+		t.Error("anything should cover the empty DNF")
+	}
+	if Covers(nil, mustDNF(t, `collection = "H.X"`)) {
+		t.Error("the empty DNF should cover nothing")
+	}
+}
+
+func TestDigestOfProjectsToEventAttrs(t *testing.T) {
+	// Document predicates are dropped; the event-level scope remains.
+	d := DigestOf(MustParse(`collection = "H.X" AND dc.Title contains "music"`))
+	if got := d.Canonical(); got != `collection = "H.X"` {
+		t.Fatalf("digest = %q", got)
+	}
+	if !d.Matches(map[string]string{"collection": "h.x", "event.type": "documents-added"}) {
+		t.Error("digest should match its collection")
+	}
+	if d.Matches(map[string]string{"collection": "h.y"}) {
+		t.Error("digest should not match another collection")
+	}
+
+	// A conjunction with no event-level predicate widens to ⊤.
+	if d := DigestOf(MustParse(`dc.Title contains "music"`)); !d.IsTop() {
+		t.Errorf("document-only profile digest = %q, want ⊤", d.Canonical())
+	}
+
+	// Negated event-level predicates survive projection and keep routing
+	// sound AND selective.
+	neg := DigestOf(MustParse(`NOT collection = "H.X" AND event.type = "documents-added"`))
+	if neg.Matches(map[string]string{"collection": "h.x", "event.type": "documents-added"}) {
+		t.Error("negated digest matched the excluded collection")
+	}
+	if !neg.Matches(map[string]string{"collection": "h.y", "event.type": "documents-added"}) {
+		t.Error("negated digest should match other collections")
+	}
+
+	// Retrieval sub-queries are not routable, even over event attrs.
+	if d := DigestOf(MustParse(`collection query "whale AND songs"`)); !d.IsTop() {
+		t.Errorf("query digest = %q, want ⊤", d.Canonical())
+	}
+}
+
+func TestNormalizeDigestCoveringPrune(t *testing.T) {
+	d := MergeDigests(
+		DigestOf(MustParse(`collection = "H.X" AND event.type = "collection-rebuilt"`)),
+		DigestOf(MustParse(`collection = "H.X"`)), // covers the first
+		DigestOf(MustParse(`collection = "H.Y"`)),
+	)
+	want := `collection = "H.X" OR collection = "H.Y"`
+	if got := d.Canonical(); got != want {
+		t.Fatalf("pruned digest = %q, want %q", got, want)
+	}
+	// Normalisation is order-independent: canonical forms compare equal.
+	d2 := MergeDigests(
+		DigestOf(MustParse(`collection = "H.Y"`)),
+		DigestOf(MustParse(`collection = "H.X"`)),
+		DigestOf(MustParse(`event.type = "collection-rebuilt" AND collection = "H.X"`)),
+	)
+	if d.Canonical() != d2.Canonical() {
+		t.Errorf("canonical forms differ: %q vs %q", d.Canonical(), d2.Canonical())
+	}
+	// ⊤ absorbs everything.
+	if got := MergeDigests(d, TopDigest()); !got.IsTop() || len(got) != 1 {
+		t.Errorf("⊤ merge = %q", got.Strings())
+	}
+	// Duplicates collapse.
+	dup := MergeDigests(DigestOf(MustParse(`collection = "H.X"`)), DigestOf(MustParse(`collection = "h.x"`)))
+	if len(dup) != 1 {
+		t.Errorf("duplicate conjunctions kept: %q", dup.Strings())
+	}
+}
+
+func TestDigestWireRoundTrip(t *testing.T) {
+	for _, src := range []string{
+		`collection = "H.X" AND event.type = "collection-rebuilt"`,
+		`collection = "H.X" OR (collection = "H.Y" AND NOT event.type = "documents-removed")`,
+		`dc.Title contains "music"`, // projects to ⊤
+	} {
+		d := DigestOf(MustParse(src))
+		back, err := ParseDigest(d.Strings())
+		if err != nil {
+			t.Fatalf("ParseDigest(%v): %v", d.Strings(), err)
+		}
+		if back.Canonical() != d.Canonical() {
+			t.Errorf("round trip of %q: %q != %q", src, back.Canonical(), d.Canonical())
+		}
+	}
+	// The empty digest (no interests) round-trips too.
+	empty, err := ParseDigest(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if empty.Canonical() != "" || empty.Matches(map[string]string{"collection": "h.x"}) {
+		t.Errorf("empty digest misbehaves: %q", empty.Canonical())
+	}
+	if _, err := ParseDigest([]string{`collection = `}); err == nil {
+		t.Error("malformed conjunction should fail to parse")
+	}
+	if !reflect.DeepEqual(TopDigest().Strings(), []string{TopConjString}) {
+		t.Errorf("⊤ wire form = %v", TopDigest().Strings())
+	}
+}
+
+func TestDigestMatchesEventOnlyConjunction(t *testing.T) {
+	// An event-only profile (no collection constraint) must still route
+	// precisely by its event attributes.
+	d := DigestOf(MustParse(`event.type = "collection-removed"`))
+	if strings.Contains(d.Canonical(), TopConjString) {
+		t.Fatalf("event-only profile should not widen to ⊤: %q", d.Canonical())
+	}
+	if !d.Matches(map[string]string{"collection": "anything", "event.type": "collection-removed"}) {
+		t.Error("should match its event type on any collection")
+	}
+	if d.Matches(map[string]string{"collection": "anything", "event.type": "documents-added"}) {
+		t.Error("should not match other event types")
+	}
+}

@@ -86,6 +86,56 @@ type LeaveGroup struct {
 	Name    string   `xml:"Name"`
 }
 
+// AdvertiseProfiles installs the profile digest of one tree link for
+// content-based routing. Name identifies the advertiser — the sending
+// server itself, or a directory node summarising its whole subtree. The
+// digest is a DNF over event-level attributes, one profile-language
+// conjunction per entry ("*" is the match-all conjunction); an empty list
+// is the explicit "no interests here" that lets the directory prune the
+// link entirely.
+type AdvertiseProfiles struct {
+	XMLName xml.Name `xml:"AdvertiseProfiles"`
+	Name    string   `xml:"Name"`
+	Digest  []string `xml:"Digest>Conj,omitempty"`
+}
+
+// UnadvertiseProfiles withdraws a link's digest. Unlike advertising an
+// empty digest (= prune me), withdrawal returns the link to the unwarmed
+// match-all state in which it receives every content-routed event.
+type UnadvertiseProfiles struct {
+	XMLName xml.Name `xml:"UnadvertiseProfiles"`
+	Name    string   `xml:"Name"`
+}
+
+// EventAttr is one event-level attribute carried by a content-routed
+// message so directory nodes can match digests without decoding the inner
+// envelope.
+type EventAttr struct {
+	XMLName xml.Name `xml:"Attr"`
+	Name    string   `xml:"name,attr"`
+	Value   string   `xml:",chardata"`
+}
+
+// RouteContent disseminates a wrapped envelope content-based through the
+// directory tree. Flood forces broadcast semantics (the warm-up fallback
+// used while routing tables are still being populated).
+type RouteContent struct {
+	XMLName xml.Name    `xml:"RouteContent"`
+	Flood   bool        `xml:"Flood,omitempty"`
+	Attrs   []EventAttr `xml:"Attrs>Attr,omitempty"`
+	Inner   []byte      `xml:"Inner"`
+}
+
+// AttrMap converts the carried attributes to the map form digests match
+// against.
+func (rc *RouteContent) AttrMap() map[string]string {
+	m := make(map[string]string, len(rc.Attrs))
+	for _, a := range rc.Attrs {
+		m[a.Name] = a.Value
+	}
+	return m
+}
+
 // Describe asks a server to describe its public collections.
 type Describe struct {
 	XMLName xml.Name `xml:"Describe"`

@@ -42,6 +42,17 @@ const (
 	MsgJoinGroup MessageType = "gds.join-group"
 	// MsgLeaveGroup removes a server from a multicast group.
 	MsgLeaveGroup MessageType = "gds.leave-group"
+	// MsgAdvertiseProfiles installs (or replaces) the profile digest of one
+	// tree link: a server advertises the digest of its local profiles, a
+	// directory node the merged digest of its subtree (content routing).
+	MsgAdvertiseProfiles MessageType = "gds.advertise-profiles"
+	// MsgUnadvertiseProfiles withdraws an advertised digest; the link falls
+	// back to match-all (flood) until a new digest arrives.
+	MsgUnadvertiseProfiles MessageType = "gds.unadvertise-profiles"
+	// MsgRouteContent disseminates a wrapped payload content-based: the
+	// message climbs to the tree root and descends only into subtrees whose
+	// advertised digest matches the carried event attributes.
+	MsgRouteContent MessageType = "gds.route-content"
 	// MsgPing is a liveness probe.
 	MsgPing MessageType = "gds.ping"
 )

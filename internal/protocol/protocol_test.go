@@ -254,3 +254,89 @@ func TestBroadcastWrapUnwrap(t *testing.T) {
 		t.Errorf("inner id = %q want %q", inner.Header.ID, innerEnv.Header.ID)
 	}
 }
+
+func TestContentRoutingPayloadRoundTrips(t *testing.T) {
+	ap := &AdvertiseProfiles{
+		Name:   "Hamilton",
+		Digest: []string{`collection = "Hamilton.D" AND event.type = "collection-rebuilt"`, "*"},
+	}
+	env, err := NewEnvelope("Hamilton", MsgAdvertiseProfiles, ap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := Marshal(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Unmarshal(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got AdvertiseProfiles
+	if err := Decode(back, MsgAdvertiseProfiles, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != ap.Name || len(got.Digest) != 2 || got.Digest[0] != ap.Digest[0] || got.Digest[1] != "*" {
+		t.Errorf("AdvertiseProfiles round trip = %+v", got)
+	}
+
+	// An empty digest (explicit "no interests") survives the wire.
+	empty := &AdvertiseProfiles{Name: "London"}
+	env2 := MustEnvelope("London", MsgAdvertiseProfiles, empty)
+	raw2, err := Marshal(env2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back2, err := Unmarshal(raw2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got2 AdvertiseProfiles
+	if err := Decode(back2, MsgAdvertiseProfiles, &got2); err != nil {
+		t.Fatal(err)
+	}
+	if got2.Name != "London" || len(got2.Digest) != 0 {
+		t.Errorf("empty AdvertiseProfiles round trip = %+v", got2)
+	}
+
+	inner := MustEnvelope("Hamilton", MsgPing, &Ping{Seq: 7})
+	innerRaw, err := Marshal(inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc := &RouteContent{
+		Flood: true,
+		Attrs: []EventAttr{
+			{Name: "collection", Value: "hamilton.d"},
+			{Name: "event.type", Value: "collection-rebuilt"},
+		},
+		Inner: innerRaw,
+	}
+	env3 := MustEnvelope("Hamilton", MsgRouteContent, rc)
+	raw3, err := Marshal(env3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back3, err := Unmarshal(raw3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got3 RouteContent
+	if err := Decode(back3, MsgRouteContent, &got3); err != nil {
+		t.Fatal(err)
+	}
+	if !got3.Flood {
+		t.Error("Flood flag lost")
+	}
+	attrs := got3.AttrMap()
+	if attrs["collection"] != "hamilton.d" || attrs["event.type"] != "collection-rebuilt" {
+		t.Errorf("AttrMap = %v", attrs)
+	}
+	wrapped, err := Unmarshal(got3.Inner)
+	if err != nil {
+		t.Fatalf("inner unmarshal: %v", err)
+	}
+	if wrapped.Header.Type != MsgPing {
+		t.Errorf("inner type = %s", wrapped.Header.Type)
+	}
+}

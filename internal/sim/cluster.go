@@ -143,6 +143,10 @@ func (c *Cluster) AddServer(name string, nodeIdx int) (*greenstone.Server, error
 		GDS:        gdsCli,
 		Store:      store,
 		Matcher:    filter.NewEqualityPreferred(),
+		// The memory transport delivers synchronously, so content-routing
+		// tables are warm the moment an advertisement returns: no flood
+		// warm-up window needed.
+		ContentWarmup: -1,
 	})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,145 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"github.com/gsalert/gsalert/internal/collection"
+	"github.com/gsalert/gsalert/internal/core"
+	"github.com/gsalert/gsalert/internal/metrics"
+	"github.com/gsalert/gsalert/internal/profile"
+)
+
+// E12 — content-based routing: the dissemination ladder flood → multicast
+// → content. E9 showed interest-scoped multicast making message cost
+// follow the number of interested servers; its granularity stops at the
+// collection. Content routing advertises full profile digests
+// (docs/ROUTING.md), so the directory can also prune on event type: a
+// rebuild's per-document events never travel towards servers whose
+// profiles only watch rebuild summaries. This experiment publishes builds
+// that emit several event types and compares message cost, delivered
+// matches and mean delivery latency across all three modes.
+
+// ContentRoutingResult is one E12 row.
+type ContentRoutingResult struct {
+	Mode          string
+	Servers       int
+	Interested    int
+	Events        int // events published per measured build round
+	Rounds        int
+	Messages      int64
+	Notifications int
+	// AvgLatency is the mean virtual transit latency of event envelopes
+	// received by the interested servers.
+	AvgLatency time.Duration
+}
+
+// RunContentRouting publishes `rounds` rebuilds (each emitting a rebuild
+// summary plus per-document events) through a tree of the given size in
+// which only `interested` servers subscribe — and only to the rebuild
+// summaries. Returns message cost, notification count and mean delivery
+// latency for one routing mode.
+func RunContentRouting(servers, interested, rounds int, mode core.RoutingMode, seed int64) (ContentRoutingResult, error) {
+	c, err := NewCluster(ClusterConfig{Seed: seed, GDSNodes: max(1, servers/4), GDSBranching: 3})
+	if err != nil {
+		return ContentRoutingResult{}, err
+	}
+	defer c.Close()
+	ctx := context.Background()
+	names := make([]string, 0, servers)
+	for i := 0; i < servers; i++ {
+		name := fmt.Sprintf("C%03d", i)
+		if _, err := c.AddServer(name, -1); err != nil {
+			return ContentRoutingResult{}, err
+		}
+		if err := c.Service(name).SetRoutingMode(ctx, mode); err != nil {
+			return ContentRoutingResult{}, err
+		}
+		names = append(names, name)
+	}
+	if _, err := c.Server(names[0]).AddCollection(ctx, collection.Config{Name: "X", Public: true}); err != nil {
+		return ContentRoutingResult{}, err
+	}
+	for i := 1; i <= interested && i < servers; i++ {
+		c.Notifier(names[i], "u")
+		if _, err := c.Service(names[i]).Subscribe("u", profile.MustParse(
+			fmt.Sprintf(`collection = "%s.X" AND event.type = "collection-rebuilt"`, names[0]))); err != nil {
+			return ContentRoutingResult{}, err
+		}
+	}
+	// Initial build outside the measured window (emits collection-built,
+	// which nobody subscribed to).
+	if _, _, err := c.Server(names[0]).Build(ctx, "X", syntheticDocs(20, 0)); err != nil {
+		return ContentRoutingResult{}, err
+	}
+	c.Settle(ctx)
+	c.TR.ResetStats()
+	eventsPerRound := 0
+	for r := 0; r < rounds; r++ {
+		// Each measured rebuild changes one doc in twenty: the build emits
+		// a collection-rebuilt summary plus a documents-changed event.
+		res, _, err := c.Server(names[0]).Build(ctx, "X", syntheticDocs(20, r+1))
+		if err != nil {
+			return ContentRoutingResult{}, err
+		}
+		eventsPerRound = len(res.Events)
+	}
+	c.Settle(ctx)
+
+	out := ContentRoutingResult{
+		Mode:       mode.String(),
+		Servers:    servers,
+		Interested: interested,
+		Events:     eventsPerRound,
+		Rounds:     rounds,
+		Messages:   c.TR.Stats().Sent,
+	}
+	var latencySum time.Duration
+	var received int64
+	for i := 1; i <= interested && i < servers; i++ {
+		out.Notifications += c.Notifier(names[i], "u").Len()
+		st := c.Service(names[i]).Stats()
+		latencySum += st.ReceiveLatency
+		received += st.EventsReceived
+	}
+	if received > 0 {
+		out.AvgLatency = latencySum / time.Duration(received)
+	}
+	return out, nil
+}
+
+// ContentRoutingTable runs E12 over all three modes, checking that every
+// mode delivers the full expected notification count (the modes are
+// optimisations, never correctness changes).
+func ContentRoutingTable(servers, interested, rounds int, seed int64) (*metrics.Table, error) {
+	t := metrics.NewTable(
+		fmt.Sprintf("E12 — dissemination ladder: flood vs multicast vs content routing (%d servers, %d interested, %d rebuild rounds)",
+			servers, interested, rounds),
+		"mode", "events/round", "messages", "msgs/round", "notifications", "avg latency")
+	modes := []core.RoutingMode{core.RouteBroadcast, core.RouteMulticast, core.RouteContent}
+	var flood, content ContentRoutingResult
+	for _, mode := range modes {
+		r, err := RunContentRouting(servers, interested, rounds, mode, seed)
+		if err != nil {
+			return nil, err
+		}
+		want := min(interested, servers-1) * rounds
+		if r.Notifications != want {
+			return nil, fmt.Errorf("sim: E12 %s delivered %d notifications, want %d — modes are not equivalent",
+				r.Mode, r.Notifications, want)
+		}
+		switch mode {
+		case core.RouteBroadcast:
+			flood = r
+		case core.RouteContent:
+			content = r
+		}
+		t.AddRow(r.Mode, r.Events, r.Messages, float64(r.Messages)/float64(rounds), r.Notifications, r.AvgLatency)
+	}
+	if content.Messages >= flood.Messages {
+		return nil, fmt.Errorf("sim: E12 content routing used %d messages, flooding %d — covering tables saved nothing",
+			content.Messages, flood.Messages)
+	}
+	return t, nil
+}

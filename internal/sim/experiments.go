@@ -720,5 +720,11 @@ func RenderAll(seed int64) ([]string, error) {
 	t8.AddRow(cs.Docs, cs.SearchHits, cs.AlertedDocs, fmt.Sprintf("%v", cs.Agreement), cs.WatchAlerts, cs.WatchExpected)
 	out = append(out, t8.Render())
 
+	t12, err := ContentRoutingTable(16, 4, 5, seed)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, t12.Render())
+
 	return out, nil
 }

@@ -3,6 +3,8 @@ package sim
 import (
 	"strings"
 	"testing"
+
+	"github.com/gsalert/gsalert/internal/core"
 )
 
 func TestGenerateTopologyShape(t *testing.T) {
@@ -311,5 +313,50 @@ func TestRunDeliveryThroughput(t *testing.T) {
 	}
 	if piped.Batches >= 200 {
 		t.Errorf("batches = %d for 200 notifs — batching not amortising", piped.Batches)
+	}
+}
+
+func TestRunContentRoutingAcceptance(t *testing.T) {
+	// The E12 acceptance bar: on a tree of ≥ 8 servers, content routing
+	// delivers at least the multicast-mode match count with strictly fewer
+	// total GDS messages than flooding.
+	const servers, interested, rounds = 12, 3, 4
+	results := make(map[string]ContentRoutingResult, 3)
+	for _, mode := range []core.RoutingMode{core.RouteBroadcast, core.RouteMulticast, core.RouteContent} {
+		r, err := RunContentRouting(servers, interested, rounds, mode, 2005)
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		results[r.Mode] = r
+	}
+	want := interested * rounds
+	for mode, r := range results {
+		if r.Notifications != want {
+			t.Errorf("%s delivered %d notifications, want %d", mode, r.Notifications, want)
+		}
+		if r.AvgLatency <= 0 {
+			t.Errorf("%s reported no delivery latency", mode)
+		}
+	}
+	if c, m := results["content"], results["multicast"]; c.Notifications < m.Notifications {
+		t.Errorf("content delivered %d < multicast %d", c.Notifications, m.Notifications)
+	}
+	if c, f := results["content"], results["broadcast"]; c.Messages >= f.Messages {
+		t.Errorf("content used %d messages, flooding %d — want strictly fewer", c.Messages, f.Messages)
+	}
+	// Content also beats collection-granular multicast on this workload:
+	// the per-document events of each rebuild are pruned by event type.
+	if c, m := results["content"], results["multicast"]; c.Messages >= m.Messages {
+		t.Errorf("content used %d messages, multicast %d — type pruning saved nothing", c.Messages, m.Messages)
+	}
+}
+
+func TestContentRoutingTableChecksEquivalence(t *testing.T) {
+	tbl, err := ContentRoutingTable(8, 3, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl == nil {
+		t.Fatal("nil table")
 	}
 }
