@@ -1,6 +1,9 @@
 GO ?= go
+# Per-benchmark budget for the machine-readable bench run; raise it for
+# stable numbers, lower it for a quick smoke pass.
+BENCHTIME ?= 0.2s
 
-.PHONY: all build vet test race bench experiments docs-check clean
+.PHONY: all build vet test race bench bench-json experiments docs-check clean
 
 all: vet build test docs-check
 
@@ -18,6 +21,13 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# Machine-readable benchmark results: run the root benchmark suite with
+# -benchmem and record name → ns/op, B/op, allocs/op (+ custom metrics)
+# in BENCH_results.json. CI runs this as a non-blocking step and uploads
+# the artifact.
+bench-json:
+	$(GO) test -run XXX -bench . -benchmem -benchtime $(BENCHTIME) . | $(GO) run ./cmd/bench-json -o BENCH_results.json
 
 # Render every experiment table (E1–E12).
 experiments:

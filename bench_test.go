@@ -1,6 +1,7 @@
 // Package gsalert_test holds the benchmark harness regenerating every
-// figure-scenario and evaluation claim of the paper (see EXPERIMENTS.md for
-// the experiment index and the recorded outputs). Run with:
+// figure-scenario and evaluation claim of the paper (see
+// docs/EXPERIMENTS.md for the experiment index and the recorded
+// outputs). Run with:
 //
 //	go test -bench=. -benchmem
 //
@@ -15,6 +16,7 @@ import (
 	"time"
 
 	"github.com/gsalert/gsalert/internal/collection"
+	"github.com/gsalert/gsalert/internal/composite"
 	"github.com/gsalert/gsalert/internal/core"
 	"github.com/gsalert/gsalert/internal/delivery"
 	"github.com/gsalert/gsalert/internal/event"
@@ -403,6 +405,74 @@ func BenchmarkDeliverySharding(b *testing.B) {
 	b.Run("sync", func(b *testing.B) { benchDelivery(b, 0) })
 	for _, shards := range []int{1, 4, 16} {
 		b.Run(fmt.Sprintf("pipeline/shards=%d", shards), func(b *testing.B) { benchDelivery(b, shards) })
+	}
+}
+
+// ---------------------------------------------------------------------------
+// E13 — composite-engine throughput and window-GC cost.
+
+// newCompositeBenchEngine builds an engine holding `live` open sequence
+// instances spread over live/1000 three-step windowed sequence profiles
+// (1000 open instances per profile, which is also the per-profile cap).
+func newCompositeBenchEngine(b *testing.B, live int) (*composite.Engine, []string, *event.Event) {
+	b.Helper()
+	const perDef = 1000
+	defs := live / perDef
+	if defs < 1 {
+		defs = 1
+	}
+	e := composite.NewEngine(composite.Config{MaxInstances: perDef, Emit: func(composite.Firing) {}})
+	c := profile.MustParseComposite(`SEQUENCE (a = "1") THEN (b = "2") THEN (c = "3") WITHIN 1h`)
+	ids := make([]string, defs)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("bench-comp-%d", i)
+		p, err := profile.NewComposite(ids[i], "u", "H", c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := e.Register(p, eventTime()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	ev := event.New("bench-ev", event.TypeDocumentsAdded,
+		event.QName{Host: "H", Collection: "C"}, 1, nil, eventTime())
+	for i := 0; i < live; i++ {
+		e.OnPrimitive(ids[i%defs], 0, ev, nil, eventTime())
+	}
+	if got := e.Stats().LiveInstances; got != int64(defs*perDef) {
+		b.Fatalf("live instances = %d, want %d", got, defs*perDef)
+	}
+	return e, ids, ev
+}
+
+// BenchmarkCompositeEngine measures the composite engine at 10k, 100k and
+// 1M live sequence instances (experiment E13): "ingest" is the state-
+// machine throughput of step-0 matches (O(1) opens at the instance cap),
+// "gc" is one full window-garbage-collection sweep (Tick) over every live
+// instance.
+func BenchmarkCompositeEngine(b *testing.B) {
+	for _, live := range []int{10_000, 100_000, 1_000_000} {
+		b.Run(fmt.Sprintf("instances=%d/ingest", live), func(b *testing.B) {
+			e, ids, ev := newCompositeBenchEngine(b, live)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.OnPrimitive(ids[i%len(ids)], 0, ev, nil, eventTime())
+			}
+		})
+		b.Run(fmt.Sprintf("instances=%d/gc", live), func(b *testing.B) {
+			e, _, _ := newCompositeBenchEngine(b, live)
+			// Tick inside the window: a full sweep that expires nothing,
+			// the steady-state GC cost.
+			at := eventTime().Add(30 * time.Minute)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.Tick(at)
+			}
+			b.StopTimer()
+			if got := e.Stats().LiveInstances; got < int64(live) {
+				b.Fatalf("GC dropped live instances: %d", got)
+			}
+		})
 	}
 }
 

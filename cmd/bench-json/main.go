@@ -1,0 +1,154 @@
+// Command bench-json converts `go test -bench` output into the
+// machine-readable BENCH_results.json that seeds the repository's
+// performance trajectory: benchmark name → ns/op, B/op, allocs/op, plus
+// any custom metrics (msgs/event, notifs/sec, ...). It reads the benchmark
+// output on stdin and writes JSON to -o (default stdout):
+//
+//	go test -run XXX -bench . -benchmem . | go run ./cmd/bench-json -o BENCH_results.json
+//
+// Run it via `make bench-json`; CI runs it as a non-blocking step and
+// uploads the artifact.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// result is one benchmark line.
+type result struct {
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// output is the file layout: environment header plus the benchmark list.
+type output struct {
+	Goos       string   `json:"goos,omitempty"`
+	Goarch     string   `json:"goarch,omitempty"`
+	Pkg        string   `json:"pkg,omitempty"`
+	CPU        string   `json:"cpu,omitempty"`
+	Benchmarks []result `json:"benchmarks"`
+}
+
+func main() {
+	outPath := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	out, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench-json: %v\n", err)
+		os.Exit(1)
+	}
+	if len(out.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "bench-json: no benchmark lines found on stdin")
+		os.Exit(1)
+	}
+	raw, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench-json: %v\n", err)
+		os.Exit(1)
+	}
+	raw = append(raw, '\n')
+	if *outPath == "" {
+		_, _ = os.Stdout.Write(raw)
+		return
+	}
+	if err := os.WriteFile(*outPath, raw, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "bench-json: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("bench-json: wrote %d benchmark(s) to %s\n", len(out.Benchmarks), *outPath)
+}
+
+// parse consumes `go test -bench` output. Benchmark lines look like:
+//
+//	BenchmarkName/sub=1-8   928868   198.1 ns/op   64 B/op   2 allocs/op   34.5 msgs/event
+//
+// Header lines (goos/goarch/pkg/cpu) are captured; everything else (PASS,
+// ok, test logs) is ignored.
+func parse(sc *bufio.Scanner) (*output, error) {
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	out := &output{}
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			out.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+			continue
+		case strings.HasPrefix(line, "goarch:"):
+			out.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+			continue
+		case strings.HasPrefix(line, "pkg:"):
+			out.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+			continue
+		case strings.HasPrefix(line, "cpu:"):
+			out.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		case !strings.HasPrefix(line, "Benchmark"):
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue // a log line that happens to start with "Benchmark"
+		}
+		r := result{
+			Name:       trimProcSuffix(fields[0]),
+			Iterations: iters,
+		}
+		// The remainder is value/unit pairs.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad value %q in line %q", fields[i], line)
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				r.NsPerOp = v
+			case "B/op":
+				r.BytesPerOp = v
+			case "allocs/op":
+				r.AllocsPerOp = v
+			default:
+				if r.Metrics == nil {
+					r.Metrics = map[string]float64{}
+				}
+				r.Metrics[unit] = v
+			}
+		}
+		out.Benchmarks = append(out.Benchmarks, r)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	sort.Slice(out.Benchmarks, func(i, j int) bool {
+		return out.Benchmarks[i].Name < out.Benchmarks[j].Name
+	})
+	return out, nil
+}
+
+// trimProcSuffix drops the trailing -GOMAXPROCS ("BenchmarkX-8" → the
+// stable name "BenchmarkX"), keeping names comparable across machines.
+func trimProcSuffix(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}

@@ -4,7 +4,11 @@
 //     package table, and every table row names an existing directory;
 //   - every Go package in the repository (internal/..., cmd/..., examples/
 //     and the root) carries a godoc package comment;
-//   - every markdown file under docs/ is linked from the README.
+//   - every markdown file under docs/ is linked from the README;
+//   - experiment references hold: any Go file mentioning EXPERIMENTS.md
+//     requires docs/EXPERIMENTS.md to exist, and every experiment id
+//     ("experiment E7") cited in Go sources must have a "## E7" section
+//     there — so a dangling experiment-doc reference can never regress.
 //
 // It prints one line per violation and exits non-zero if any were found.
 // Run it as `make docs-check`; CI runs it on every push.
@@ -40,6 +44,7 @@ func run(root string) int {
 	checkPackageTable(root, string(readme), complain)
 	checkDocComments(root, complain)
 	checkDocsLinked(root, string(readme), complain)
+	checkExperimentRefs(root, complain)
 
 	if len(problems) > 0 {
 		for _, p := range problems {
@@ -48,7 +53,7 @@ func run(root string) int {
 		fmt.Fprintf(os.Stderr, "docs-check: %d problem(s)\n", len(problems))
 		return 1
 	}
-	fmt.Println("docs-check: README package table, package comments and docs/ links are consistent")
+	fmt.Println("docs-check: README package table, package comments, docs/ links and experiment references are consistent")
 	return 0
 }
 
@@ -131,6 +136,82 @@ func checkDocComments(root string, complain func(string, ...any)) {
 		if any && !documented {
 			complain("package %s has no godoc package comment", dir)
 		}
+	}
+}
+
+// experimentIDRe matches experiment citations in Go sources, e.g.
+// "experiment E7" or "experiments E1".
+var experimentIDRe = regexp.MustCompile(`(?i)\bexperiments?\s+(E\d+)\b`)
+
+// experimentHeadingRe matches the index sections of docs/EXPERIMENTS.md.
+var experimentHeadingRe = regexp.MustCompile(`(?m)^## (E\d+)\b`)
+
+// checkExperimentRefs verifies that experiment references from Go sources
+// resolve: a mention of EXPERIMENTS.md requires docs/EXPERIMENTS.md to
+// exist, and every cited experiment id must have a section there.
+func checkExperimentRefs(root string, complain func(string, ...any)) {
+	type ref struct{ file, id string }
+	var mentionsDoc []string
+	var ids []ref
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if name := d.Name(); name == ".git" || name == "testdata" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		rel, relErr := filepath.Rel(root, path)
+		if relErr != nil {
+			rel = path
+		}
+		rel = filepath.ToSlash(rel)
+		if strings.Contains(string(raw), "EXPERIMENTS.md") {
+			mentionsDoc = append(mentionsDoc, rel)
+		}
+		for _, m := range experimentIDRe.FindAllStringSubmatch(string(raw), -1) {
+			ids = append(ids, ref{file: rel, id: strings.ToUpper(m[1])})
+		}
+		return nil
+	})
+	if err != nil {
+		complain("scanning for experiment references: %v", err)
+		return
+	}
+	if len(mentionsDoc) == 0 && len(ids) == 0 {
+		return
+	}
+	expPath := filepath.Join(root, "docs", "EXPERIMENTS.md")
+	raw, err := os.ReadFile(expPath)
+	if err != nil {
+		for _, f := range mentionsDoc {
+			complain("%s references EXPERIMENTS.md, but docs/EXPERIMENTS.md does not exist", f)
+		}
+		if len(mentionsDoc) == 0 {
+			complain("Go sources cite experiment ids, but docs/EXPERIMENTS.md does not exist")
+		}
+		return
+	}
+	have := make(map[string]bool)
+	for _, m := range experimentHeadingRe.FindAllStringSubmatch(string(raw), -1) {
+		have[strings.ToUpper(m[1])] = true
+	}
+	complained := make(map[string]bool)
+	for _, r := range ids {
+		if have[r.id] || complained[r.id] {
+			continue
+		}
+		complained[r.id] = true
+		complain("%s cites experiment %s, which has no \"## %s\" section in docs/EXPERIMENTS.md", r.file, r.id, r.id)
 	}
 }
 

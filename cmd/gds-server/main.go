@@ -18,6 +18,7 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/gsalert/gsalert/internal/event"
 	"github.com/gsalert/gsalert/internal/gds"
 	"github.com/gsalert/gsalert/internal/transport"
 )
@@ -33,6 +34,7 @@ func run() int {
 		stratum    = flag.Int("stratum", 1, "stratum of this node (1 = primary)")
 		parentID   = flag.String("parent-id", "", "parent node identifier (non-root nodes)")
 		parentAddr = flag.String("parent-addr", "", "parent node address (non-root nodes)")
+		dedupCap   = flag.Int("dedup-capacity", event.DefaultDedupCapacity, "message-ID dedup window (IDs remembered); larger windows cost ~100 B per ID but tolerate longer broadcast echo delays, smaller ones risk relaying late duplicates")
 	)
 	flag.Parse()
 
@@ -45,6 +47,9 @@ func run() int {
 		return 1
 	}
 	defer func() { _ = node.Close() }()
+	if *dedupCap != event.DefaultDedupCapacity {
+		node.SetDedupCapacity(*dedupCap)
+	}
 
 	if *parentAddr != "" {
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)

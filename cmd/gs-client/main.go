@@ -184,14 +184,14 @@ func cmdSubscribe(ctx context.Context, recep *greenstone.Receptionist, args []st
 	host := hostFlag(fs)
 	server := fs.String("server", "", "server name (the profile's home server)")
 	client := fs.String("client", "alice", "client identifier")
-	expr := fs.String("expr", "", "profile expression, e.g. 'collection = \"Hamilton.Demo\"'")
+	expr := fs.String("expr", "", "profile expression, e.g. 'collection = \"Hamilton.Demo\"', or a composite profile such as 'SEQUENCE (...) THEN (...) WITHIN 24h', 'COUNT 10 OF (...)' or 'DIGEST (...) EVERY 24h'")
 	listen := fs.String("listen", "", "address to receive notifications on (empty = register and exit)")
 	id := fs.String("id", "", "profile id (default <client>-<unix time>)")
 	_ = fs.Parse(args)
 	if *expr == "" || *server == "" {
 		return fmt.Errorf("subscribe requires -server and -expr")
 	}
-	parsed, err := profile.Parse(*expr)
+	parsed, comp, err := profile.ParseText(*expr)
 	if err != nil {
 		return err
 	}
@@ -199,7 +199,15 @@ func cmdSubscribe(ctx context.Context, recep *greenstone.Receptionist, args []st
 		*id = fmt.Sprintf("%s-%d", *client, time.Now().Unix())
 	}
 	h := connect(recep, *host)
-	p := profile.NewUser(*id, *client, *server, parsed)
+	var p *profile.Profile
+	if comp != nil {
+		p, err = profile.NewComposite(*id, *client, *server, comp)
+		if err != nil {
+			return err
+		}
+	} else {
+		p = profile.NewUser(*id, *client, *server, parsed)
+	}
 	if err := recep.Subscribe(ctx, h, p); err != nil {
 		return err
 	}
@@ -286,6 +294,14 @@ func listenLoop(ctx context.Context, recep *greenstone.Receptionist, listenAddr,
 			return nil
 		case n := <-ch:
 			ev := n.Event
+			if n.Composite != "" {
+				fmt.Printf("[%s] composite %s alert: %s (%d contributing events) via profile %s\n",
+					time.Now().Format("15:04:05"), n.Composite, ev.Collection, len(n.Contributing), n.ProfileID)
+				for _, cev := range n.Contributing {
+					fmt.Printf("    %s %s at %s\n", cev.Type, cev.Collection, cev.OccurredAt.Format("15:04:05"))
+				}
+				continue
+			}
 			fmt.Printf("[%s] %s: %s (build %d, %d docs) via profile %s\n",
 				time.Now().Format("15:04:05"), ev.Type, ev.Collection, ev.BuildVersion, len(ev.Docs), n.ProfileID)
 			for _, d := range ev.Docs {

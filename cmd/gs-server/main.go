@@ -28,6 +28,7 @@ import (
 	"github.com/gsalert/gsalert/internal/collection"
 	"github.com/gsalert/gsalert/internal/core"
 	"github.com/gsalert/gsalert/internal/delivery"
+	"github.com/gsalert/gsalert/internal/event"
 	"github.com/gsalert/gsalert/internal/gds"
 	"github.com/gsalert/gsalert/internal/greenstone"
 	"github.com/gsalert/gsalert/internal/transport"
@@ -44,6 +45,8 @@ func run() int {
 		gdsAddr      = flag.String("gds", "127.0.0.1:7001", "GDS node address to register with")
 		routing      = flag.String("routing", "broadcast", "GDS dissemination mode: broadcast, multicast or content (see docs/ROUTING.md)")
 		warmup       = flag.Duration("content-warmup", core.DefaultContentWarmup, "flood-fallback window after entering content routing, while digest advertisements propagate; 0 disables")
+		dedupCap     = flag.Int("dedup-capacity", event.DefaultDedupCapacity, "event-ID dedup window (IDs remembered); larger windows cost ~100 B per ID but survive longer broadcast echo delays, smaller ones risk re-delivering late duplicates")
+		compTick     = flag.Duration("composite-tick", time.Second, "composite-engine tick interval: bounds digest flush latency and window-GC promptness (see docs/COMPOSITE.md)")
 		demo         = flag.Bool("demo", false, "create a demo collection and rebuild it periodically")
 		demoName     = flag.String("demo-name", "Demo", "demo collection name")
 		demoInterval = flag.Duration("demo-interval", 15*time.Second, "demo rebuild interval")
@@ -111,12 +114,19 @@ func run() int {
 		Store:         store,
 		Delivery:      pipeline,
 		ContentWarmup: *warmup,
+		DedupCapacity: *dedupCap,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "gs-server: %v\n", err)
 		return 1
 	}
 	defer func() { _ = svc.Close() }()
+	// Composite profiles need the periodic tick for digest flushes and
+	// window garbage collection.
+	if err := svc.StartCompositeTicker(*compTick); err != nil {
+		fmt.Fprintf(os.Stderr, "gs-server: composite ticker: %v\n", err)
+		return 1
+	}
 	srv, err := greenstone.NewServer(greenstone.ServerConfig{
 		Name:      *name,
 		Addr:      *addr,

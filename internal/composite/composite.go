@@ -1,0 +1,442 @@
+// Package composite implements the stateful composite-event engine behind
+// the temporal operators of the profile language (profile.Composite). The
+// paper's alerting service filters each event in isolation; this engine
+// adds the scenario family the surrounding literature (Hinze's A-mediAS
+// composite events) treats as essential: sequences ("X then Y within a
+// week"), accumulations ("ten documents landed in this collection") and
+// digest schedules ("one summary per day").
+//
+// The engine sits behind the existing filter.Matcher path: a composite
+// profile's primitive steps are registered with the ordinary matcher as
+// marked step profiles, and core.Service routes their matches here via
+// OnPrimitive instead of delivering them. Each registered composite drives
+// a small per-profile state machine; when one completes, the engine emits a
+// Firing through its callback, which core synthesizes into a notification
+// and pushes through the internal/delivery pipeline — so composite alerts
+// (including digests) inherit the pipeline's durability and backpressure.
+//
+// Time windows use lazy expiry (instances found dead are dropped whenever
+// their profile's state is touched) plus a periodic Tick that garbage-
+// collects idle state and flushes due digests, so millions of live
+// instances cost nothing between touches and one linear sweep per tick.
+package composite
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/gsalert/gsalert/internal/event"
+	"github.com/gsalert/gsalert/internal/profile"
+)
+
+// Firing is one completed composite: a sequence that reached its last
+// step, an accumulation that reached its threshold, or a digest flush.
+type Firing struct {
+	// ProfileID is the composite profile that completed.
+	ProfileID string
+	// Owner is the subscribed client.
+	Owner string
+	// Kind is the composite operator.
+	Kind profile.CompositeKind
+	// Events are the contributing primitive events, in arrival order.
+	Events []*event.Event
+	// DocIDs is the union of the contributing matches' document IDs.
+	DocIDs []string
+	// At is the completion (or flush) time.
+	At time.Time
+}
+
+// Stats counts the engine's externally visible work. Counters are
+// cumulative; LiveInstances is a gauge.
+type Stats struct {
+	// Primitives counts step matches consumed via OnPrimitive.
+	Primitives int64
+	// Firings counts emitted completions of all kinds.
+	Firings int64
+	// DigestFlushes counts non-empty digest flushes (a subset of Firings).
+	DigestFlushes int64
+	// WindowsExpired counts sequence instances and accumulations dropped
+	// because their time window closed.
+	WindowsExpired int64
+	// InstancesEvicted counts sequence instances displaced by the
+	// per-profile instance cap.
+	InstancesEvicted int64
+	// LiveInstances is the current number of open sequence instances plus
+	// open accumulations across all profiles.
+	LiveInstances int64
+}
+
+// DefaultMaxInstances caps open sequence instances per profile; beyond it
+// the oldest instance is evicted. The cap bounds memory against a step-0
+// expression that matches a flood of events whose follow-ups never come.
+const DefaultMaxInstances = 65536
+
+// Config assembles an Engine.
+type Config struct {
+	// MaxInstances caps open sequence instances per profile (default
+	// DefaultMaxInstances).
+	MaxInstances int
+	// Emit receives every firing. It is called without the engine lock
+	// held, in completion order, and must be non-nil.
+	Emit func(Firing)
+}
+
+// seqInstance is one open occurrence of a sequence: the steps consumed so
+// far and the deadline by which the remaining steps must arrive.
+type seqInstance struct {
+	next     int       // next expected step index
+	deadline time.Time // zero when the sequence is unwindowed
+	// lastEventID guards against one event driving two consecutive steps
+	// (each step must be matched by a distinct event).
+	lastEventID string
+	events      []*event.Event
+	docIDs      []string
+}
+
+// def is one registered composite profile with its live state.
+type def struct {
+	id     string
+	owner  string
+	kind   profile.CompositeKind
+	steps  int
+	count  int
+	window time.Duration
+	every  time.Duration
+
+	// Sequence state: open instances in creation order.
+	instances []*seqInstance
+
+	// Accumulation state: one open window at a time.
+	accOpen     bool
+	accDeadline time.Time
+	accN        int
+	accEvents   []*event.Event
+	accDocIDs   []string
+
+	// Digest state: the accrual batch and its next flush time.
+	nextFlush   time.Time
+	batchEvents []*event.Event
+	batchDocIDs []string
+}
+
+// Engine drives the state machines of all registered composite profiles of
+// one server.
+type Engine struct {
+	emit    func(Firing)
+	maxInst int
+
+	mu    sync.Mutex
+	defs  map[string]*def
+	stats Stats
+}
+
+// Registration errors.
+var (
+	ErrNotComposite = errors.New("composite: profile is not composite")
+	ErrDuplicate    = errors.New("composite: profile already registered")
+)
+
+// NewEngine builds an empty engine.
+func NewEngine(cfg Config) *Engine {
+	if cfg.MaxInstances <= 0 {
+		cfg.MaxInstances = DefaultMaxInstances
+	}
+	emit := cfg.Emit
+	if emit == nil {
+		emit = func(Firing) {}
+	}
+	return &Engine{
+		emit:    emit,
+		maxInst: cfg.MaxInstances,
+		defs:    make(map[string]*def),
+	}
+}
+
+// Register installs a composite profile's state machine. now anchors the
+// digest schedule: the first flush is due one period after registration.
+func (e *Engine) Register(p *profile.Profile, now time.Time) error {
+	if p.Composite == nil {
+		return fmt.Errorf("%w: %s", ErrNotComposite, p.ID)
+	}
+	if err := p.Composite.Validate(); err != nil {
+		return err
+	}
+	c := p.Composite
+	d := &def{
+		id:     p.ID,
+		owner:  p.Owner,
+		kind:   c.Kind,
+		steps:  len(c.Steps),
+		count:  c.Count,
+		window: c.Window,
+		every:  c.Every,
+	}
+	if c.Kind == profile.CompositeDigest {
+		d.nextFlush = now.Add(c.Every)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, dup := e.defs[p.ID]; dup {
+		return fmt.Errorf("%w: %s", ErrDuplicate, p.ID)
+	}
+	e.defs[p.ID] = d
+	return nil
+}
+
+// Remove drops a composite profile and all its live state, reporting
+// whether it was registered.
+func (e *Engine) Remove(id string) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	d, ok := e.defs[id]
+	if ok {
+		e.stats.LiveInstances -= d.liveInstances()
+		delete(e.defs, id)
+	}
+	return ok
+}
+
+// Len reports registered composite profiles.
+func (e *Engine) Len() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.defs)
+}
+
+// Stats returns a snapshot of the counters.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+func (d *def) liveInstances() int64 {
+	n := int64(len(d.instances))
+	if d.accOpen {
+		n++
+	}
+	return n
+}
+
+// OnPrimitive consumes one primitive step match for the named composite
+// profile and advances its state machine. Completions are emitted after
+// the engine lock is released, in order.
+func (e *Engine) OnPrimitive(profileID string, step int, ev *event.Event, docIDs []string, now time.Time) {
+	e.mu.Lock()
+	d, ok := e.defs[profileID]
+	if !ok {
+		e.mu.Unlock()
+		return
+	}
+	e.stats.Primitives++
+	var fired []Firing
+	switch d.kind {
+	case profile.CompositeSequence:
+		fired = e.seqAdvanceLocked(d, step, ev, docIDs, now)
+	case profile.CompositeCount:
+		fired = e.accAdvanceLocked(d, ev, docIDs, now)
+	case profile.CompositeDigest:
+		d.batchEvents = append(d.batchEvents, ev)
+		d.batchDocIDs = appendUnique(d.batchDocIDs, docIDs)
+	}
+	e.stats.Firings += int64(len(fired))
+	e.mu.Unlock()
+	for _, f := range fired {
+		e.emit(f)
+	}
+}
+
+// seqAdvanceLocked drives one sequence definition. Opening (a step-0
+// match) is O(1) — no scan — so a flood of step-0 events stays cheap at
+// millions of live instances; later steps must scan the profile's open
+// instances anyway (advance-all semantics) and expire dead ones in the
+// same pass (lazy expiry).
+func (e *Engine) seqAdvanceLocked(d *def, step int, ev *event.Event, docIDs []string, now time.Time) []Firing {
+	if step == 0 {
+		inst := &seqInstance{
+			next:        1,
+			lastEventID: ev.ID,
+			events:      []*event.Event{ev},
+			docIDs:      appendUnique(nil, docIDs),
+		}
+		if d.window > 0 {
+			inst.deadline = now.Add(d.window)
+		}
+		d.instances = append(d.instances, inst)
+		e.stats.LiveInstances++
+		if len(d.instances) > e.maxInst {
+			d.instances[0] = nil // release the evicted head and its events
+			d.instances = d.instances[1:]
+			e.stats.InstancesEvicted++
+			e.stats.LiveInstances--
+		}
+		return nil
+	}
+	var fired []Firing
+	kept := d.instances[:0]
+	for _, inst := range d.instances {
+		if !inst.deadline.IsZero() && inst.deadline.Before(now) {
+			e.stats.WindowsExpired++
+			e.stats.LiveInstances--
+			continue
+		}
+		if inst.next != step || inst.lastEventID == ev.ID {
+			kept = append(kept, inst)
+			continue
+		}
+		inst.next++
+		inst.lastEventID = ev.ID
+		inst.events = append(inst.events, ev)
+		inst.docIDs = appendUnique(inst.docIDs, docIDs)
+		if inst.next < d.steps {
+			kept = append(kept, inst)
+			continue
+		}
+		fired = append(fired, Firing{
+			ProfileID: d.id,
+			Owner:     d.owner,
+			Kind:      d.kind,
+			Events:    inst.events,
+			DocIDs:    inst.docIDs,
+			At:        now,
+		})
+		e.stats.LiveInstances--
+	}
+	// Zero the tail so completed instances do not leak through the backing
+	// array.
+	for i := len(kept); i < len(d.instances); i++ {
+		d.instances[i] = nil
+	}
+	d.instances = kept
+	return fired
+}
+
+// seqExpireLocked drops instances whose window closed before now.
+func (e *Engine) seqExpireLocked(d *def, now time.Time) {
+	kept := d.instances[:0]
+	for _, inst := range d.instances {
+		if !inst.deadline.IsZero() && inst.deadline.Before(now) {
+			e.stats.WindowsExpired++
+			e.stats.LiveInstances--
+			continue
+		}
+		kept = append(kept, inst)
+	}
+	for i := len(kept); i < len(d.instances); i++ {
+		d.instances[i] = nil
+	}
+	d.instances = kept
+}
+
+// accAdvanceLocked drives one accumulation definition.
+func (e *Engine) accAdvanceLocked(d *def, ev *event.Event, docIDs []string, now time.Time) []Firing {
+	if d.accOpen && !d.accDeadline.IsZero() && d.accDeadline.Before(now) {
+		// The open window expired before this match: the accrued matches
+		// are discarded and the new match anchors a fresh window.
+		d.resetAccLocked(e, true)
+	}
+	if !d.accOpen {
+		d.accOpen = true
+		e.stats.LiveInstances++
+		if d.window > 0 {
+			d.accDeadline = now.Add(d.window)
+		} else {
+			d.accDeadline = time.Time{}
+		}
+	}
+	d.accN++
+	d.accEvents = append(d.accEvents, ev)
+	d.accDocIDs = appendUnique(d.accDocIDs, docIDs)
+	if d.accN < d.count {
+		return nil
+	}
+	f := Firing{
+		ProfileID: d.id,
+		Owner:     d.owner,
+		Kind:      d.kind,
+		Events:    d.accEvents,
+		DocIDs:    d.accDocIDs,
+		At:        now,
+	}
+	d.resetAccLocked(e, false)
+	return []Firing{f}
+}
+
+// resetAccLocked closes the open accumulation window.
+func (d *def) resetAccLocked(e *Engine, expired bool) {
+	if d.accOpen {
+		e.stats.LiveInstances--
+		if expired {
+			e.stats.WindowsExpired++
+		}
+	}
+	d.accOpen = false
+	d.accDeadline = time.Time{}
+	d.accN = 0
+	d.accEvents = nil
+	d.accDocIDs = nil
+}
+
+// Tick garbage-collects expired windows across every profile and flushes
+// digests whose period elapsed, as of now. Cores call it on a timer in live
+// deployments and with explicit (possibly future) times in deterministic
+// simulations; passing a time far in the future expires every open window.
+func (e *Engine) Tick(now time.Time) {
+	e.mu.Lock()
+	var fired []Firing
+	for _, d := range e.defs {
+		switch d.kind {
+		case profile.CompositeSequence:
+			e.seqExpireLocked(d, now)
+		case profile.CompositeCount:
+			if d.accOpen && !d.accDeadline.IsZero() && d.accDeadline.Before(now) {
+				d.resetAccLocked(e, true)
+			}
+		case profile.CompositeDigest:
+			if now.Before(d.nextFlush) {
+				continue
+			}
+			// One flush per tick, re-anchored at the tick time: after a
+			// long quiet gap (or a simulated jump) the schedule resumes
+			// from now rather than replaying every missed period.
+			d.nextFlush = now.Add(d.every)
+			if len(d.batchEvents) == 0 {
+				continue
+			}
+			fired = append(fired, Firing{
+				ProfileID: d.id,
+				Owner:     d.owner,
+				Kind:      d.kind,
+				Events:    d.batchEvents,
+				DocIDs:    d.batchDocIDs,
+				At:        now,
+			})
+			d.batchEvents = nil
+			d.batchDocIDs = nil
+			e.stats.DigestFlushes++
+		}
+	}
+	e.stats.Firings += int64(len(fired))
+	e.mu.Unlock()
+	for _, f := range fired {
+		e.emit(f)
+	}
+}
+
+// appendUnique appends the ids not already present in dst, preserving
+// order. Contributing doc sets are small (one build's diff), so the linear
+// scan beats a per-instance map.
+func appendUnique(dst []string, ids []string) []string {
+outer:
+	for _, id := range ids {
+		for _, have := range dst {
+			if have == id {
+				continue outer
+			}
+		}
+		dst = append(dst, id)
+	}
+	return dst
+}

@@ -1,0 +1,258 @@
+package core
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/gsalert/gsalert/internal/event"
+	"github.com/gsalert/gsalert/internal/profile"
+)
+
+// publishDirect injects one event through the service's publish path.
+func publishDirect(t *testing.T, s *Service, ev *event.Event) {
+	t.Helper()
+	if _, err := s.publishEvent(context.Background(), ev); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mkEvent(id string, typ event.Type, coll string) *event.Event {
+	qn, _ := event.ParseQName(coll)
+	return event.New(id, typ, qn, 1, nil, time.Unix(1117584000, 0))
+}
+
+func TestServiceCompositeSequence(t *testing.T) {
+	s := newLocalService(t)
+	defer s.Close()
+	sink := NewMemoryNotifier()
+	s.RegisterNotifier("alice", sink)
+
+	id, err := s.SubscribeComposite("alice",
+		`SEQUENCE (collection = "Hamilton.D" AND event.type = "documents-added") THEN (collection = "Hamilton.D" AND event.type = "collection-rebuilt")`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.ProfilesOf("alice"); len(got) != 1 || got[0] != id {
+		t.Errorf("ProfilesOf = %v", got)
+	}
+	if s.CompositeProfileCount() != 1 {
+		t.Errorf("composite count = %d", s.CompositeProfileCount())
+	}
+
+	publishDirect(t, s, mkEvent("e1", event.TypeDocumentsAdded, "Hamilton.D"))
+	drainService(t, s)
+	if sink.Len() != 0 {
+		t.Fatalf("step-0 alone delivered %d notifications", sink.Len())
+	}
+	publishDirect(t, s, mkEvent("e2", event.TypeCollectionRebuilt, "Hamilton.D"))
+	drainService(t, s)
+	if sink.Len() != 1 {
+		t.Fatalf("notifications = %d, want 1", sink.Len())
+	}
+	n := sink.All()[0]
+	if n.Composite != "sequence" || n.ProfileID != id {
+		t.Errorf("notification = %+v", n)
+	}
+	if n.Event.Type != event.TypeCompositeAlert {
+		t.Errorf("synthesized event type = %v", n.Event.Type)
+	}
+	if len(n.Contributing) != 2 || n.Contributing[0].ID != "e1" || n.Contributing[1].ID != "e2" {
+		t.Errorf("contributing = %v", n.Contributing)
+	}
+	st := s.Stats()
+	if st.CompositeFirings != 1 || st.CompositePrimitives != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+
+	// Unsubscribe tears everything down: step profiles leave the matcher
+	// and further events have no effect.
+	if err := s.Unsubscribe("alice", id); err != nil {
+		t.Fatal(err)
+	}
+	if s.CompositeProfileCount() != 0 || s.UserProfileCount() != 0 {
+		t.Errorf("counts after unsubscribe = %d composite, %d user",
+			s.CompositeProfileCount(), s.UserProfileCount())
+	}
+	publishDirect(t, s, mkEvent("e3", event.TypeDocumentsAdded, "Hamilton.D"))
+	publishDirect(t, s, mkEvent("e4", event.TypeCollectionRebuilt, "Hamilton.D"))
+	drainService(t, s)
+	if sink.Len() != 1 {
+		t.Errorf("unsubscribed composite still fired (%d notifications)", sink.Len())
+	}
+}
+
+func TestServiceCompositeWindowExpiryViaTick(t *testing.T) {
+	s := newLocalService(t)
+	defer s.Close()
+	sink := NewMemoryNotifier()
+	s.RegisterNotifier("alice", sink)
+	if _, err := s.SubscribeComposite("alice",
+		`SEQUENCE (event.type = "documents-added") THEN (event.type = "documents-removed") WITHIN 1h`); err != nil {
+		t.Fatal(err)
+	}
+	publishDirect(t, s, mkEvent("e1", event.TypeDocumentsAdded, "Hamilton.D"))
+	// Jump the engine clock past the window; the open instance expires.
+	s.CompositeTick(time.Now().Add(2 * time.Hour))
+	publishDirect(t, s, mkEvent("e2", event.TypeDocumentsRemoved, "Hamilton.D"))
+	drainService(t, s)
+	if sink.Len() != 0 {
+		t.Fatalf("expired window fired (%d notifications)", sink.Len())
+	}
+	if st := s.Stats(); st.CompositeWindowsExpired != 1 || st.CompositeLiveInstances != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestServiceCompositeDigestThroughPipeline(t *testing.T) {
+	s := newLocalService(t)
+	defer s.Close()
+	sink := NewMemoryNotifier()
+	s.RegisterNotifier("alice", sink)
+	if _, err := s.SubscribeComposite("alice",
+		`DIGEST (collection = "Hamilton.D" AND event.type = "collection-rebuilt") EVERY 24h`); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		publishDirect(t, s, mkEvent("r"+string(rune('0'+i)), event.TypeCollectionRebuilt, "Hamilton.D"))
+	}
+	drainService(t, s)
+	if sink.Len() != 0 {
+		t.Fatalf("digest leaked %d immediate notifications", sink.Len())
+	}
+	s.CompositeTick(time.Now().Add(25 * time.Hour))
+	drainService(t, s)
+	if sink.Len() != 1 {
+		t.Fatalf("digest notifications = %d, want 1", sink.Len())
+	}
+	n := sink.All()[0]
+	if n.Composite != "digest" || len(n.Contributing) != 3 {
+		t.Errorf("digest notification = %+v", n)
+	}
+	if st := s.Stats(); st.CompositeDigestFlushes != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+// TestCompositePersistenceRoundTrip: composite profiles survive a save/
+// load cycle as their wrapper text; derived step profiles are not
+// persisted (the restore re-derives them) and restored composites fire.
+func TestCompositePersistenceRoundTrip(t *testing.T) {
+	s := newLocalService(t)
+	defer s.Close()
+	id, err := s.SubscribeComposite("alice",
+		`COUNT 2 OF (collection = "Hamilton.D" AND event.type = "documents-added")`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Subscribe("alice", profile.MustParse(`collection = "Hamilton.D"`)); err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := s.SaveSubscriptions(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(buf.String(), "<ID>"); n != 2 {
+		t.Fatalf("snapshot holds %d profiles, want 2 (steps must not be persisted):\n%s", n, buf.String())
+	}
+
+	s2 := newLocalService(t)
+	defer s2.Close()
+	restored, err := s2.LoadSubscriptions(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored != 2 {
+		t.Fatalf("restored = %d", restored)
+	}
+	if s2.CompositeProfileCount() != 1 {
+		t.Fatalf("composite count after restore = %d", s2.CompositeProfileCount())
+	}
+	sink := NewMemoryNotifier()
+	s2.RegisterNotifier("alice", sink)
+	publishDirect(t, s2, mkEvent("a1", event.TypeDocumentsAdded, "Hamilton.D"))
+	publishDirect(t, s2, mkEvent("a2", event.TypeDocumentsAdded, "Hamilton.D"))
+	drainService(t, s2)
+	fired := 0
+	for _, n := range sink.All() {
+		if n.ProfileID == id && n.Composite == "count" {
+			fired++
+		}
+	}
+	if fired != 1 {
+		t.Errorf("restored composite fired %d times, want 1", fired)
+	}
+
+	// Loading the same snapshot again replaces, not errors (the matcher's
+	// replace-on-duplicate-ID contract extends to composites).
+	if _, err := s2.LoadSubscriptions(strings.NewReader(buf.String())); err != nil {
+		t.Fatalf("reload into populated service: %v", err)
+	}
+	if s2.CompositeProfileCount() != 1 {
+		t.Errorf("composite count after reload = %d", s2.CompositeProfileCount())
+	}
+}
+
+func TestUnsubscribeRejectsStepProfileID(t *testing.T) {
+	s := newLocalService(t)
+	defer s.Close()
+	id, err := s.SubscribeComposite("alice",
+		`SEQUENCE (a = "1") THEN (b = "2")`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Unsubscribe("alice", id+"#0"); err == nil {
+		t.Fatal("unsubscribing a step profile succeeded")
+	}
+	// The composite is intact and still cancellable by its own ID.
+	if s.CompositeProfileCount() != 1 || s.UserProfileCount() != 2 {
+		t.Errorf("counts = %d composite, %d matcher profiles",
+			s.CompositeProfileCount(), s.UserProfileCount())
+	}
+	if err := s.Unsubscribe("alice", id); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompositeSubscribeRejectsPrimitive(t *testing.T) {
+	s := newLocalService(t)
+	defer s.Close()
+	if _, err := s.SubscribeComposite("alice", `collection = "Hamilton.D"`); err == nil {
+		t.Error("primitive expression accepted by SubscribeComposite")
+	}
+}
+
+// TestSubscribeProfileCompositeWire exercises the wire path: a composite
+// profile round-tripped through XML registers like a locally built one.
+func TestSubscribeProfileCompositeWire(t *testing.T) {
+	s := newLocalService(t)
+	defer s.Close()
+	sink := NewMemoryNotifier()
+	s.RegisterNotifier("bob", sink)
+	c := profile.MustParseComposite(`COUNT 2 OF (collection = "Hamilton.D" AND event.type = "documents-added")`)
+	p, err := profile.NewComposite("wire-1", "bob", "Hamilton", c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := p.MarshalXMLBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := profile.UnmarshalXMLBytes(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SubscribeProfile(back); err != nil {
+		t.Fatal(err)
+	}
+	publishDirect(t, s, mkEvent("a1", event.TypeDocumentsAdded, "Hamilton.D"))
+	publishDirect(t, s, mkEvent("a2", event.TypeDocumentsAdded, "Hamilton.D"))
+	drainService(t, s)
+	if sink.Len() != 1 {
+		t.Fatalf("notifications = %d, want 1", sink.Len())
+	}
+	if n := sink.All()[0]; n.Composite != "count" || n.ProfileID != "wire-1" {
+		t.Errorf("notification = %+v", n)
+	}
+}

@@ -99,28 +99,57 @@ func NewRemoteNotifier(from, clientAddr string, tr transport.Transport) *RemoteN
 	return &RemoteNotifier{from: from, clientAddr: clientAddr, tr: tr}
 }
 
-// Notify implements Notifier; delivery is best effort.
+// Notify implements Notifier; delivery is best effort. Composite
+// notifications travel as MsgNotifyComposite so the contributing primitive
+// events arrive alongside the synthesized summary.
 func (r *RemoteNotifier) Notify(n Notification) {
-	raw, err := n.Event.MarshalXMLBytes()
-	if err != nil {
-		return
-	}
-	env, err := protocol.NewEnvelope(r.from, protocol.MsgNotify, &protocol.Notify{
-		Client:    n.Client,
-		ProfileID: n.ProfileID,
-		Event:     protocol.Wrap(raw),
-	})
+	env, err := r.envelopeFor(n)
 	if err != nil {
 		return
 	}
 	_ = transport.SendOneWay(context.Background(), r.tr, r.clientAddr, env) // best effort
 }
 
-// NotifyBatch implements BatchNotifier: the whole batch travels as one
-// MsgNotifyBatch envelope (one transport round-trip per flush). Unlike
-// Notify it reports failure, so the delivery pipeline parks the batch in the
-// client's mailbox and redelivers after the client reconnects — the paper §7
-// delayed-not-lost semantics applied to notifications.
+// envelopeFor builds the wire form of one notification: MsgNotify for
+// primitive alerts, MsgNotifyComposite for synthesized composite alerts.
+func (r *RemoteNotifier) envelopeFor(n Notification) (*protocol.Envelope, error) {
+	raw, err := n.Event.MarshalXMLBytes()
+	if err != nil {
+		return nil, err
+	}
+	if n.Composite == "" {
+		return protocol.NewEnvelope(r.from, protocol.MsgNotify, &protocol.Notify{
+			Client:    n.Client,
+			ProfileID: n.ProfileID,
+			Event:     protocol.Wrap(raw),
+		})
+	}
+	payload := protocol.CompositeNotify{
+		Client:    n.Client,
+		ProfileID: n.ProfileID,
+		Kind:      n.Composite,
+		DocIDs:    n.DocIDs,
+		Event:     protocol.Wrap(raw),
+	}
+	for _, ev := range n.Contributing {
+		evRaw, err := ev.MarshalXMLBytes()
+		if err != nil {
+			return nil, err
+		}
+		payload.Contributing = append(payload.Contributing, protocol.Wrap(evRaw))
+	}
+	return protocol.NewEnvelope(r.from, protocol.MsgNotifyComposite, &payload)
+}
+
+// NotifyBatch implements BatchNotifier: the whole batch — primitive and
+// composite notifications alike — travels as one MsgNotifyBatch envelope
+// (one transport round-trip per flush, and atomic: a failure redelivers
+// the batch wholesale rather than duplicating a delivered prefix).
+// Composite items carry their operator kind and contributing events
+// inline. Unlike Notify it reports failure, so the delivery pipeline
+// parks the batch in the client's mailbox and redelivers after the client
+// reconnects — the paper §7 delayed-not-lost semantics applied to
+// notifications.
 func (r *RemoteNotifier) NotifyBatch(ns []Notification) error {
 	payload := protocol.NotifyBatch{}
 	for _, n := range ns {
@@ -128,11 +157,20 @@ func (r *RemoteNotifier) NotifyBatch(ns []Notification) error {
 		if err != nil {
 			return err
 		}
-		payload.Items = append(payload.Items, protocol.Notify{
+		item := protocol.Notify{
 			Client:    n.Client,
 			ProfileID: n.ProfileID,
+			Composite: n.Composite,
 			Event:     protocol.Wrap(raw),
-		})
+		}
+		for _, ev := range n.Contributing {
+			evRaw, err := ev.MarshalXMLBytes()
+			if err != nil {
+				return err
+			}
+			item.Contributing = append(item.Contributing, protocol.Wrap(evRaw))
+		}
+		payload.Items = append(payload.Items, item)
 	}
 	env, err := protocol.NewEnvelope(r.from, protocol.MsgNotifyBatch, &payload)
 	if err != nil {

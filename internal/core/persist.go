@@ -22,16 +22,40 @@ type snapshot struct {
 	Profiles []protocol.RawXML `xml:"Profile"`
 }
 
-// SaveSubscriptions writes every user and auxiliary profile to w.
+// SaveSubscriptions writes every user, composite and auxiliary profile to
+// w. Composite profiles are persisted as their temporal wrapper text (the
+// wire form); the step profiles the matcher holds for them are derived
+// state and skipped — restoring the parent re-derives them.
 func (s *Service) SaveSubscriptions(w io.Writer) error {
 	snap := snapshot{Server: s.name}
+	s.mu.Lock()
+	composites := make([]*profile.Profile, 0, len(s.compositeProfiles))
+	for _, p := range s.compositeProfiles {
+		composites = append(composites, p)
+	}
+	s.mu.Unlock()
+	sortProfilesByID(composites)
+	add := func(p *profile.Profile) error {
+		raw, err := p.MarshalXMLBytes()
+		if err != nil {
+			return fmt.Errorf("core: snapshot %s: %w", p.ID, err)
+		}
+		snap.Profiles = append(snap.Profiles, protocol.Wrap(raw))
+		return nil
+	}
+	for _, p := range composites {
+		if err := add(p); err != nil {
+			return err
+		}
+	}
 	for _, set := range []interface{ All() []*profile.Profile }{s.matcher, s.aux} {
 		for _, p := range set.All() {
-			raw, err := p.MarshalXMLBytes()
-			if err != nil {
-				return fmt.Errorf("core: snapshot %s: %w", p.ID, err)
+			if p.CompositeOf != "" {
+				continue
 			}
-			snap.Profiles = append(snap.Profiles, protocol.Wrap(raw))
+			if err := add(p); err != nil {
+				return err
+			}
 		}
 	}
 	out, err := xml.MarshalIndent(snap, "", "  ")
@@ -82,4 +106,12 @@ func (s *Service) LoadSubscriptions(r io.Reader) (int, error) {
 		restored++
 	}
 	return restored, nil
+}
+
+func sortProfilesByID(ps []*profile.Profile) {
+	for i := 1; i < len(ps); i++ {
+		for j := i; j > 0 && ps[j].ID < ps[j-1].ID; j-- {
+			ps[j], ps[j-1] = ps[j-1], ps[j]
+		}
+	}
 }

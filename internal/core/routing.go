@@ -77,7 +77,9 @@ func (s *Service) publishEvent(ctx context.Context, ev *event.Event) (time.Durat
 // notification per match on the asynchronous delivery pipeline, returning
 // the filtering duration. The match path never calls a client sink directly:
 // delivery latency, slow clients and offline users are the pipeline's
-// problem, not the matcher's.
+// problem, not the matcher's. Matches of composite step profiles are not
+// delivered — they drive the composite engine's state machines, whose
+// completions re-enter the pipeline as synthesized notifications.
 func (s *Service) filterLocally(ev *event.Event) time.Duration {
 	start := time.Now()
 	matches := s.matcher.Match(ev)
@@ -90,6 +92,13 @@ func (s *Service) filterLocally(ev *event.Event) time.Duration {
 
 	var enqueued, refused int64
 	for _, m := range matches {
+		if m.Profile.CompositeOf != "" {
+			// Matches are sorted by profile ID, so for one composite the
+			// steps arrive in step order ("p#0" before "p#1") and an event
+			// matching several steps advances the earliest ones first.
+			s.composite.OnPrimitive(m.Profile.CompositeOf, m.Profile.CompositeStep, ev, m.DocIDs, now)
+			continue
+		}
 		err := s.delivery.Enqueue(Notification{
 			Client:    m.Profile.Owner,
 			ProfileID: m.Profile.ID,

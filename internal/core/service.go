@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"github.com/gsalert/gsalert/internal/collection"
+	"github.com/gsalert/gsalert/internal/composite"
 	"github.com/gsalert/gsalert/internal/delivery"
 	"github.com/gsalert/gsalert/internal/event"
 	"github.com/gsalert/gsalert/internal/filter"
@@ -111,6 +112,16 @@ type Config struct {
 	// routing tables. Negative disables the warm-up (deterministic
 	// simulations); zero selects DefaultContentWarmup.
 	ContentWarmup time.Duration
+	// DedupCapacity bounds the window of remembered event IDs (the
+	// duplicate-suppression ring of paper §1 problem 2). Larger windows
+	// cost memory (~100 B per remembered ID) but survive longer broadcast
+	// echo delays; smaller windows risk re-delivering an event whose
+	// duplicate arrives after the original was evicted. Zero selects
+	// event.DefaultDedupCapacity.
+	DedupCapacity int
+	// CompositeMaxInstances caps open sequence instances per composite
+	// profile (internal/composite); zero selects the engine default.
+	CompositeMaxInstances int
 	// Clock overrides time.Now for deterministic tests.
 	Clock func() time.Time
 }
@@ -132,12 +143,23 @@ type Service struct {
 	// profilesByClient indexes user profile IDs per client for unsubscribe
 	// bookkeeping and listing.
 	profilesByClient map[string]map[string]bool
+	// compositeProfiles holds registered composite (temporal) profiles by
+	// ID; their primitive steps live in the matcher as marked step
+	// profiles, their state machines in the composite engine.
+	compositeProfiles map[string]*profile.Profile
 	// forwardedAux records the aux profiles this server pushed to other
 	// servers: key = profile ID, value = destination server name.
 	forwardedAux map[string]string
 
 	dedup *event.Dedup
 	retry *queue.Queue
+
+	// composite drives the temporal state machines; its firings are
+	// synthesized into notifications and enqueued on the delivery
+	// pipeline, so composite alerts inherit durability and backpressure.
+	composite    *composite.Engine
+	compTickStop chan struct{}
+	compTickWG   sync.WaitGroup
 
 	// delivery decouples client notification from the match path; matched
 	// notifications are enqueued, never delivered synchronously.
@@ -169,7 +191,8 @@ type Service struct {
 	stats     ServiceStats
 }
 
-// ServiceStats counts the service's externally visible work.
+// ServiceStats counts the service's externally visible work. The
+// Composite* fields are filled from the composite engine at snapshot time.
 type ServiceStats struct {
 	EventsPublished    int64
 	EventsReceived     int64
@@ -191,6 +214,12 @@ type ServiceStats struct {
 	// counts.
 	ReceiveLatency time.Duration
 	ReceiveHops    int64
+	// Composite-engine state (internal/composite).
+	CompositePrimitives     int64 // step matches consumed by state machines
+	CompositeFirings        int64 // synthesized composite notifications
+	CompositeDigestFlushes  int64 // non-empty digest flushes (subset of firings)
+	CompositeWindowsExpired int64 // instances dropped by closed time windows
+	CompositeLiveInstances  int64 // currently open instances (gauge)
 }
 
 // Queued payload kinds for the retry queue.
@@ -208,19 +237,24 @@ func New(cfg Config) (*Service, error) {
 		return nil, errors.New("core: Transport required")
 	}
 	s := &Service{
-		name:             cfg.ServerName,
-		addr:             cfg.ServerAddr,
-		tr:               cfg.Transport,
-		gdsCli:           cfg.GDS,
-		resolver:         cfg.Resolver,
-		store:            cfg.Store,
-		clock:            cfg.Clock,
-		matcher:          cfg.Matcher,
-		aux:              filter.NewEqualityPreferred(),
-		profilesByClient: make(map[string]map[string]bool),
-		forwardedAux:     make(map[string]string),
-		dedup:            event.NewDedup(0),
+		name:              cfg.ServerName,
+		addr:              cfg.ServerAddr,
+		tr:                cfg.Transport,
+		gdsCli:            cfg.GDS,
+		resolver:          cfg.Resolver,
+		store:             cfg.Store,
+		clock:             cfg.Clock,
+		matcher:           cfg.Matcher,
+		aux:               filter.NewEqualityPreferred(),
+		profilesByClient:  make(map[string]map[string]bool),
+		compositeProfiles: make(map[string]*profile.Profile),
+		forwardedAux:      make(map[string]string),
+		dedup:             event.NewDedup(cfg.DedupCapacity),
 	}
+	s.composite = composite.NewEngine(composite.Config{
+		MaxInstances: cfg.CompositeMaxInstances,
+		Emit:         s.emitComposite,
+	})
 	if s.clock == nil {
 		s.clock = time.Now
 	}
@@ -257,6 +291,7 @@ func New(cfg Config) (*Service, error) {
 // pipeline, flushes and closes it (compacting durable mailboxes). A pipeline
 // supplied via Config.Delivery belongs to the caller and is left running.
 func (s *Service) Close() error {
+	s.stopCompositeTicker()
 	s.retry.Stop()
 	if s.ownsDelivery {
 		return s.delivery.Close()
@@ -281,11 +316,18 @@ func (s *Service) Name() string { return s.name }
 // partitions; live deployments call Retry().Start).
 func (s *Service) Retry() *queue.Queue { return s.retry }
 
-// Stats returns a snapshot of counters.
+// Stats returns a snapshot of counters, merging the composite engine's.
 func (s *Service) Stats() ServiceStats {
+	cs := s.composite.Stats()
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.stats
+	out := s.stats
+	out.CompositePrimitives = cs.Primitives
+	out.CompositeFirings = cs.Firings
+	out.CompositeDigestFlushes = cs.DigestFlushes
+	out.CompositeWindowsExpired = cs.WindowsExpired
+	out.CompositeLiveInstances = cs.LiveInstances
+	return out
 }
 
 // nextID mints a server-scoped unique identifier.
@@ -360,6 +402,9 @@ func (s *Service) SubscribeProfile(p *profile.Profile) error {
 }
 
 func (s *Service) addUserProfile(p *profile.Profile) error {
+	if p.IsComposite() {
+		return s.addCompositeProfile(p)
+	}
 	if err := s.matcher.Add(p); err != nil {
 		return err
 	}
@@ -387,9 +432,20 @@ func (s *Service) addUserProfile(p *profile.Profile) error {
 // Unsubscribe removes a user profile. Removing an unknown or foreign
 // profile is an error (clients can only cancel their own profiles).
 func (s *Service) Unsubscribe(client, profileID string) error {
+	s.mu.Lock()
+	cp := s.compositeProfiles[profileID]
+	s.mu.Unlock()
+	if cp != nil {
+		return s.removeCompositeProfile(client, cp)
+	}
 	p, ok := s.matcher.Get(profileID)
 	if !ok {
 		return fmt.Errorf("core: unknown profile %q", profileID)
+	}
+	if p.CompositeOf != "" {
+		// Step profiles are derived state; removing one would silently
+		// cripple the parent's state machine.
+		return fmt.Errorf("core: %q is a step of composite profile %q; unsubscribe the composite instead", profileID, p.CompositeOf)
 	}
 	if p.Owner != client {
 		return fmt.Errorf("core: profile %q belongs to %q, not %q", profileID, p.Owner, client)

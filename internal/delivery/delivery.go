@@ -48,6 +48,13 @@ type Notification struct {
 	Event *event.Event
 	// DocIDs are the matching documents (empty for event-level matches).
 	DocIDs []string
+	// Composite names the composite operator ("sequence", "count",
+	// "digest") behind a synthesized alert; empty for primitive alerts.
+	Composite string
+	// Contributing are the primitive events behind a composite alert, in
+	// arrival order; Event then holds the synthesized summary event. Nil
+	// for primitive alerts.
+	Contributing []*event.Event
 	// At is the local delivery time.
 	At time.Time
 }

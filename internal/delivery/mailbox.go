@@ -481,12 +481,14 @@ type rawXML struct {
 
 // walNotification is the persisted form of a Notification.
 type walNotification struct {
-	XMLName   xml.Name `xml:"Notification"`
-	Client    string   `xml:"Client"`
-	ProfileID string   `xml:"ProfileID"`
-	DocIDs    []string `xml:"Docs>ID,omitempty"`
-	AtNano    int64    `xml:"At,omitempty"`
-	Event     rawXML   `xml:"Event"`
+	XMLName      xml.Name `xml:"Notification"`
+	Client       string   `xml:"Client"`
+	ProfileID    string   `xml:"ProfileID"`
+	DocIDs       []string `xml:"Docs>ID,omitempty"`
+	AtNano       int64    `xml:"At,omitempty"`
+	Composite    string   `xml:"Composite,omitempty"`
+	Event        rawXML   `xml:"Event"`
+	Contributing []rawXML `xml:"Contributing>Event,omitempty"`
 }
 
 func marshalNotification(n Notification) ([]byte, error) {
@@ -495,6 +497,7 @@ func marshalNotification(n Notification) ([]byte, error) {
 		ProfileID: n.ProfileID,
 		DocIDs:    n.DocIDs,
 		AtNano:    n.At.UnixNano(),
+		Composite: n.Composite,
 	}
 	if n.Event != nil {
 		raw, err := n.Event.MarshalXMLBytes()
@@ -502,6 +505,13 @@ func marshalNotification(n Notification) ([]byte, error) {
 			return nil, fmt.Errorf("delivery: marshal event: %w", err)
 		}
 		w.Event.Inner = raw
+	}
+	for _, ev := range n.Contributing {
+		raw, err := ev.MarshalXMLBytes()
+		if err != nil {
+			return nil, fmt.Errorf("delivery: marshal contributing event: %w", err)
+		}
+		w.Contributing = append(w.Contributing, rawXML{Inner: raw})
 	}
 	out, err := xml.Marshal(&w)
 	if err != nil {
@@ -519,6 +529,7 @@ func unmarshalNotification(raw []byte) (Notification, error) {
 		Client:    w.Client,
 		ProfileID: w.ProfileID,
 		DocIDs:    w.DocIDs,
+		Composite: w.Composite,
 	}
 	if w.AtNano != 0 {
 		n.At = time.Unix(0, w.AtNano)
@@ -529,6 +540,13 @@ func unmarshalNotification(raw []byte) (Notification, error) {
 			return Notification{}, fmt.Errorf("delivery: unmarshal event: %w", err)
 		}
 		n.Event = ev
+	}
+	for _, raw := range w.Contributing {
+		ev, err := event.UnmarshalXMLBytes(raw.Inner)
+		if err != nil {
+			return Notification{}, fmt.Errorf("delivery: unmarshal contributing event: %w", err)
+		}
+		n.Contributing = append(n.Contributing, ev)
 	}
 	return n, nil
 }

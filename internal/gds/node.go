@@ -98,6 +98,18 @@ func NewNode(id, addr string, stratum int, tr transport.Transport) (*Node, error
 	return n, nil
 }
 
+// SetDedupCapacity replaces the node's duplicate-suppression window with
+// one holding the given number of message IDs. Call it right after NewNode,
+// before traffic flows: previously observed IDs are forgotten. Larger
+// windows cost ~100 B per remembered ID but tolerate longer broadcast echo
+// delays; smaller windows risk relaying a duplicate whose original was
+// already evicted (gds-server -dedup-capacity).
+func (n *Node) SetDedupCapacity(capacity int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.dedup = event.NewDedup(capacity)
+}
+
 // ID returns the node identifier.
 func (n *Node) ID() string { return n.id }
 
@@ -535,13 +547,13 @@ func (n *Node) handleMulticast(ctx context.Context, env *protocol.Envelope) (*pr
 
 // Info describes a node's current state for tooling and tests.
 type Info struct {
-	ID         string
-	Stratum    int
-	ParentID   string
-	Children   []string
-	Servers    []string
-	Subtree    []string
-	Groups     map[string][]string
+	ID       string
+	Stratum  int
+	ParentID string
+	Children []string
+	Servers  []string
+	Subtree  []string
+	Groups   map[string][]string
 	// Digests is the content-routing table: tree link -> advertised digest
 	// conjunctions. Links missing from the map are unwarm (match-all).
 	Digests map[string][]string

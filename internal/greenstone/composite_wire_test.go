@@ -1,0 +1,85 @@
+package greenstone_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"github.com/gsalert/gsalert/internal/event"
+	"github.com/gsalert/gsalert/internal/profile"
+)
+
+// TestCompositeSubscribeAndNotifyOverWire drives the full composite path
+// over the protocol: a receptionist subscribes a composite profile (the
+// temporal text travels inside the ordinary MsgSubscribe wire form), the
+// collection rebuilds until the accumulation threshold is reached, and
+// the synthesized notification arrives at the remote listener as a
+// MsgNotifyComposite envelope carrying the contributing events.
+func TestCompositeSubscribeAndNotifyOverWire(t *testing.T) {
+	c := figure1Cluster(t)
+	ctx := context.Background()
+	recep := c.NewReceptionist("recep-comp", "London")
+
+	comp := profile.MustParseComposite(
+		`COUNT 2 OF (collection = "London.E" AND event.type = "collection-rebuilt")`)
+	p, err := profile.NewComposite("client8-c1", "client8", "London", comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := recep.Subscribe(ctx, "London", p); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Service("London").CompositeProfileCount(); got != 1 {
+		t.Fatalf("composite profiles = %d", got)
+	}
+
+	ch, closeFn, err := recep.ListenForNotifications("client://client8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = closeFn() }()
+	c.Service("London").RegisterNotifier("client8",
+		c.RemoteNotifier("London", "client://client8"))
+
+	// Two rebuilds with a diff each: two collection-rebuilt events reach
+	// the threshold.
+	docs := docsWith("e", 4)
+	for round := 0; round < 2; round++ {
+		docs[0].Content = docs[0].Content + " changed"
+		if _, _, err := c.Server("London").Build(ctx, "E", docs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Settle(ctx)
+
+	select {
+	case n := <-ch:
+		if n.Client != "client8" || n.ProfileID != "client8-c1" {
+			t.Errorf("notification = %+v", n)
+		}
+		if n.Composite != "count" {
+			t.Errorf("composite kind = %q", n.Composite)
+		}
+		if n.Event.Type != event.TypeCompositeAlert {
+			t.Errorf("synthesized type = %v", n.Event.Type)
+		}
+		if len(n.Contributing) != 2 {
+			t.Fatalf("contributing events = %d, want 2", len(n.Contributing))
+		}
+		for _, ev := range n.Contributing {
+			if ev.Type != event.TypeCollectionRebuilt || ev.Collection.String() != "London.E" {
+				t.Errorf("contributing event = %v about %s", ev.Type, ev.Collection)
+			}
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no composite notification received over the wire")
+	}
+
+	// The composite can be cancelled over the wire like any profile.
+	if err := recep.Unsubscribe(ctx, "London", "client8", "client8-c1"); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Service("London").CompositeProfileCount(); got != 0 {
+		t.Errorf("composite profiles after unsubscribe = %d", got)
+	}
+}

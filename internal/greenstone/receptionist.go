@@ -261,14 +261,50 @@ func (r *Receptionist) ListenForNotifications(addr string) (<-chan core.Notifica
 		if err != nil {
 			return err
 		}
+		out := core.Notification{Client: n.Client, ProfileID: n.ProfileID, Event: ev, Composite: n.Composite}
+		for _, raw := range n.Contributing {
+			cev, err := eventFromRaw(raw.Bytes())
+			if err != nil {
+				return err
+			}
+			out.Contributing = append(out.Contributing, cev)
+		}
 		select {
-		case ch <- core.Notification{Client: n.Client, ProfileID: n.ProfileID, Event: ev}:
+		case ch <- out:
 		default: // drop on overflow rather than blocking the server
 		}
 		return nil
 	}
 	l, err := r.tr.Listen(addr, transport.HandlerFunc(func(_ context.Context, env *protocol.Envelope) (*protocol.Envelope, error) {
 		switch env.Header.Type {
+		case protocol.MsgNotifyComposite:
+			var cn protocol.CompositeNotify
+			if err := protocol.Decode(env, protocol.MsgNotifyComposite, &cn); err != nil {
+				return protocol.Errorf(r.name, "decode", "%v", err), nil
+			}
+			ev, err := eventFromRaw(cn.Event.Bytes())
+			if err != nil {
+				return protocol.Errorf(r.name, "event", "%v", err), nil
+			}
+			n := core.Notification{
+				Client:    cn.Client,
+				ProfileID: cn.ProfileID,
+				Event:     ev,
+				DocIDs:    cn.DocIDs,
+				Composite: cn.Kind,
+			}
+			for _, raw := range cn.Contributing {
+				cev, err := eventFromRaw(raw.Bytes())
+				if err != nil {
+					return protocol.Errorf(r.name, "event", "%v", err), nil
+				}
+				n.Contributing = append(n.Contributing, cev)
+			}
+			select {
+			case ch <- n:
+			default: // drop on overflow rather than blocking the server
+			}
+			return nil, nil
 		case protocol.MsgNotifyBatch:
 			var b protocol.NotifyBatch
 			if err := protocol.Decode(env, protocol.MsgNotifyBatch, &b); err != nil {

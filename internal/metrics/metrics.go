@@ -1,6 +1,6 @@
 // Package metrics provides the counters, histograms and fixed-width table
 // rendering used by the experiment harness to print the tables recorded in
-// EXPERIMENTS.md.
+// docs/EXPERIMENTS.md.
 package metrics
 
 import (

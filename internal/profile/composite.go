@@ -1,0 +1,347 @@
+package profile
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// This file extends the profile language of paper §5 with the composite and
+// temporal operators of the surrounding alerting literature (Hinze's
+// A-mediAS composite event work): the paper's profiles filter each event in
+// isolation, while real alerting wants "X followed by Y within a week",
+// "ten documents landed in this collection" and "one digest per day".
+//
+// A composite profile is a small wrapper grammar over ordinary (primitive)
+// profile expressions:
+//
+//	SEQUENCE <expr> THEN <expr> { THEN <expr> } [ WITHIN <dur> ]
+//	COUNT <n> OF <expr> [ WITHIN <dur> ]
+//	DIGEST <expr> EVERY <dur>
+//
+// where <expr> is any primitive expression (parenthesise multi-clause
+// steps for readability) and <dur> is a Go duration ("90m", "24h") or a
+// day count ("7d"). Composite profiles are evaluated by the stateful
+// engine in internal/composite, not per event: the primitive step
+// expressions are registered with the ordinary filter engine, and their
+// matches drive per-profile state machines.
+//
+// For routing (multicast covers, content digests) a composite profile
+// advertises the union of its primitive steps — every event any step could
+// match — so dissemination pruning stays sound without the directory
+// knowing anything about temporal state.
+
+// CompositeKind distinguishes the composite operators.
+type CompositeKind int
+
+// Composite operator kinds.
+const (
+	// CompositeSequence fires when its steps match in order (each step by a
+	// distinct event), optionally within a time window.
+	CompositeSequence CompositeKind = iota + 1
+	// CompositeCount fires when its step has matched Count times,
+	// optionally within a window anchored at the first match.
+	CompositeCount
+	// CompositeDigest never fires per event: matches accumulate and are
+	// flushed as one synthesized notification every period.
+	CompositeDigest
+)
+
+// String names the kind as used on the wire and in synthesized
+// notifications.
+func (k CompositeKind) String() string {
+	switch k {
+	case CompositeSequence:
+		return "sequence"
+	case CompositeCount:
+		return "count"
+	case CompositeDigest:
+		return "digest"
+	default:
+		return fmt.Sprintf("composite-kind-%d", int(k))
+	}
+}
+
+// Composite is the temporal wrapper of a composite profile.
+type Composite struct {
+	// Kind selects the operator.
+	Kind CompositeKind
+	// Steps are the primitive sub-expressions: two or more for a sequence,
+	// exactly one for count and digest.
+	Steps []Expr
+	// Count is the accumulation threshold (CompositeCount only).
+	Count int
+	// Window bounds sequences and accumulations; zero means unbounded.
+	Window time.Duration
+	// Every is the digest flush period (CompositeDigest only).
+	Every time.Duration
+}
+
+// Composite validation errors.
+var (
+	ErrCompositeShape = errors.New("profile: malformed composite")
+)
+
+// Validate checks the structural invariants of the composite wrapper.
+func (c *Composite) Validate() error {
+	for i, s := range c.Steps {
+		if s == nil {
+			return fmt.Errorf("%w: step %d is empty", ErrCompositeShape, i)
+		}
+	}
+	switch c.Kind {
+	case CompositeSequence:
+		if len(c.Steps) < 2 {
+			return fmt.Errorf("%w: sequence needs at least two steps", ErrCompositeShape)
+		}
+	case CompositeCount:
+		if len(c.Steps) != 1 {
+			return fmt.Errorf("%w: count takes exactly one step", ErrCompositeShape)
+		}
+		if c.Count < 1 {
+			return fmt.Errorf("%w: count threshold must be positive", ErrCompositeShape)
+		}
+	case CompositeDigest:
+		if len(c.Steps) != 1 {
+			return fmt.Errorf("%w: digest takes exactly one step", ErrCompositeShape)
+		}
+		if c.Every <= 0 {
+			return fmt.Errorf("%w: digest period must be positive", ErrCompositeShape)
+		}
+	default:
+		return fmt.Errorf("%w: unknown kind %d", ErrCompositeShape, int(c.Kind))
+	}
+	if c.Window < 0 {
+		return fmt.Errorf("%w: negative window", ErrCompositeShape)
+	}
+	return nil
+}
+
+// Union returns the disjunction of the primitive steps: the widest
+// primitive expression whose matches the composite could ever consume.
+// Routing (multicast covers, content digests) advertises this union.
+func (c *Composite) Union() Expr {
+	cloned := make([]Expr, 0, len(c.Steps))
+	for _, s := range c.Steps {
+		cloned = append(cloned, Clone(s))
+	}
+	return NewOr(cloned...)
+}
+
+// String renders the composite in parseable form.
+func (c *Composite) String() string {
+	var b strings.Builder
+	step := func(e Expr) {
+		b.WriteString("(")
+		b.WriteString(e.String())
+		b.WriteString(")")
+	}
+	switch c.Kind {
+	case CompositeSequence:
+		b.WriteString("SEQUENCE ")
+		for i, s := range c.Steps {
+			if i > 0 {
+				b.WriteString(" THEN ")
+			}
+			step(s)
+		}
+		if c.Window > 0 {
+			b.WriteString(" WITHIN ")
+			b.WriteString(c.Window.String())
+		}
+	case CompositeCount:
+		fmt.Fprintf(&b, "COUNT %d OF ", c.Count)
+		step(c.Steps[0])
+		if c.Window > 0 {
+			b.WriteString(" WITHIN ")
+			b.WriteString(c.Window.String())
+		}
+	case CompositeDigest:
+		b.WriteString("DIGEST ")
+		step(c.Steps[0])
+		b.WriteString(" EVERY ")
+		b.WriteString(c.Every.String())
+	}
+	return b.String()
+}
+
+// compositeKeyword reports whether src opens with a composite operator.
+func compositeKeyword(word string) bool {
+	switch strings.ToUpper(word) {
+	case "SEQUENCE", "COUNT", "DIGEST":
+		return true
+	}
+	return false
+}
+
+// ParseText parses either language level: a primitive expression yields
+// (expr, nil), a composite profile yields (union-of-steps, composite). The
+// returned expression is always non-nil on success, so callers that only
+// route (rather than evaluate) need not care which level they got.
+//
+// A leading SEQUENCE/COUNT/DIGEST word selects the composite grammar, but
+// those words are not reserved: if the composite parse fails and the text
+// is a valid primitive expression (e.g. `count = "5"`, an attribute that
+// happens to be named like an operator), the primitive reading wins — so
+// every profile that parsed before the composite grammar existed still
+// parses the same way.
+func ParseText(src string) (Expr, *Composite, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(toks) > 0 && toks[0].kind == tokWord && compositeKeyword(toks[0].text) {
+		p := &parser{toks: toks}
+		c, cErr := p.parseComposite()
+		if cErr == nil && !p.done() {
+			cErr = fmt.Errorf("profile: trailing input at %q", p.peek().text)
+		}
+		if cErr == nil {
+			cErr = c.Validate()
+		}
+		if cErr == nil {
+			return c.Union(), c, nil
+		}
+		// Fall back to the primitive grammar; if that also fails, the
+		// composite error is the informative one (the leading keyword says
+		// what the author most plausibly meant).
+		if e, pErr := Parse(src); pErr == nil {
+			return e, nil, nil
+		}
+		return nil, nil, cErr
+	}
+	e, err := Parse(src)
+	return e, nil, err
+}
+
+// MustParseComposite parses a composite profile text, panicking on error or
+// on a primitive expression; for tests and compile-time-constant profiles.
+func MustParseComposite(src string) *Composite {
+	_, c, err := ParseText(src)
+	if err != nil {
+		panic(err)
+	}
+	if c == nil {
+		panic(fmt.Sprintf("profile: %q is not a composite expression", src))
+	}
+	return c
+}
+
+// parseComposite parses the composite wrapper grammar; the leading keyword
+// has been peeked but not consumed.
+func (p *parser) parseComposite() (*Composite, error) {
+	kw := p.next()
+	switch strings.ToUpper(kw.text) {
+	case "SEQUENCE":
+		c := &Composite{Kind: CompositeSequence}
+		for {
+			step, err := p.parseOr()
+			if err != nil {
+				return nil, err
+			}
+			c.Steps = append(c.Steps, step)
+			if !p.peekKeyword("THEN") {
+				break
+			}
+			p.next()
+		}
+		if err := p.parseWindow(c); err != nil {
+			return nil, err
+		}
+		return c, nil
+	case "COUNT":
+		c := &Composite{Kind: CompositeCount}
+		nTok := p.next()
+		if nTok.kind != tokWord {
+			return nil, fmt.Errorf("profile: COUNT requires a threshold, got %q", nTok.text)
+		}
+		n, err := strconv.Atoi(nTok.text)
+		if err != nil {
+			return nil, fmt.Errorf("profile: bad COUNT threshold %q", nTok.text)
+		}
+		c.Count = n
+		if !p.peekKeyword("OF") {
+			return nil, fmt.Errorf("profile: expected OF after COUNT %d", n)
+		}
+		p.next()
+		step, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		c.Steps = []Expr{step}
+		if err := p.parseWindow(c); err != nil {
+			return nil, err
+		}
+		return c, nil
+	case "DIGEST":
+		c := &Composite{Kind: CompositeDigest}
+		step, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		c.Steps = []Expr{step}
+		if !p.peekKeyword("EVERY") {
+			return nil, fmt.Errorf("profile: DIGEST requires EVERY <period>")
+		}
+		p.next()
+		d, err := p.parseDuration()
+		if err != nil {
+			return nil, err
+		}
+		c.Every = d
+		return c, nil
+	default:
+		return nil, fmt.Errorf("profile: unknown composite operator %q", kw.text)
+	}
+}
+
+// parseWindow consumes an optional WITHIN <dur> clause.
+func (p *parser) parseWindow(c *Composite) error {
+	if !p.peekKeyword("WITHIN") {
+		return nil
+	}
+	p.next()
+	d, err := p.parseDuration()
+	if err != nil {
+		return err
+	}
+	c.Window = d
+	return nil
+}
+
+// parseDuration consumes a duration token: a Go duration ("90m", "24h",
+// "1h30m") or a whole number of days ("7d").
+func (p *parser) parseDuration() (time.Duration, error) {
+	t := p.next()
+	if t.kind != tokWord {
+		return 0, fmt.Errorf("profile: expected a duration, got %q", t.text)
+	}
+	d, err := ParseWindow(t.text)
+	if err != nil {
+		return 0, err
+	}
+	return d, nil
+}
+
+// ParseWindow parses the duration literals of the composite grammar: Go
+// durations plus a "d" suffix for days.
+func ParseWindow(s string) (time.Duration, error) {
+	if days, ok := strings.CutSuffix(s, "d"); ok {
+		if n, err := strconv.Atoi(days); err == nil {
+			if n < 0 {
+				return 0, fmt.Errorf("profile: negative duration %q", s)
+			}
+			return time.Duration(n) * 24 * time.Hour, nil
+		}
+	}
+	d, err := time.ParseDuration(s)
+	if err != nil {
+		return 0, fmt.Errorf("profile: bad duration %q", s)
+	}
+	if d < 0 {
+		return 0, fmt.Errorf("profile: negative duration %q", s)
+	}
+	return d, nil
+}

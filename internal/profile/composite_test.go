@@ -1,0 +1,217 @@
+package profile
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseCompositeSequence(t *testing.T) {
+	src := `SEQUENCE (collection = "H.C" AND event.type = "documents-added") THEN (event.type = "collection-rebuilt") WITHIN 24h`
+	expr, c, err := ParseText(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c == nil {
+		t.Fatal("composite not detected")
+	}
+	if c.Kind != CompositeSequence {
+		t.Errorf("kind = %v", c.Kind)
+	}
+	if len(c.Steps) != 2 {
+		t.Fatalf("steps = %d", len(c.Steps))
+	}
+	if c.Window != 24*time.Hour {
+		t.Errorf("window = %v", c.Window)
+	}
+	// The routing expression is the union of the steps.
+	or, ok := expr.(*Or)
+	if !ok {
+		t.Fatalf("union expr = %T", expr)
+	}
+	if len(or.Children) != 2 {
+		t.Errorf("union children = %d", len(or.Children))
+	}
+}
+
+func TestParseCompositeCountAndDigest(t *testing.T) {
+	_, c, err := ParseText(`COUNT 10 OF (collection = "H.C" AND event.type = "documents-added") WITHIN 7d`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Kind != CompositeCount || c.Count != 10 {
+		t.Errorf("count composite = %+v", c)
+	}
+	if c.Window != 7*24*time.Hour {
+		t.Errorf("window = %v", c.Window)
+	}
+
+	_, d, err := ParseText(`DIGEST collection = "H.C" EVERY 24h`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Kind != CompositeDigest || d.Every != 24*time.Hour {
+		t.Errorf("digest composite = %+v", d)
+	}
+	if d.Window != 0 {
+		t.Errorf("digest window = %v", d.Window)
+	}
+}
+
+func TestCompositeStringRoundTrips(t *testing.T) {
+	srcs := []string{
+		`SEQUENCE (collection = "H.C") THEN (event.type = "collection-rebuilt")`,
+		`SEQUENCE (collection = "H.C") THEN (a = "1") THEN (b = "2") WITHIN 90m`,
+		`COUNT 3 OF (event.type = "documents-added")`,
+		`COUNT 5 OF (collection = "H.C" OR collection = "H.D") WITHIN 48h`,
+		`DIGEST (collection = "H.C") EVERY 24h`,
+	}
+	for _, src := range srcs {
+		_, c, err := ParseText(src)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		if c == nil {
+			t.Fatalf("%s: not composite", src)
+		}
+		rendered := c.String()
+		_, c2, err := ParseText(rendered)
+		if err != nil {
+			t.Fatalf("re-parse %q: %v", rendered, err)
+		}
+		if c2 == nil || c2.String() != rendered {
+			t.Errorf("%q did not round-trip (got %q)", rendered, c2.String())
+		}
+	}
+}
+
+func TestParseCompositeErrors(t *testing.T) {
+	bad := []string{
+		`SEQUENCE (a = "1")`,                           // one step only
+		`SEQUENCE (a = "1") THEN`,                      // dangling THEN
+		`COUNT x OF (a = "1")`,                         // non-numeric threshold
+		`COUNT 0 OF (a = "1")`,                         // zero threshold
+		`COUNT 3 (a = "1")`,                            // missing OF
+		`DIGEST (a = "1")`,                             // missing EVERY
+		`DIGEST (a = "1") EVERY soon`,                  // bad duration
+		`SEQUENCE (a = "1") THEN (b = "2") c`,          // trailing input
+		`SEQUENCE (a = "1") THEN (b = "2") WITHIN -5m`, // negative window
+	}
+	for _, src := range bad {
+		if _, _, err := ParseText(src); err == nil {
+			t.Errorf("%q parsed without error", src)
+		}
+	}
+}
+
+func TestParseTextKeywordAttributesStayPrimitive(t *testing.T) {
+	// SEQUENCE/COUNT/DIGEST are not reserved words: a primitive profile
+	// whose first attribute happens to be named like one must keep parsing
+	// exactly as it did before the composite grammar existed.
+	for _, src := range []string{
+		`count = "5"`,
+		`sequence exists`,
+		`digest != "x"`,
+		`count in ("a", "b") AND collection = "H.C"`,
+	} {
+		expr, c, err := ParseText(src)
+		if err != nil {
+			t.Errorf("%q: %v", src, err)
+			continue
+		}
+		if c != nil {
+			t.Errorf("%q parsed as composite", src)
+		}
+		if expr == nil {
+			t.Errorf("%q: nil expression", src)
+		}
+	}
+}
+
+func TestParseTextPrimitivePassThrough(t *testing.T) {
+	expr, c, err := ParseText(`collection = "H.C" AND dc.Title contains "music"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != nil {
+		t.Error("primitive expression flagged composite")
+	}
+	if expr == nil {
+		t.Fatal("nil expression")
+	}
+}
+
+func TestCompositeProfileWireRoundTrip(t *testing.T) {
+	c := MustParseComposite(`SEQUENCE (collection = "H.C" AND event.type = "documents-added") THEN (event.type = "collection-rebuilt") WITHIN 1h`)
+	p, err := NewComposite("p1", "alice", "H", c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := p.MarshalXMLBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), "SEQUENCE") {
+		t.Fatalf("wire form lost the composite text: %s", raw)
+	}
+	back, err := UnmarshalXMLBytes(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.IsComposite() {
+		t.Fatal("composite lost over the wire")
+	}
+	if back.Composite.String() != c.String() {
+		t.Errorf("composite = %q, want %q", back.Composite.String(), c.String())
+	}
+	if back.Expr == nil {
+		t.Error("union expr not reconstructed")
+	}
+}
+
+func TestStepProfiles(t *testing.T) {
+	c := MustParseComposite(`SEQUENCE (a = "1") THEN (b = "2") THEN (c = "3")`)
+	p, err := NewComposite("comp-1", "alice", "H", c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps := p.StepProfiles()
+	if len(steps) != 3 {
+		t.Fatalf("steps = %d", len(steps))
+	}
+	for i, sp := range steps {
+		if sp.CompositeOf != "comp-1" || sp.CompositeStep != i {
+			t.Errorf("step %d markers = (%q, %d)", i, sp.CompositeOf, sp.CompositeStep)
+		}
+		if err := sp.Validate(); err != nil {
+			t.Errorf("step %d invalid: %v", i, err)
+		}
+	}
+	if steps[0].ID >= steps[1].ID || steps[1].ID >= steps[2].ID {
+		t.Error("step IDs do not sort in step order")
+	}
+}
+
+func TestCompositeDigestUnionForRouting(t *testing.T) {
+	// The union of a composite's primitives must project onto the same
+	// routing digest a pair of ordinary profiles with those expressions
+	// would, so content routing keeps pruning correctly.
+	c := MustParseComposite(`SEQUENCE (collection = "H.C" AND event.type = "documents-added") THEN (collection = "H.C" AND event.type = "collection-rebuilt")`)
+	p, err := NewComposite("p", "u", "H", c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := DigestOf(p.Expr)
+	if d.IsTop() {
+		t.Fatal("composite union digest degenerated to match-all")
+	}
+	if !d.Matches(map[string]string{"collection": "H.C", "event.type": "documents-added"}) {
+		t.Error("digest misses step-0 events")
+	}
+	if !d.Matches(map[string]string{"collection": "H.C", "event.type": "collection-rebuilt"}) {
+		t.Error("digest misses step-1 events")
+	}
+	if d.Matches(map[string]string{"collection": "H.X", "event.type": "documents-added"}) {
+		t.Error("digest matches foreign collection")
+	}
+}

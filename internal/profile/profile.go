@@ -60,8 +60,20 @@ type Profile struct {
 	// HomeServer is the server where the profile was defined and resides
 	// (user profiles never leave it, paper §4.2).
 	HomeServer string
-	// Expr is the macro-level Boolean expression.
+	// Expr is the macro-level Boolean expression. For a composite profile
+	// it holds the union of the primitive steps (Composite.Union), which is
+	// what routing layers advertise; the temporal structure itself lives in
+	// Composite and is evaluated by the stateful engine, not per event.
 	Expr Expr
+	// Composite, when non-nil, marks a composite/temporal profile and
+	// carries its operator structure (sequence, count or digest).
+	Composite *Composite
+	// CompositeOf marks an engine-derived step profile: it names the parent
+	// composite profile whose state machine consumes this step's matches.
+	// Step profiles are runtime-internal — they never travel the wire.
+	CompositeOf string
+	// CompositeStep is the zero-based step index of a step profile.
+	CompositeStep int
 	// Super is, for auxiliary profiles, the super-collection on whose
 	// behalf the profile watches; events matching the profile are forwarded
 	// to Super's host and renamed to Super.
@@ -91,6 +103,14 @@ func (p *Profile) Validate() error {
 	if p.Expr == nil {
 		return ErrNoExpr
 	}
+	if p.Composite != nil {
+		if p.Kind != KindUser {
+			return fmt.Errorf("%w: composite profiles must be user profiles", ErrCompositeShape)
+		}
+		if err := p.Composite.Validate(); err != nil {
+			return err
+		}
+	}
 	if p.Kind == KindAuxiliary {
 		if p.Super.IsZero() || p.Sub.IsZero() {
 			return ErrAuxShape
@@ -119,6 +139,68 @@ func NewUser(id, owner, homeServer string, expr Expr) *Profile {
 		Expr:       expr,
 		CreatedAt:  time.Now(),
 	}
+}
+
+// NewComposite builds a composite (temporal) user profile. Expr is set to
+// the union of the primitive steps so routing layers can treat the profile
+// like any other.
+func NewComposite(id, owner, homeServer string, c *Composite) (*Profile, error) {
+	if c == nil {
+		return nil, ErrCompositeShape
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return &Profile{
+		ID:         id,
+		Kind:       KindUser,
+		Owner:      owner,
+		HomeServer: homeServer,
+		Expr:       c.Union(),
+		Composite:  c,
+		CreatedAt:  time.Now(),
+	}, nil
+}
+
+// IsComposite reports whether the profile carries a temporal wrapper.
+func (p *Profile) IsComposite() bool { return p.Composite != nil }
+
+// StepProfiles derives the primitive step profiles of a composite profile:
+// one ordinary profile per step, marked with CompositeOf/CompositeStep so
+// the match path routes their hits to the composite engine instead of
+// delivering them directly. Step IDs are "<parent>#<step>", which keeps
+// them unique and sorts them in step order.
+func (p *Profile) StepProfiles() []*Profile {
+	if p.Composite == nil {
+		return nil
+	}
+	out := make([]*Profile, 0, len(p.Composite.Steps))
+	for i, step := range p.Composite.Steps {
+		out = append(out, &Profile{
+			ID:            fmt.Sprintf("%s#%d", p.ID, i),
+			Kind:          KindUser,
+			Owner:         p.Owner,
+			HomeServer:    p.HomeServer,
+			Expr:          Clone(step),
+			CompositeOf:   p.ID,
+			CompositeStep: i,
+			CreatedAt:     p.CreatedAt,
+		})
+	}
+	return out
+}
+
+// ExprText renders the profile's expression in the profile language: the
+// composite wrapper text for composite profiles, the plain expression
+// otherwise. This is the form that travels the wire.
+func (p *Profile) ExprText() string {
+	if p.Composite != nil {
+		return p.Composite.String()
+	}
+	if p.Expr == nil {
+		return ""
+	}
+	return p.Expr.String()
 }
 
 // NewAuxiliary builds the auxiliary profile a super-collection's server
@@ -165,7 +247,7 @@ func (p *Profile) MarshalXMLBytes() ([]byte, error) {
 		Kind:       p.Kind.String(),
 		Owner:      p.Owner,
 		HomeServer: p.HomeServer,
-		Expr:       p.Expr.String(),
+		Expr:       p.ExprText(),
 		CreatedAt:  p.CreatedAt.UTC(),
 	}
 	if !p.Super.IsZero() {
@@ -193,7 +275,7 @@ func UnmarshalXMLBytes(raw []byte) (*Profile, error) {
 	if err != nil {
 		return nil, err
 	}
-	expr, err := Parse(w.Expr)
+	expr, comp, err := ParseText(w.Expr)
 	if err != nil {
 		return nil, fmt.Errorf("profile %s: %w", w.ID, err)
 	}
@@ -203,6 +285,7 @@ func UnmarshalXMLBytes(raw []byte) (*Profile, error) {
 		Owner:      w.Owner,
 		HomeServer: w.HomeServer,
 		Expr:       expr,
+		Composite:  comp,
 		CreatedAt:  w.CreatedAt,
 	}
 	if w.Super != nil {

@@ -323,12 +323,20 @@ type EventPayload struct {
 	Event       RawXML `xml:"Event"`
 }
 
-// Notify delivers a notification to a client.
+// Notify delivers a notification to a client. For synthesized composite
+// alerts travelling inside a MsgNotifyBatch, Composite names the operator
+// and Contributing carries the primitive events — keeping a mixed batch a
+// single atomic envelope (a partial multi-envelope send would redeliver
+// its delivered prefix after a failure).
 type Notify struct {
 	XMLName   xml.Name `xml:"Notify"`
 	Client    string   `xml:"Client"`
 	ProfileID string   `xml:"ProfileID"`
-	Event     RawXML   `xml:"Event"`
+	// Composite is the composite operator ("sequence", "count", "digest");
+	// empty for primitive alerts.
+	Composite    string   `xml:"Composite,omitempty"`
+	Event        RawXML   `xml:"Event"`
+	Contributing []RawXML `xml:"Contributing>Event,omitempty"`
 }
 
 // NotifyBatch delivers several notifications to one client in a single
@@ -336,6 +344,21 @@ type Notify struct {
 type NotifyBatch struct {
 	XMLName xml.Name `xml:"NotifyBatch"`
 	Items   []Notify `xml:"Items>Notify,omitempty"`
+}
+
+// CompositeNotify delivers one synthesized composite notification: Event
+// is the synthesized composite-alert event and Contributing are the
+// primitive events that completed the sequence, reached the accumulation
+// threshold, or accrued over the digest period (in arrival order).
+type CompositeNotify struct {
+	XMLName   xml.Name `xml:"CompositeNotify"`
+	Client    string   `xml:"Client"`
+	ProfileID string   `xml:"ProfileID"`
+	// Kind is the composite operator: "sequence", "count" or "digest".
+	Kind         string   `xml:"Kind"`
+	DocIDs       []string `xml:"Docs>ID,omitempty"`
+	Event        RawXML   `xml:"Event"`
+	Contributing []RawXML `xml:"Contributing>Event,omitempty"`
 }
 
 // AttachNotifier subscribes a client address to push delivery of the

@@ -99,6 +99,11 @@ const (
 	// MsgNotifyBatch delivers a batch of notifications to a client in one
 	// round-trip (the delivery pipeline's per-destination batching).
 	MsgNotifyBatch MessageType = "gs.notify-batch"
+	// MsgNotifyComposite delivers a synthesized composite notification —
+	// a completed sequence, a reached accumulation threshold, or a digest
+	// flush — carrying the contributing primitive events alongside the
+	// synthesized summary event (internal/composite).
+	MsgNotifyComposite MessageType = "gs.notify-composite"
 	// MsgAttachNotifier asks a server to push a client's notifications to
 	// an address; parked mailbox contents drain immediately (reconnect).
 	MsgAttachNotifier MessageType = "gs.attach-notifier"

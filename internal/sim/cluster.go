@@ -2,7 +2,7 @@
 // cluster assembly (GDS tree + Greenstone servers + alerting services over
 // the deterministic memory transport), topology and workload generators, a
 // ground-truth oracle, and the scenario runners behind every table in
-// EXPERIMENTS.md.
+// docs/EXPERIMENTS.md.
 package sim
 
 import (

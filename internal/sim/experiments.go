@@ -12,7 +12,7 @@ import (
 	"github.com/gsalert/gsalert/internal/profile"
 )
 
-// This file implements the experiment suite of EXPERIMENTS.md. Each
+// This file implements the experiment suite of docs/EXPERIMENTS.md. Each
 // function returns structured results plus a rendered table so the same
 // code backs the unit tests, the Go benchmarks in bench_test.go and the
 // alert-bench command.
@@ -725,6 +725,12 @@ func RenderAll(seed int64) ([]string, error) {
 		return nil, err
 	}
 	out = append(out, t12.Render())
+
+	t13, err := CompositeAlertsTable(16, 4, seed)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, t13.Render())
 
 	return out, nil
 }

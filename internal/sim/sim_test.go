@@ -351,6 +351,55 @@ func TestRunContentRoutingAcceptance(t *testing.T) {
 	}
 }
 
+func TestRunCompositeAlertsAcceptance(t *testing.T) {
+	// The E13 acceptance bar: on a 16-server tree, every routing mode
+	// synthesizes exactly the expected composite notifications — sequence,
+	// accumulation and digest fire identically, expired windows produce
+	// nothing — and content routing still undercuts flooding on messages.
+	const servers, rounds = 16, 4
+	wantSeq, wantSeqWin, wantCount, wantDigest, wantDigestEvents := expectedCompositeAlerts(rounds)
+	results := make(map[string]CompositeAlertsResult, 3)
+	for _, mode := range []core.RoutingMode{core.RouteBroadcast, core.RouteMulticast, core.RouteContent} {
+		r, err := RunCompositeAlerts(servers, rounds, mode, 2005)
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		results[r.Mode] = r
+		if r.Sequence != wantSeq {
+			t.Errorf("%s: sequence fired %d, want %d", r.Mode, r.Sequence, wantSeq)
+		}
+		if r.SequenceWindowed != wantSeqWin {
+			t.Errorf("%s: expired-window sequence fired %d, want %d", r.Mode, r.SequenceWindowed, wantSeqWin)
+		}
+		if r.Count != wantCount {
+			t.Errorf("%s: accumulation fired %d, want %d", r.Mode, r.Count, wantCount)
+		}
+		if r.Digest != wantDigest || r.DigestEvents != wantDigestEvents {
+			t.Errorf("%s: digest = %d flushes / %d events, want %d / %d",
+				r.Mode, r.Digest, r.DigestEvents, wantDigest, wantDigestEvents)
+		}
+		if r.WindowsExpired != int64(rounds) {
+			t.Errorf("%s: windows expired = %d, want %d", r.Mode, r.WindowsExpired, rounds)
+		}
+		if r.LiveInstances != 1 {
+			t.Errorf("%s: live instances = %d, want 1 (the leftover accumulation)", r.Mode, r.LiveInstances)
+		}
+	}
+	if c, f := results["content"], results["broadcast"]; c.Messages >= f.Messages {
+		t.Errorf("content used %d messages, flooding %d — want strictly fewer", c.Messages, f.Messages)
+	}
+}
+
+func TestCompositeAlertsTableChecksEquivalence(t *testing.T) {
+	tbl, err := CompositeAlertsTable(8, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl == nil || tbl.Rows() != 3 {
+		t.Fatalf("table = %+v", tbl)
+	}
+}
+
 func TestContentRoutingTableChecksEquivalence(t *testing.T) {
 	tbl, err := ContentRoutingTable(8, 3, 3, 7)
 	if err != nil {
