@@ -3,7 +3,7 @@ GO ?= go
 # stable numbers, lower it for a quick smoke pass.
 BENCHTIME ?= 0.2s
 
-.PHONY: all build vet test race bench bench-json experiments docs-check clean
+.PHONY: all build vet test race bench bench-json experiments docs-check examples-smoke clean
 
 all: vet build test docs-check
 
@@ -36,6 +36,15 @@ experiments:
 # Verify README package table, package doc comments and docs/ links.
 docs-check:
 	$(GO) run ./cmd/docs-check
+
+# Build and run every example program with a timeout, so the walkthroughs
+# cannot silently rot. Each example is a self-terminating demo; a hang or a
+# non-zero exit fails the target.
+examples-smoke:
+	@set -e; for d in examples/*/; do \
+		echo "== $$d"; \
+		timeout 120 $(GO) run ./$$d > /dev/null; \
+	done; echo "examples-smoke: all examples built and ran"
 
 clean:
 	$(GO) clean ./...

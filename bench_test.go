@@ -22,7 +22,9 @@ import (
 	"github.com/gsalert/gsalert/internal/event"
 	"github.com/gsalert/gsalert/internal/filter"
 	"github.com/gsalert/gsalert/internal/profile"
+	"github.com/gsalert/gsalert/internal/replica"
 	"github.com/gsalert/gsalert/internal/sim"
+	"github.com/gsalert/gsalert/internal/transport"
 )
 
 // ---------------------------------------------------------------------------
@@ -472,6 +474,88 @@ func BenchmarkCompositeEngine(b *testing.B) {
 			if got := e.Stats().LiveInstances; got < int64(live) {
 				b.Fatalf("GC dropped live instances: %d", got)
 			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// E14 — replication overhead and failover.
+
+// benchReplication measures the publish→match→deliver path of one server
+// with `profiles` matching profiles, with and without a standby consuming
+// the synchronous replication stream (experiment E14). The delta is the
+// steady-state cost of zero-loss replication: one stream round-trip per
+// dedup admission, mailbox append and delivery ack.
+func benchReplication(b *testing.B, profiles int, replicated bool) {
+	b.Helper()
+	ctx := context.Background()
+	tr := transport.NewMemory(11)
+	defer tr.Close()
+	mkSvc := func(addr string) *core.Service {
+		svc, err := core.New(core.Config{ServerName: "P", ServerAddr: addr, Transport: tr})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return svc
+	}
+	primary := mkSvc("gs://p")
+	defer primary.Close()
+	for i := 0; i < profiles; i++ {
+		if _, err := primary.Subscribe("u", profile.MustParse(
+			fmt.Sprintf(`collection = "P.C" AND dc.Creator = "Author%d"`, i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+	primary.RegisterNotifier("u", core.NotifierFunc(func(core.Notification) {}))
+	if replicated {
+		standby := mkSvc("gs://pb")
+		defer standby.Close()
+		prim, err := replica.NewPrimary(replica.PrimaryConfig{
+			Service: primary, Transport: tr, ListenAddr: "repl://p",
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer prim.Close()
+		recv, err := replica.NewStandby(replica.StandbyConfig{
+			Service: standby, Transport: tr,
+			ListenAddr: "repl://pb", PrimaryAddr: "repl://p",
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer recv.Close()
+		if err := recv.Join(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev := event.New(fmt.Sprintf("bench-repl-%d", i), event.TypeDocumentsAdded,
+			event.QName{Host: "P", Collection: "C"}, 1,
+			[]event.DocRef{{
+				ID:       fmt.Sprintf("d%d", i),
+				Metadata: map[string][]string{"dc.Creator": {fmt.Sprintf("Author%d", i%max(1, profiles))}},
+			}}, eventTime())
+		if _, err := primary.PublishBuild(ctx, &collection.BuildResult{Events: []*event.Event{ev}}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := primary.DrainDeliveries(ctx); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkReplication compares an unreplicated server against one
+// streaming every state change to a standby (experiment E14's steady-state
+// overhead measurement).
+func BenchmarkReplication(b *testing.B) {
+	for _, profiles := range []int{100, 1000} {
+		b.Run(fmt.Sprintf("unreplicated/profiles=%d", profiles), func(b *testing.B) {
+			benchReplication(b, profiles, false)
+		})
+		b.Run(fmt.Sprintf("replicated/profiles=%d", profiles), func(b *testing.B) {
+			benchReplication(b, profiles, true)
 		})
 	}
 }

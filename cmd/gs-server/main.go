@@ -17,8 +17,10 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -31,6 +33,8 @@ import (
 	"github.com/gsalert/gsalert/internal/event"
 	"github.com/gsalert/gsalert/internal/gds"
 	"github.com/gsalert/gsalert/internal/greenstone"
+	"github.com/gsalert/gsalert/internal/protocol"
+	"github.com/gsalert/gsalert/internal/replica"
 	"github.com/gsalert/gsalert/internal/transport"
 )
 
@@ -60,8 +64,22 @@ func run() int {
 		dlvFlush    = flag.Duration("delivery-flush-interval", delivery.DefaultFlushInterval, "max delivery batching latency (flush on interval)")
 		mailboxDir  = flag.String("mailbox-dir", "", "directory for durable per-user mailboxes (WAL); empty = memory only")
 		mailboxCap  = flag.Int("mailbox-cap", delivery.DefaultMailboxCap, "max parked notifications per user")
+
+		// Replication & ops knobs (internal/replica, docs/REPLICATION.md).
+		replListen  = flag.String("replica-listen", "", "replication endpoint to listen on (host:port); primaries accept standby joins here, standbys receive the stream")
+		replicaOf   = flag.String("replica-of", "", "run as standby of the primary whose replication endpoint is this address (requires -replica-listen); the server inherits -name, stays unregistered and passive, and serves only after promotion")
+		promoteAddr = flag.String("promote", "", "one-shot: order the standby at this replication endpoint to promote to serving primary, then exit")
+		statsAddr   = flag.String("stats-addr", "", "serve ServiceStats (including the Replica* fields) as JSON over HTTP at this address (GET /stats); empty disables")
 	)
 	flag.Parse()
+
+	if *promoteAddr != "" {
+		return runPromote(*promoteAddr)
+	}
+	if *replicaOf != "" && *replListen == "" {
+		fmt.Fprintln(os.Stderr, "gs-server: -replica-of requires -replica-listen")
+		return 1
+	}
 
 	mode, err := core.ParseRoutingMode(*routing)
 	if err != nil {
@@ -141,29 +159,103 @@ func run() int {
 	}
 	defer func() { _ = srv.Close() }()
 
-	regCtx, regCancel := context.WithTimeout(ctx, 10*time.Second)
-	err = gdsCli.Register(regCtx)
-	regCancel()
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "gs-server: GDS registration failed (continuing solitary): %v\n", err)
+	standby := *replicaOf != ""
+	if standby {
+		// A standby never registers and never advertises: the primary owns
+		// the server name until promotion. Promotion (via `gs-server
+		// -promote <addr>` or replica.Standby.Promote) registers and
+		// re-issues the inherited routing mode itself.
+		recv, err := replica.NewStandby(replica.StandbyConfig{
+			Service:     svc,
+			Transport:   tr,
+			ListenAddr:  *replListen,
+			PrimaryAddr: *replicaOf,
+			GDS:         gdsCli,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gs-server: standby: %v\n", err)
+			return 1
+		}
+		defer func() { _ = recv.Close() }()
+		// Join with retry (the primary may not be up yet), then heartbeat
+		// forever: a probe that finds the stream broken, the primary
+		// restarted, or positions diverged rejoins via snapshot resync.
+		// Without the loop a single stream break would silently freeze the
+		// standby until the operator noticed.
+		go func() {
+			joined := false
+			for !recv.Promoted() {
+				opCtx, opCancel := context.WithTimeout(ctx, 10*time.Second)
+				var err error
+				if !joined {
+					if err = recv.Join(opCtx); err == nil {
+						joined = true
+						fmt.Printf("gs-server %s standing by for %s (stream at %s)\n", *name, *replicaOf, *replListen)
+					} else {
+						fmt.Fprintf(os.Stderr, "gs-server: standby join: %v (retrying)\n", err)
+					}
+				} else if err = recv.Heartbeat(opCtx); err != nil {
+					fmt.Fprintf(os.Stderr, "gs-server: standby heartbeat: %v (retrying)\n", err)
+				}
+				opCancel()
+				select {
+				case <-ctx.Done():
+					return
+				case <-time.After(5 * time.Second):
+				}
+			}
+		}()
 	} else {
-		fmt.Printf("gs-server %s registered with GDS at %s\n", *name, *gdsAddr)
+		regCtx, regCancel := context.WithTimeout(ctx, 10*time.Second)
+		err = gdsCli.Register(regCtx)
+		regCancel()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gs-server: GDS registration failed (continuing solitary): %v\n", err)
+		} else {
+			fmt.Printf("gs-server %s registered with GDS at %s\n", *name, *gdsAddr)
+		}
+
+		// Dissemination mode after registration: multicast joins groups and
+		// content routing advertises the profile digest through the GDS node.
+		if mode != core.RouteBroadcast {
+			modeCtx, modeCancel := context.WithTimeout(ctx, 10*time.Second)
+			err = svc.SetRoutingMode(modeCtx, mode)
+			modeCancel()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "gs-server: routing mode %s: %v (reverting to broadcast)\n", mode, err)
+				if err := svc.SetRoutingMode(context.Background(), core.RouteBroadcast); err != nil {
+					fmt.Fprintf(os.Stderr, "gs-server: revert to broadcast: %v\n", err)
+				}
+			} else {
+				fmt.Printf("gs-server %s disseminating via %s routing\n", *name, mode)
+			}
+		}
+
+		if *replListen != "" {
+			// Primary role: accept a standby and stream every state change
+			// to it (docs/REPLICATION.md).
+			prim, err := replica.NewPrimary(replica.PrimaryConfig{
+				Service:    svc,
+				Transport:  tr,
+				ListenAddr: *replListen,
+			})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "gs-server: replication endpoint: %v\n", err)
+				return 1
+			}
+			defer func() { _ = prim.Close() }()
+			fmt.Printf("gs-server %s accepting a standby at %s\n", *name, *replListen)
+		}
 	}
 
-	// Dissemination mode after registration: multicast joins groups and
-	// content routing advertises the profile digest through the GDS node.
-	if mode != core.RouteBroadcast {
-		modeCtx, modeCancel := context.WithTimeout(ctx, 10*time.Second)
-		err = svc.SetRoutingMode(modeCtx, mode)
-		modeCancel()
+	if *statsAddr != "" {
+		closeStats, err := serveStats(*statsAddr, svc, pipeline)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "gs-server: routing mode %s: %v (reverting to broadcast)\n", mode, err)
-			if err := svc.SetRoutingMode(context.Background(), core.RouteBroadcast); err != nil {
-				fmt.Fprintf(os.Stderr, "gs-server: revert to broadcast: %v\n", err)
-			}
-		} else {
-			fmt.Printf("gs-server %s disseminating via %s routing\n", *name, mode)
+			fmt.Fprintf(os.Stderr, "gs-server: stats server: %v\n", err)
+			return 1
 		}
+		defer closeStats()
+		fmt.Printf("gs-server %s serving stats at http://%s/stats\n", *name, *statsAddr)
 	}
 
 	// The retry queue delivers deferred aux-profile traffic in the
@@ -174,7 +266,7 @@ func run() int {
 	}
 	defer svc.Retry().Stop()
 
-	if *demo {
+	if *demo && !standby {
 		if err := runDemo(ctx, srv, *demoName, *subsFlag, *demoInterval); err != nil {
 			fmt.Fprintf(os.Stderr, "gs-server: demo: %v\n", err)
 			return 1
@@ -185,6 +277,53 @@ func run() int {
 	<-ctx.Done()
 	fmt.Println("shutting down")
 	return 0
+}
+
+// runPromote orders the standby at addr to promote itself, then exits:
+// `gs-server -promote 127.0.0.1:9002` is the operator's failover switch.
+func runPromote(addr string) int {
+	tr := transport.NewHTTP()
+	defer func() { _ = tr.Close() }()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	env, err := protocol.NewEnvelope("gs-promote", protocol.MsgReplPromote, &protocol.ReplPromote{})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gs-server: promote: %v\n", err)
+		return 1
+	}
+	if err := transport.SendOneWay(ctx, tr, addr, env); err != nil {
+		fmt.Fprintf(os.Stderr, "gs-server: promote %s: %v\n", addr, err)
+		return 1
+	}
+	fmt.Printf("standby at %s promoted\n", addr)
+	return 0
+}
+
+// serveStats exposes the service's counters (including the Replica* fields)
+// and the delivery pipeline's snapshot as JSON for ops visibility.
+func serveStats(addr string, svc *core.Service, pipeline *delivery.Pipeline) (func(), error) {
+	mux := http.NewServeMux()
+	handler := func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(struct {
+			Service  core.ServiceStats
+			Delivery delivery.Snapshot
+		}{svc.Stats(), pipeline.Metrics().Snapshot()})
+	}
+	mux.HandleFunc("/stats", handler)
+	mux.HandleFunc("/", handler)
+	server := &http.Server{Addr: addr, Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	errCh := make(chan error, 1)
+	go func() { errCh <- server.ListenAndServe() }()
+	// Fail fast on an unbindable address instead of dying silently later.
+	select {
+	case err := <-errCh:
+		return nil, err
+	case <-time.After(100 * time.Millisecond):
+	}
+	return func() { _ = server.Close() }, nil
 }
 
 // runDemo creates the demo collection and starts the rebuild loop.

@@ -121,6 +121,7 @@ func (s *Service) removeCompositeProfile(client string, p *profile.Profile) erro
 		s.leaveGroupsFor(context.Background(), p.ID)
 	}
 	s.readvertiseOnChurn(nil)
+	s.replicateProfileRemove(client, p.ID)
 	return nil
 }
 

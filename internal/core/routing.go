@@ -46,6 +46,14 @@ func (s *Service) publishEvent(ctx context.Context, ev *event.Event) (time.Durat
 	// 1. Local filtering + notification (+ aux matching), timed.
 	filterTime := s.filterLocally(ev)
 
+	// A promoted standby must keep suppressing duplicates of events the
+	// primary already processed, so admissions replicate too — strictly
+	// AFTER the notifications they produced: a crash between the two then
+	// leaves the standby willing to re-filter the sender's retry
+	// (duplicates, bounded), never holding a dedup entry for alerts it
+	// doesn't have (loss).
+	s.replicateDedup(ev.ID)
+
 	// 2. Forward to super-collection hosts per matching aux profiles.
 	s.forwardPerAuxProfiles(ctx, ev)
 
@@ -218,6 +226,9 @@ func (s *Service) handleFloodedEvent(ev *event.Event, env *protocol.Envelope) er
 	s.stats.ReceiveHops += int64(env.Header.Hops)
 	s.mu.Unlock()
 	s.filterLocally(ev)
+	// After filtering, as in publishEvent: the crash window between the
+	// notification appends and the dedup record duplicates, never loses.
+	s.replicateDedup(ev.ID)
 	return nil
 }
 
@@ -414,7 +425,11 @@ func (s *Service) HandleForwardProfile(env *protocol.Envelope) error {
 	if p.Sub.Host != s.name {
 		return fmt.Errorf("core: aux profile %s watches %s, not hosted by %s", p.ID, p.Sub, s.name)
 	}
-	return s.aux.Add(p)
+	if err := s.aux.Add(p); err != nil {
+		return err
+	}
+	s.replicateProfileAdd(p)
+	return nil
 }
 
 // HandleCancelProfile removes a previously forwarded auxiliary profile.
@@ -426,6 +441,7 @@ func (s *Service) HandleCancelProfile(env *protocol.Envelope) error {
 		return err
 	}
 	s.aux.Remove(cp.ProfileID)
+	s.replicateProfileRemove("", cp.ProfileID)
 	return nil
 }
 

@@ -187,6 +187,12 @@ type Service struct {
 	contentWarmup     time.Duration
 	contentFloodUntil time.Time
 
+	// replSink observes replicable state changes (profile churn, dedup
+	// admissions) for the primary end of internal/replica; replStats is
+	// the replication end whose counters Stats() merges.
+	replSink  ReplicationSink
+	replStats ReplicaStatsProvider
+
 	idCounter atomic.Uint64
 	stats     ServiceStats
 }
@@ -220,6 +226,16 @@ type ServiceStats struct {
 	CompositeDigestFlushes  int64 // non-empty digest flushes (subset of firings)
 	CompositeWindowsExpired int64 // instances dropped by closed time windows
 	CompositeLiveInstances  int64 // currently open instances (gauge)
+	// Replication state (internal/replica), filled from the registered
+	// ReplicaStatsProvider at snapshot time.
+	ReplicaRole      string // "primary", "standby" or "" (off)
+	ReplicaStreamSeq uint64 // stream records sent (primary) / applied (standby)
+	ReplicaStreamed  int64  // records shipped or applied
+	ReplicaDropped   int64  // records dropped while no standby attached
+	ReplicaErrors    int64  // stream transport / apply failures
+	ReplicaSnapshots int64  // full snapshots sent or applied
+	ReplicaResyncs   int64  // snapshot catch-ups after gaps
+	ReplicaPromoted  bool   // standby has taken over
 }
 
 // Queued payload kinds for the retry queue.
@@ -316,17 +332,30 @@ func (s *Service) Name() string { return s.name }
 // partitions; live deployments call Retry().Start).
 func (s *Service) Retry() *queue.Queue { return s.retry }
 
-// Stats returns a snapshot of counters, merging the composite engine's.
+// Stats returns a snapshot of counters, merging the composite engine's and
+// the replication end's.
 func (s *Service) Stats() ServiceStats {
 	cs := s.composite.Stats()
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	rp := s.replStats
 	out := s.stats
+	s.mu.Unlock()
 	out.CompositePrimitives = cs.Primitives
 	out.CompositeFirings = cs.Firings
 	out.CompositeDigestFlushes = cs.DigestFlushes
 	out.CompositeWindowsExpired = cs.WindowsExpired
 	out.CompositeLiveInstances = cs.LiveInstances
+	if rp != nil {
+		rs := rp.ReplicaStats()
+		out.ReplicaRole = rs.Role
+		out.ReplicaStreamSeq = rs.StreamSeq
+		out.ReplicaStreamed = rs.Streamed
+		out.ReplicaDropped = rs.Dropped
+		out.ReplicaErrors = rs.Errors
+		out.ReplicaSnapshots = rs.Snapshots
+		out.ReplicaResyncs = rs.Resyncs
+		out.ReplicaPromoted = rs.Promoted
+	}
 	return out
 }
 
@@ -403,7 +432,11 @@ func (s *Service) SubscribeProfile(p *profile.Profile) error {
 
 func (s *Service) addUserProfile(p *profile.Profile) error {
 	if p.IsComposite() {
-		return s.addCompositeProfile(p)
+		if err := s.addCompositeProfile(p); err != nil {
+			return err
+		}
+		s.replicateProfileAdd(p)
+		return nil
 	}
 	if err := s.matcher.Add(p); err != nil {
 		return err
@@ -426,6 +459,7 @@ func (s *Service) addUserProfile(p *profile.Profile) error {
 	// In content mode a new profile may widen the advertised digest; the
 	// covering prune inside makes already-covered additions free.
 	s.readvertiseOnChurn(p)
+	s.replicateProfileAdd(p)
 	return nil
 }
 
@@ -466,6 +500,7 @@ func (s *Service) Unsubscribe(client, profileID string) error {
 	// In content mode a removed profile may narrow the digest; the
 	// re-advertisement lets the directory prune this server again.
 	s.readvertiseOnChurn(nil)
+	s.replicateProfileRemove(client, profileID)
 	return nil
 }
 

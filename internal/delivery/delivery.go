@@ -213,6 +213,10 @@ type Pipeline struct {
 	// failed a delivery; the retry loop fires due entries.
 	retryAt map[string]time.Time
 	closed  bool
+	// obs, when set, observes every logical mailbox mutation — appends,
+	// delivery acks and cap evictions — so a replication stream can mirror
+	// the pending set on a standby (SetObserver).
+	obs func([]MailboxOp)
 
 	// inflight counts notifications admitted to a shard queue (or spill)
 	// and not yet delivered, parked or displaced. Drain waits for zero.
@@ -368,8 +372,19 @@ func (p *Pipeline) Enqueue(n Notification) error {
 	if err != nil {
 		return err
 	}
-	p.m.Dropped.Add(int64(evicted))
+	p.m.Dropped.Add(int64(len(evicted)))
 	p.m.Enqueued.Inc()
+	// Replicate the append (and any cap evictions) before the item can be
+	// delivered: its eventual ack then always follows its append on the
+	// standby's stream.
+	if obs := p.observer(); obs != nil {
+		ops := make([]MailboxOp, 0, 1+len(evicted))
+		ops = append(ops, MailboxOp{Client: n.Client, Seq: seq, N: n})
+		for _, gone := range evicted {
+			ops = append(ops, MailboxOp{Client: n.Client, Seq: gone, Ack: true})
+		}
+		obs(ops)
+	}
 	return p.admit(item{n: n, seq: seq}, mb)
 }
 
@@ -729,7 +744,14 @@ func (p *Pipeline) ackItems(client string, b []item) {
 	for i, it := range b {
 		seqs[i] = it.seq
 	}
-	mb.ack(seqs)
+	acked := mb.ack(seqs)
+	if obs := p.observer(); obs != nil && len(acked) > 0 {
+		ops := make([]MailboxOp, len(acked))
+		for i, seq := range acked {
+			ops[i] = MailboxOp{Client: client, Seq: seq, Ack: true}
+		}
+		obs(ops)
+	}
 }
 
 // parkItems returns items to their mailboxes as parked (deliverable on the

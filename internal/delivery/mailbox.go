@@ -210,14 +210,15 @@ func (c *countingReader) Read(p []byte) (int, error) {
 }
 
 // add appends a notification, evicting the oldest parked entries beyond the
-// cap. It returns the assigned sequence and how many entries were evicted.
-func (mb *mailbox) add(n Notification) (seq uint64, evicted int, err error) {
+// cap. It returns the assigned sequence and the sequences of evicted
+// entries (so replication can mirror the evictions as acks).
+func (mb *mailbox) add(n Notification) (seq uint64, evicted []uint64, err error) {
 	mb.mu.Lock()
 	defer mb.mu.Unlock()
 	seq = mb.nextSeq
 	mb.nextSeq++
 	if err := mb.walAppend(seq, n); err != nil {
-		return 0, 0, err
+		return 0, nil, err
 	}
 	mb.entries = append(mb.entries, entry{seq: seq, n: n, inflight: true})
 	// Evict oldest parked entries when over capacity; inflight entries are
@@ -236,30 +237,95 @@ func (mb *mailbox) add(n Notification) (seq uint64, evicted int, err error) {
 		gone := mb.entries[idx].seq
 		mb.entries = append(mb.entries[:idx], mb.entries[idx+1:]...)
 		_ = mb.walAck(gone)
-		evicted++
+		evicted = append(evicted, gone)
 	}
 	mb.maybeCompactLocked()
 	return seq, evicted, nil
 }
 
-// ack removes delivered entries.
-func (mb *mailbox) ack(seqs []uint64) {
+// ack removes delivered entries, returning the sequences actually removed.
+func (mb *mailbox) ack(seqs []uint64) []uint64 {
 	mb.mu.Lock()
 	defer mb.mu.Unlock()
 	gone := make(map[uint64]bool, len(seqs))
 	for _, s := range seqs {
 		gone[s] = true
 	}
+	var acked []uint64
 	kept := mb.entries[:0]
 	for _, e := range mb.entries {
 		if gone[e.seq] {
 			_ = mb.walAck(e.seq)
+			acked = append(acked, e.seq)
 			continue
 		}
 		kept = append(kept, e)
 	}
 	mb.entries = kept
 	mb.maybeCompactLocked()
+	return acked
+}
+
+// applyAppend installs a replicated entry with the primary's sequence,
+// parked (the standby delivers nothing until promotion). Entries arrive in
+// per-sender order but concurrent producers may interleave sequences, so the
+// entry is inserted in seq order; a re-applied sequence (snapshot/stream
+// overlap) is a no-op.
+func (mb *mailbox) applyAppend(seq uint64, n Notification) error {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	idx := len(mb.entries)
+	for i := range mb.entries {
+		if mb.entries[i].seq == seq {
+			return nil // duplicate (snapshot overlap): already present
+		}
+		if mb.entries[i].seq > seq {
+			idx = i
+			break
+		}
+	}
+	if err := mb.walAppend(seq, n); err != nil {
+		return err
+	}
+	mb.entries = append(mb.entries, entry{})
+	copy(mb.entries[idx+1:], mb.entries[idx:])
+	mb.entries[idx] = entry{seq: seq, n: n}
+	if seq >= mb.nextSeq {
+		mb.nextSeq = seq + 1
+	}
+	mb.maybeCompactLocked()
+	return nil
+}
+
+// applyAck removes a replicated-delivered entry. Unknown sequences are
+// ignored (pre-snapshot residue of the stream).
+func (mb *mailbox) applyAck(seq uint64) {
+	mb.ack([]uint64{seq})
+}
+
+// export copies the pending set (parked and inflight) in seq order.
+func (mb *mailbox) export() (nextSeq uint64, entries []entry) {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	return mb.nextSeq, append([]entry(nil), mb.entries...)
+}
+
+// replaceAll substitutes the whole pending set (snapshot apply), parking
+// every entry, and rewrites the WAL to match.
+func (mb *mailbox) replaceAll(nextSeq uint64, entries []entry) error {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	mb.entries = mb.entries[:0]
+	for _, e := range entries {
+		mb.entries = append(mb.entries, entry{seq: e.seq, n: e.n})
+	}
+	if nextSeq > mb.nextSeq {
+		mb.nextSeq = nextSeq
+	}
+	if mb.wal != nil {
+		return mb.compactLocked()
+	}
+	return nil
 }
 
 // park marks an entry at rest (undelivered, waiting for attach).
@@ -372,14 +438,12 @@ func (mb *mailbox) maybeCompactLocked() {
 	_ = mb.compactLocked()
 }
 
-// compactLocked rewrites the WAL as a snapshot of the live entries: write a
-// temp file, fsync, rename over the log, reopen for append.
-func (mb *mailbox) compactLocked() error {
-	if mb.wal == nil {
-		return nil
-	}
-	tmpPath := mb.walPath + ".tmp"
-	tmp, err := os.OpenFile(tmpPath, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+// writeSnapshotLocked writes the live entries as a fresh WAL (append
+// records only) to path, fsynced — the first phase of compaction. It is a
+// separate step so the crash-recovery tests can reproduce a kill between
+// the snapshot write and the rename.
+func (mb *mailbox) writeSnapshotLocked(path string) error {
+	tmp, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
 	if err != nil {
 		return fmt.Errorf("delivery: compact: %w", err)
 	}
@@ -387,7 +451,7 @@ func (mb *mailbox) compactLocked() error {
 		payload, err := marshalNotification(e.n)
 		if err != nil {
 			tmp.Close()
-			os.Remove(tmpPath)
+			os.Remove(path)
 			return err
 		}
 		buf := make([]byte, 1+8+4, 1+8+4+len(payload))
@@ -397,18 +461,31 @@ func (mb *mailbox) compactLocked() error {
 		buf = append(buf, payload...)
 		if _, err := tmp.Write(buf); err != nil {
 			tmp.Close()
-			os.Remove(tmpPath)
+			os.Remove(path)
 			return fmt.Errorf("delivery: compact write: %w", err)
 		}
 	}
 	if err := tmp.Sync(); err != nil {
 		tmp.Close()
-		os.Remove(tmpPath)
+		os.Remove(path)
 		return fmt.Errorf("delivery: compact sync: %w", err)
 	}
 	if err := tmp.Close(); err != nil {
-		os.Remove(tmpPath)
+		os.Remove(path)
 		return fmt.Errorf("delivery: compact close: %w", err)
+	}
+	return nil
+}
+
+// compactLocked rewrites the WAL as a snapshot of the live entries: write a
+// temp file, fsync, rename over the log, reopen for append.
+func (mb *mailbox) compactLocked() error {
+	if mb.wal == nil {
+		return nil
+	}
+	tmpPath := mb.walPath + ".tmp"
+	if err := mb.writeSnapshotLocked(tmpPath); err != nil {
+		return err
 	}
 	if err := os.Rename(tmpPath, mb.walPath); err != nil {
 		os.Remove(tmpPath)

@@ -20,7 +20,7 @@ func TestMailboxWALCrashRecoveryRoundTrip(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if evicted != 0 {
+		if len(evicted) != 0 {
 			t.Fatalf("unexpected eviction at %d", i)
 		}
 		seqs = append(seqs, seq)

@@ -69,6 +69,21 @@ func (d *Dedup) Seen(id string) bool {
 	return ok
 }
 
+// IDs returns every remembered ID in admission (FIFO) order. Replication
+// snapshots use it to ship the window to a standby, which replays the list
+// through Observe to reproduce the same eviction order.
+func (d *Dedup) IDs() []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]string, 0, d.order.Len())
+	for el := d.order.Front(); el != nil; el = el.Next() {
+		if id, ok := el.Value.(string); ok {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
 // Len reports the number of remembered IDs.
 func (d *Dedup) Len() int {
 	d.mu.Lock()

@@ -49,6 +49,24 @@ func (r *Receptionist) Disconnect(host string) {
 	delete(r.hosts, host)
 }
 
+// RefreshHost re-resolves a connected host's address through the directory
+// and re-points the connection at it — the client side of standby failover:
+// after a promoted standby re-registers the inherited server name, a
+// receptionist whose requests started failing refreshes the host and
+// reaches the new primary under the same name. It returns the refreshed
+// address.
+func (r *Receptionist) RefreshHost(ctx context.Context, host string, resolver core.Resolver) (string, error) {
+	if resolver == nil {
+		return "", errors.New("greenstone: refresh needs a resolver")
+	}
+	addr, err := resolver.Resolve(ctx, host)
+	if err != nil {
+		return "", fmt.Errorf("greenstone: refresh %s: %w", host, err)
+	}
+	r.Connect(host, addr)
+	return addr, nil
+}
+
 // Hosts lists connected host names, sorted.
 func (r *Receptionist) Hosts() []string {
 	r.mu.Lock()

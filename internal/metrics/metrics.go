@@ -9,31 +9,26 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
-// Counter is a monotonically increasing value.
+// Counter is a monotonically increasing value. It sits on the
+// per-notification hot path of the delivery pipeline (and, with replication
+// on, is bumped twice per notification), so it is a lock-free atomic rather
+// than a mutex-guarded integer.
 type Counter struct {
-	mu sync.Mutex
-	v  int64
+	v atomic.Int64
 }
 
 // Add increments the counter.
-func (c *Counter) Add(n int64) {
-	c.mu.Lock()
-	c.v += n
-	c.mu.Unlock()
-}
+func (c *Counter) Add(n int64) { c.v.Add(n) }
 
 // Inc adds one.
-func (c *Counter) Inc() { c.Add(1) }
+func (c *Counter) Inc() { c.v.Add(1) }
 
 // Value returns the current count.
-func (c *Counter) Value() int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.v
-}
+func (c *Counter) Value() int64 { return c.v.Load() }
 
 // Histogram accumulates observations and reports simple order statistics.
 // It stores raw samples (experiments here are small enough) for exact

@@ -379,6 +379,116 @@ type DetachNotifier struct {
 	Client  string   `xml:"Client"`
 }
 
+// ReplProfileOp replicates one profile (un)subscription from a primary
+// alerting server to its standby (MsgReplSubscribe). Seq is the primary's
+// stream position; the standby applies records in stream order and requests
+// a snapshot when it detects a gap.
+type ReplProfileOp struct {
+	XMLName xml.Name `xml:"ReplProfileOp"`
+	Seq     uint64   `xml:"Seq"`
+	// Op is "subscribe" or "unsubscribe".
+	Op string `xml:"Op"`
+	// Client owns the profile; empty for auxiliary profiles (which have no
+	// owning client at the hosting server).
+	Client string `xml:"Client,omitempty"`
+	// ProfileID identifies the profile on unsubscribe.
+	ProfileID string `xml:"ProfileID,omitempty"`
+	// IDSeq is the primary's profile-ID counter at send time; the standby
+	// seeds its own counter so post-promotion IDs never collide with
+	// primary-minted ones.
+	IDSeq uint64 `xml:"IDSeq,omitempty"`
+	// Profile is the profile XML on subscribe (user, composite wrapper or
+	// auxiliary — the same wire form MsgSubscribe uses).
+	Profile RawXML `xml:"Profile"`
+}
+
+// ReplWALItem is one replicated state-change record inside a ReplWAL batch.
+type ReplWALItem struct {
+	XMLName xml.Name `xml:"Item"`
+	// Kind is "append" (mailbox WAL append), "ack" (delivery/eviction) or
+	// "dedup" (event-ID admission to the duplicate-suppression window).
+	Kind string `xml:"Kind"`
+	// Client is the mailbox owner for append/ack records.
+	Client string `xml:"Client,omitempty"`
+	// MailboxSeq is the primary's per-mailbox sequence for append/ack.
+	MailboxSeq uint64 `xml:"MailboxSeq,omitempty"`
+	// DedupID is the admitted event ID for dedup records.
+	DedupID string `xml:"DedupID,omitempty"`
+	// Notification is the persisted notification XML (the delivery WAL
+	// form) for append records.
+	Notification RawXML `xml:"Notification"`
+}
+
+// ReplWAL replicates a batch of mailbox WAL records and dedup admissions
+// (MsgReplWAL). One envelope carries the records of one primary-side
+// operation (e.g. an enqueue plus the evictions it caused).
+type ReplWAL struct {
+	XMLName xml.Name      `xml:"ReplWAL"`
+	Seq     uint64        `xml:"Seq"`
+	Items   []ReplWALItem `xml:"Items>Item,omitempty"`
+}
+
+// ReplAck reports the standby's applied stream position (MsgReplAck). The
+// standby returns it as the response to every stream envelope; with Resync
+// set it asks the primary for a snapshot instead (join, rejoin after a gap,
+// or recovery from an apply failure). As a standalone request to the
+// primary's replication endpoint it is the join handshake: Addr names the
+// standby's own endpoint and the response is the MsgReplSnapshot.
+type ReplAck struct {
+	XMLName    xml.Name `xml:"ReplAck"`
+	AppliedSeq uint64   `xml:"AppliedSeq"`
+	Resync     bool     `xml:"Resync,omitempty"`
+	// Addr is the standby's replication endpoint (join handshake only).
+	Addr string `xml:"Addr,omitempty"`
+	// ServerName is the primary name the standby stands by for, a sanity
+	// check against cross-wired replication pairs.
+	ServerName string `xml:"ServerName,omitempty"`
+}
+
+// ReplMailboxEntry is one undelivered notification inside a snapshot.
+type ReplMailboxEntry struct {
+	XMLName      xml.Name `xml:"Entry"`
+	Seq          uint64   `xml:"Seq"`
+	Notification RawXML   `xml:"Notification"`
+}
+
+// ReplMailbox is one user's mailbox inside a snapshot.
+type ReplMailbox struct {
+	XMLName xml.Name           `xml:"Mailbox"`
+	Client  string             `xml:"Client"`
+	NextSeq uint64             `xml:"NextSeq"`
+	Entries []ReplMailboxEntry `xml:"Entries>Entry,omitempty"`
+}
+
+// ReplSnapshot carries the primary's full replicable state (MsgReplSnapshot):
+// every subscription (the core.SaveSubscriptions XML), every undelivered
+// mailbox entry, and the dedup window, stamped with the stream position Seq
+// as of which the snapshot is consistent. Stream records with lower
+// sequences are duplicates of snapshot content and are skipped by the
+// standby.
+type ReplSnapshot struct {
+	XMLName xml.Name `xml:"ReplSnapshot"`
+	Seq     uint64   `xml:"Seq"`
+	// Server is the primary's server name (the identity the standby
+	// inherits on promotion).
+	Server string `xml:"Server"`
+	// Mode is the primary's routing mode, re-established on promotion.
+	Mode string `xml:"Mode,omitempty"`
+	// IDSeq seeds the standby's profile-ID counter.
+	IDSeq uint64 `xml:"IDSeq,omitempty"`
+	// Subscriptions is the <Subscriptions> document of core.SaveSubscriptions.
+	Subscriptions RawXML        `xml:"Subscriptions"`
+	Mailboxes     []ReplMailbox `xml:"Mailboxes>Mailbox,omitempty"`
+	DedupIDs      []string      `xml:"Dedup>ID,omitempty"`
+}
+
+// ReplPromote orders a standby to promote itself (MsgReplPromote). Mode
+// optionally overrides the routing mode inherited from the stream.
+type ReplPromote struct {
+	XMLName xml.Name `xml:"ReplPromote"`
+	Mode    string   `xml:"Mode,omitempty"`
+}
+
 // Ping is a liveness probe; Seq echoes back in the ack trace.
 type Ping struct {
 	XMLName xml.Name `xml:"Ping"`

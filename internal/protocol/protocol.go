@@ -111,6 +111,30 @@ const (
 	MsgDetachNotifier MessageType = "gs.detach-notifier"
 )
 
+// Message types of the replication protocol (internal/replica): a primary
+// alerting server streams its state changes to a standby so the standby can
+// be promoted with no loss of subscriptions or undelivered notifications.
+const (
+	// MsgReplSubscribe replicates one profile (un)subscription — user,
+	// composite wrapper or auxiliary — from primary to standby.
+	MsgReplSubscribe MessageType = "repl.subscribe"
+	// MsgReplWAL replicates mailbox WAL activity (appends and acks) and
+	// dedup admissions from primary to standby.
+	MsgReplWAL MessageType = "repl.wal"
+	// MsgReplAck reports the standby's applied stream position back to the
+	// primary. With Resync set it is also the join/catch-up request: the
+	// standby asks for a full snapshot before consuming the stream.
+	MsgReplAck MessageType = "repl.ack"
+	// MsgReplSnapshot carries the primary's full replicable state —
+	// subscriptions, mailbox contents, dedup window — so a standby can join
+	// or rejoin mid-stream (anti-entropy catch-up).
+	MsgReplSnapshot MessageType = "repl.snapshot"
+	// MsgReplPromote orders a standby to promote itself to serving primary:
+	// re-register with the GDS under the inherited server name and re-issue
+	// the routing-mode state (multicast joins / digest advertisements).
+	MsgReplPromote MessageType = "repl.promote"
+)
+
 // Generic message types.
 const (
 	// MsgAck acknowledges a request that has no richer result.

@@ -121,6 +121,11 @@ func (c *Cluster) Settle(ctx context.Context) {
 // ServerAddr is the canonical transport address of a named server.
 func ServerAddr(name string) string { return "gs://" + name }
 
+// NodeAddr is the transport address of the GDS node with index i (standby
+// construction in the replication experiments registers at the primary's
+// node).
+func (c *Cluster) NodeAddr(i int) string { return c.nodeAddrs[i] }
+
 // AddServer creates a Greenstone server with alerting, registered at the
 // GDS node with index nodeIdx (-1 picks round-robin by current count).
 func (c *Cluster) AddServer(name string, nodeIdx int) (*greenstone.Server, error) {

@@ -732,5 +732,11 @@ func RenderAll(seed int64) ([]string, error) {
 	}
 	out = append(out, t13.Render())
 
+	t14, err := ReplicaFailoverTable(16, 6, seed)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, t14.Render())
+
 	return out, nil
 }

@@ -409,3 +409,38 @@ func TestContentRoutingTableChecksEquivalence(t *testing.T) {
 		t.Fatal("nil table")
 	}
 }
+
+func TestRunReplicaFailoverAcceptance(t *testing.T) {
+	// The E14 acceptance point: a 16-server tree, the primary killed after
+	// half the publisher's rounds and its standby promoted, must deliver
+	// exactly the failure-free notification set in every routing mode.
+	for _, mode := range []core.RoutingMode{core.RouteBroadcast, core.RouteMulticast, core.RouteContent} {
+		r, err := RunReplicaFailover(16, 6, mode, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", mode, err)
+		}
+		if !r.Identical || r.Baseline != r.Failover {
+			t.Errorf("%s: failover delivered %d notifications vs %d baseline (identical=%v)",
+				mode, r.Failover, r.Baseline, r.Identical)
+		}
+		if r.Inherited == 0 {
+			t.Errorf("%s: the standby inherited no parked notifications — the detached-client path is untested", mode)
+		}
+		if r.PreKill == 0 || r.PostPromote == 0 {
+			t.Errorf("%s: kill point did not split deliveries (pre=%d post=%d)", mode, r.PreKill, r.PostPromote)
+		}
+		if r.BaselineComposite != r.FailoverComposite {
+			t.Errorf("%s: composite firings %d vs %d baseline", mode, r.FailoverComposite, r.BaselineComposite)
+		}
+	}
+}
+
+func TestReplicaFailoverTableAssertsZeroLoss(t *testing.T) {
+	tbl, err := ReplicaFailoverTable(8, 6, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl == nil || tbl.Rows() != 3 {
+		t.Fatalf("table = %+v", tbl)
+	}
+}
