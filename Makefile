@@ -3,7 +3,7 @@ GO ?= go
 # stable numbers, lower it for a quick smoke pass.
 BENCHTIME ?= 0.2s
 
-.PHONY: all build vet test race bench bench-json experiments docs-check examples-smoke clean
+.PHONY: all build vet test race bench bench-json bench-diff experiments docs-check examples-smoke clean
 
 all: vet build test docs-check
 
@@ -28,6 +28,13 @@ bench:
 # the artifact.
 bench-json:
 	$(GO) test -run XXX -bench . -benchmem -benchtime $(BENCHTIME) . | $(GO) run ./cmd/bench-json -o BENCH_results.json
+
+# Compare a fresh benchmark run against the committed BENCH_results.json and
+# warn on >25% ns/op regressions. Non-blocking by default (benchmark noise
+# must not gate merges); pass BENCH_DIFF_FLAGS=-fail to turn it into a gate.
+bench-diff:
+	$(GO) test -run XXX -bench . -benchmem -benchtime $(BENCHTIME) . | $(GO) run ./cmd/bench-json -o /tmp/bench-current.json
+	$(GO) run ./cmd/bench-diff -baseline BENCH_results.json -current /tmp/bench-current.json -threshold 25 $(BENCH_DIFF_FLAGS)
 
 # Render every experiment table (E1–E12).
 experiments:

@@ -22,6 +22,7 @@ import (
 	"github.com/gsalert/gsalert/internal/event"
 	"github.com/gsalert/gsalert/internal/filter"
 	"github.com/gsalert/gsalert/internal/profile"
+	"github.com/gsalert/gsalert/internal/qos"
 	"github.com/gsalert/gsalert/internal/replica"
 	"github.com/gsalert/gsalert/internal/sim"
 	"github.com/gsalert/gsalert/internal/transport"
@@ -587,5 +588,112 @@ func BenchmarkDeliveryDurable(b *testing.B) {
 	}
 	if err := p.Drain(ctx); err != nil {
 		b.Fatal(err)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// E15 — QoS scheduling hot path.
+
+// benchQoSScheduling measures the delivery pipeline's enqueue→WFQ-dequeue→
+// flush path: `classes` picks how many priority classes the workload mixes
+// (1 = everything normal, the pre-QoS shape; 3 = realtime/normal/bulk
+// round-robin through per-class queues and the deficit scheduler). The
+// delta between the two is the WFQ hot-path cost (experiment E15).
+func benchQoSScheduling(b *testing.B, classes, clients int) {
+	b.Helper()
+	p, err := delivery.NewPipeline(delivery.Config{
+		Shards:        4,
+		QueueDepth:    4096,
+		BatchSize:     64,
+		FlushInterval: time.Millisecond,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer p.Close()
+	for i := 0; i < clients; i++ {
+		p.Attach(fmt.Sprintf("u%d", i), func(_ string, _ []delivery.Notification) error { return nil })
+	}
+	classRing := []qos.Class{qos.ClassNormal, qos.ClassRealtime, qos.ClassBulk}
+	ev := event.New("bench-qos-ev", event.TypeDocumentsChanged,
+		event.QName{Host: "H", Collection: "C"}, 1, nil, eventTime())
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := delivery.Notification{
+			Client:    fmt.Sprintf("u%d", i%clients),
+			ProfileID: "p",
+			Event:     ev,
+			Class:     classRing[i%classes],
+			At:        eventTime(),
+		}
+		if err := p.Enqueue(n); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := p.Drain(ctx); err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	if got := p.Metrics().Delivered.Value(); got < int64(b.N) {
+		b.Fatalf("delivered %d of %d", got, b.N)
+	}
+}
+
+// BenchmarkQoSScheduling records the WFQ scheduling cost on the delivery
+// hot path (experiment E15): single-class traffic against a three-class
+// mix, at 8 and 64 clients.
+func BenchmarkQoSScheduling(b *testing.B) {
+	for _, clients := range []int{8, 64} {
+		for _, classes := range []int{1, 3} {
+			b.Run(fmt.Sprintf("classes=%d/clients=%d", classes, clients), func(b *testing.B) {
+				benchQoSScheduling(b, classes, clients)
+			})
+		}
+	}
+}
+
+// benchQoSAdmission measures the publish→match→deliver path of one server
+// with an admission controller installed vs none: the per-match cost of the
+// token-bucket checks (experiment E15). Quotas are set high enough that
+// nothing is actually shed — this is the fast-path overhead.
+func BenchmarkQoSAdmission(b *testing.B) {
+	for _, enabled := range []bool{false, true} {
+		name := "off"
+		if enabled {
+			name = "on"
+		}
+		b.Run(name, func(b *testing.B) {
+			tr := transport.NewMemory(5)
+			defer tr.Close()
+			cfg := core.Config{ServerName: "P", ServerAddr: "gs://p", Transport: tr}
+			if enabled {
+				cfg.QoS = qos.NewController(qos.Config{
+					SubscriberRate: 1e9, SubscriberBurst: 1 << 30,
+					CollectionRate: 1e9, CollectionBurst: 1 << 30,
+				})
+			}
+			svc, err := core.New(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer svc.Close()
+			if _, err := svc.Subscribe("u", profile.MustParse(`collection = "P.C"`)); err != nil {
+				b.Fatal(err)
+			}
+			svc.RegisterNotifier("u", core.NotifierFunc(func(core.Notification) {}))
+			ctx := context.Background()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ev := event.New(fmt.Sprintf("bench-qos-adm-%d", i), event.TypeDocumentsAdded,
+					event.QName{Host: "P", Collection: "C"}, 1, nil, eventTime())
+				if _, err := svc.PublishBuild(ctx, &collection.BuildResult{Events: []*event.Event{ev}}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := svc.DrainDeliveries(ctx); err != nil {
+				b.Fatal(err)
+			}
+		})
 	}
 }

@@ -1,0 +1,117 @@
+// Command bench-diff compares a fresh benchmark run against the committed
+// BENCH_results.json and reports per-benchmark ns/op movement, so the
+// recorded performance trajectory is enforceable instead of decorative.
+// A benchmark whose ns/op regressed beyond the threshold is listed as a
+// WARNING; with -fail the exit code turns the warnings into a gate (CI runs
+// without -fail, as a non-blocking step — benchmark noise on shared runners
+// must not block merges).
+//
+//	make bench-diff
+//	go run ./cmd/bench-diff -baseline BENCH_results.json -current /tmp/bench.json -threshold 25
+//
+// Both inputs are the cmd/bench-json format.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// result mirrors the cmd/bench-json entry shape (extra fields ignored).
+type result struct {
+	Name    string  `json:"name"`
+	NsPerOp float64 `json:"ns_per_op"`
+}
+
+// file mirrors the cmd/bench-json output shape.
+type file struct {
+	Benchmarks []result `json:"benchmarks"`
+}
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	baseline := flag.String("baseline", "BENCH_results.json", "committed benchmark results (cmd/bench-json format)")
+	current := flag.String("current", "", "fresh benchmark results to compare (required)")
+	threshold := flag.Float64("threshold", 25, "ns/op regression percentage that triggers a warning")
+	failOn := flag.Bool("fail", false, "exit non-zero when any benchmark regresses beyond the threshold")
+	flag.Parse()
+	if *current == "" {
+		fmt.Fprintln(os.Stderr, "bench-diff: -current is required")
+		return 2
+	}
+	base, err := load(*baseline)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench-diff: %v\n", err)
+		return 2
+	}
+	cur, err := load(*current)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench-diff: %v\n", err)
+		return 2
+	}
+
+	names := make([]string, 0, len(cur))
+	for name := range cur {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	regressions := 0
+	for _, name := range names {
+		now := cur[name]
+		was, ok := base[name]
+		switch {
+		case !ok:
+			fmt.Printf("NEW      %-60s %14.0f ns/op\n", name, now)
+		case was <= 0 || now <= 0:
+			fmt.Printf("SKIP     %-60s (unmeasured ns/op)\n", name)
+		default:
+			pct := 100 * (now - was) / was
+			tag := "ok"
+			if pct > *threshold {
+				tag = "WARNING"
+				regressions++
+			} else if pct < -*threshold {
+				tag = "faster"
+			}
+			fmt.Printf("%-8s %-60s %14.0f → %14.0f ns/op  %+6.1f%%\n", tag, name, was, now, pct)
+		}
+	}
+	for name := range base {
+		if _, ok := cur[name]; !ok {
+			fmt.Printf("DROPPED  %-60s (in baseline, not in current run)\n", name)
+		}
+	}
+	if regressions > 0 {
+		fmt.Printf("bench-diff: %d benchmark(s) regressed more than %.0f%% vs %s\n", regressions, *threshold, *baseline)
+		if *failOn {
+			return 1
+		}
+		return 0
+	}
+	fmt.Printf("bench-diff: no ns/op regressions beyond %.0f%% vs %s\n", *threshold, *baseline)
+	return 0
+}
+
+// load reads a bench-json file into name → ns/op.
+func load(path string) (map[string]float64, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f file
+	if err := json.Unmarshal(raw, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := make(map[string]float64, len(f.Benchmarks))
+	for _, b := range f.Benchmarks {
+		out[b.Name] = b.NsPerOp
+	}
+	return out, nil
+}

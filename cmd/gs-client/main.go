@@ -22,6 +22,7 @@ import (
 
 	"github.com/gsalert/gsalert/internal/greenstone"
 	"github.com/gsalert/gsalert/internal/profile"
+	"github.com/gsalert/gsalert/internal/qos"
 	"github.com/gsalert/gsalert/internal/transport"
 )
 
@@ -187,9 +188,14 @@ func cmdSubscribe(ctx context.Context, recep *greenstone.Receptionist, args []st
 	expr := fs.String("expr", "", "profile expression, e.g. 'collection = \"Hamilton.Demo\"', or a composite profile such as 'SEQUENCE (...) THEN (...) WITHIN 24h', 'COUNT 10 OF (...)' or 'DIGEST (...) EVERY 24h'")
 	listen := fs.String("listen", "", "address to receive notifications on (empty = register and exit)")
 	id := fs.String("id", "", "profile id (default <client>-<unix time>)")
+	classFlag := fs.String("class", "normal", "QoS priority class: realtime, normal or bulk (docs/QOS.md)")
 	_ = fs.Parse(args)
 	if *expr == "" || *server == "" {
 		return fmt.Errorf("subscribe requires -server and -expr")
+	}
+	class, err := qos.ParseClass(*classFlag)
+	if err != nil {
+		return err
 	}
 	parsed, comp, err := profile.ParseText(*expr)
 	if err != nil {
@@ -208,10 +214,10 @@ func cmdSubscribe(ctx context.Context, recep *greenstone.Receptionist, args []st
 	} else {
 		p = profile.NewUser(*id, *client, *server, parsed)
 	}
-	if err := recep.Subscribe(ctx, h, p); err != nil {
+	if err := recep.SubscribeWithClass(ctx, h, p, class); err != nil {
 		return err
 	}
-	fmt.Printf("subscribed: profile %s for client %s at %s\n", p.ID, *client, *server)
+	fmt.Printf("subscribed: profile %s (%s) for client %s at %s\n", p.ID, class, *client, *server)
 	if *listen == "" {
 		return nil
 	}

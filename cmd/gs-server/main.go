@@ -23,6 +23,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -34,6 +35,7 @@ import (
 	"github.com/gsalert/gsalert/internal/gds"
 	"github.com/gsalert/gsalert/internal/greenstone"
 	"github.com/gsalert/gsalert/internal/protocol"
+	"github.com/gsalert/gsalert/internal/qos"
 	"github.com/gsalert/gsalert/internal/replica"
 	"github.com/gsalert/gsalert/internal/transport"
 )
@@ -64,6 +66,15 @@ func run() int {
 		dlvFlush    = flag.Duration("delivery-flush-interval", delivery.DefaultFlushInterval, "max delivery batching latency (flush on interval)")
 		mailboxDir  = flag.String("mailbox-dir", "", "directory for durable per-user mailboxes (WAL); empty = memory only")
 		mailboxCap  = flag.Int("mailbox-cap", delivery.DefaultMailboxCap, "max parked notifications per user")
+
+		// QoS admission-control knobs (internal/qos, docs/QOS.md).
+		qosOn        = flag.Bool("qos", false, "enable QoS admission control: per-subscriber and per-collection token-bucket quotas with graceful degradation (normal defers, bulk coalesces into digests; realtime is never shed)")
+		qosSubRate   = flag.Float64("qos-subscriber-rate", 100, "sustained notifications/sec each subscriber may receive across non-realtime classes")
+		qosSubBurst  = flag.Int("qos-subscriber-burst", 200, "per-subscriber token-bucket capacity; 0 disables the subscriber quota dimension")
+		qosCollRate  = flag.Float64("qos-collection-rate", 1000, "sustained events/sec one collection may fan out through non-realtime subscriptions")
+		qosCollBurst = flag.Int("qos-collection-burst", 2000, "per-collection token-bucket capacity; 0 disables the collection quota dimension")
+		qosBulkEvery = flag.Duration("qos-bulk-digest", qos.DefaultBulkDigestEvery, "coalescing period for over-quota bulk traffic: shed bulk notifications accrue and flush as one digest per period")
+		qosWeights   = flag.String("qos-weights", "", "delivery WFQ class weights as realtime:normal:bulk (e.g. 8:4:1); empty = defaults")
 
 		// Replication & ops knobs (internal/replica, docs/REPLICATION.md).
 		replListen  = flag.String("replica-listen", "", "replication endpoint to listen on (host:port); primaries accept standby joins here, standbys receive the stream")
@@ -102,6 +113,11 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "gs-server: %v\n", err)
 		return 1
 	}
+	weights, err := parseClassWeights(*qosWeights)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gs-server: %v\n", err)
+		return 1
+	}
 	pipeline, err := delivery.NewPipeline(delivery.Config{
 		Shards:        *dlvShards,
 		QueueDepth:    *dlvQueue,
@@ -110,6 +126,7 @@ func run() int {
 		FlushInterval: *dlvFlush,
 		Dir:           *mailboxDir,
 		MailboxCap:    *mailboxCap,
+		ClassWeights:  weights,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "gs-server: delivery pipeline: %v\n", err)
@@ -122,6 +139,16 @@ func run() int {
 		}
 	}
 
+	var ctrl *qos.Controller
+	if *qosOn {
+		ctrl = qos.NewController(qos.Config{
+			SubscriberRate:  *qosSubRate,
+			SubscriberBurst: *qosSubBurst,
+			CollectionRate:  *qosCollRate,
+			CollectionBurst: *qosCollBurst,
+			BulkDigestEvery: *qosBulkEvery,
+		})
+	}
 	gdsCli := gds.NewClient(*name, *addr, *gdsAddr, tr)
 	store := collection.NewStore(*name)
 	svc, err := core.New(core.Config{
@@ -133,6 +160,7 @@ func run() int {
 		Delivery:      pipeline,
 		ContentWarmup: *warmup,
 		DedupCapacity: *dedupCap,
+		QoS:           ctrl,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "gs-server: %v\n", err)
@@ -273,10 +301,56 @@ func run() int {
 		}
 	}
 
+	if ctrl != nil {
+		fmt.Printf("gs-server %s admission control on (subscriber %g/s burst %d, collection %g/s burst %d, bulk digest every %s)\n",
+			*name, *qosSubRate, *qosSubBurst, *qosCollRate, *qosCollBurst, *qosBulkEvery)
+	}
 	fmt.Printf("gs-server %s listening on %s\n", *name, *addr)
 	<-ctx.Done()
-	fmt.Println("shutting down")
+
+	// Graceful shutdown: stop accepting publishes first (close the protocol
+	// listener and unregister from the directory so peers stop routing
+	// here), then drain the delivery pipeline and flush the retry queue —
+	// spooled aux-profile ops would otherwise wait out a full partition
+	// cycle, and in-flight notifications would sit queued until the next
+	// start's WAL recovery. The deferred closes then compact the mailboxes.
+	fmt.Println("gs-server: shutting down — draining deliveries and flushing spooled ops")
+	shCtx, shCancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer shCancel()
+	_ = srv.Close()
+	if !standby {
+		_ = gdsCli.Unregister(shCtx)
+	}
+	if err := svc.DrainDeliveries(shCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "gs-server: drain on shutdown: %v (undelivered alerts stay in their mailboxes)\n", err)
+	}
+	if n := svc.Retry().Flush(shCtx, true); n > 0 {
+		fmt.Printf("gs-server: flushed %d spooled server-to-server ops\n", n)
+	}
+	fmt.Println("gs-server: shutdown complete")
 	return 0
+}
+
+// parseClassWeights parses "realtime:normal:bulk" WFQ weights (e.g. 8:4:1);
+// the empty string selects the delivery defaults.
+func parseClassWeights(s string) ([qos.NumClasses]int, error) {
+	var w [qos.NumClasses]int
+	if s == "" {
+		return w, nil
+	}
+	parts := strings.Split(s, ":")
+	if len(parts) != qos.NumClasses {
+		return w, fmt.Errorf("bad -qos-weights %q (want realtime:normal:bulk, e.g. 8:4:1)", s)
+	}
+	order := []qos.Class{qos.ClassRealtime, qos.ClassNormal, qos.ClassBulk}
+	for i, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || v <= 0 {
+			return w, fmt.Errorf("bad -qos-weights entry %q (want a positive integer)", p)
+		}
+		w[order[i]] = v
+	}
+	return w, nil
 }
 
 // runPromote orders the standby at addr to promote itself, then exits:

@@ -185,6 +185,29 @@ func (e *Engine) Register(p *profile.Profile, now time.Time) error {
 	return nil
 }
 
+// EnsureDigest idempotently registers a synthetic digest definition with no
+// backing composite profile. The QoS degradation path uses it: over-quota
+// bulk-class matches are coalesced here (via OnPrimitive) instead of being
+// delivered per event, and flush as one digest notification per period.
+// now anchors the first flush, one period out.
+func (e *Engine) EnsureDigest(id, owner string, every time.Duration, now time.Time) {
+	if every <= 0 {
+		every = time.Minute
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, ok := e.defs[id]; ok {
+		return
+	}
+	e.defs[id] = &def{
+		id:        id,
+		owner:     owner,
+		kind:      profile.CompositeDigest,
+		every:     every,
+		nextFlush: now.Add(every),
+	}
+}
+
 // Remove drops a composite profile and all its live state, reporting
 // whether it was registered.
 func (e *Engine) Remove(id string) bool {

@@ -4,11 +4,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"time"
 
 	"github.com/gsalert/gsalert/internal/composite"
 	"github.com/gsalert/gsalert/internal/event"
 	"github.com/gsalert/gsalert/internal/profile"
+	"github.com/gsalert/gsalert/internal/qos"
 )
 
 // Composite (temporal) profiles: the subscription side registers the
@@ -128,6 +130,28 @@ func (s *Service) removeCompositeProfile(client string, p *profile.Profile) erro
 // CompositeProfileCount reports registered composite profiles.
 func (s *Service) CompositeProfileCount() int { return s.composite.Len() }
 
+// qosDigestPrefix namespaces the synthetic digest definitions the QoS
+// degradation path registers in the composite engine, one per bulk profile
+// whose traffic overflowed its quota. The prefix keeps them disjoint from
+// real composite profile IDs; the firing's notification carries the
+// original profile ID, so subscribers see a digest for the profile they
+// subscribed.
+const qosDigestPrefix = "qos-digest:"
+
+// qosDigestID derives the synthetic digest ID coalescing a bulk profile's
+// over-quota matches.
+func qosDigestID(profileID string) string { return qosDigestPrefix + profileID }
+
+// coalesceBulk folds one over-quota bulk-class match into the profile's
+// pending digest, creating the digest definition on first overflow. The
+// digest flushes on the composite tick once the controller's coalescing
+// period elapses.
+func (s *Service) coalesceBulk(profileID, owner string, ev *event.Event, docIDs []string, now time.Time, ctrl *qos.Controller) {
+	id := qosDigestID(profileID)
+	s.composite.EnsureDigest(id, owner, ctrl.BulkDigestEvery(), now)
+	s.composite.OnPrimitive(id, 0, ev, docIDs, now)
+}
+
 // emitComposite turns an engine firing into a synthesized notification on
 // the delivery pipeline. The synthesized event is a local artefact: it is
 // never disseminated over the GDS, never matched against profiles, and
@@ -136,6 +160,22 @@ func (s *Service) CompositeProfileCount() int { return s.composite.Len() }
 func (s *Service) emitComposite(f composite.Firing) {
 	if len(f.Events) == 0 {
 		return
+	}
+	profileID := f.ProfileID
+	class := qos.ClassNormal
+	qosDigest := false
+	if orig, ok := strings.CutPrefix(profileID, qosDigestPrefix); ok {
+		// A QoS coalescing digest: deliver under the subscribed profile's
+		// own ID, in the bulk class it degraded from.
+		profileID = orig
+		class = qos.ClassBulk
+		qosDigest = true
+	} else {
+		s.mu.Lock()
+		if p := s.compositeProfiles[f.ProfileID]; p != nil {
+			class = p.Class
+		}
+		s.mu.Unlock()
 	}
 	last := f.Events[len(f.Events)-1]
 	synth := &event.Event{
@@ -148,11 +188,12 @@ func (s *Service) emitComposite(f composite.Firing) {
 	}
 	err := s.delivery.Enqueue(Notification{
 		Client:       f.Owner,
-		ProfileID:    f.ProfileID,
+		ProfileID:    profileID,
 		Event:        synth,
 		DocIDs:       f.DocIDs,
 		Composite:    f.Kind.String(),
 		Contributing: f.Events,
+		Class:        class,
 		At:           f.At,
 	})
 	s.mu.Lock()
@@ -160,6 +201,9 @@ func (s *Service) emitComposite(f composite.Firing) {
 		s.stats.NotifyFailures++
 	} else {
 		s.stats.Notifications++
+		if qosDigest {
+			s.stats.QoSDigests++
+		}
 	}
 	s.mu.Unlock()
 }

@@ -5,8 +5,18 @@ import (
 	"sync"
 
 	"github.com/gsalert/gsalert/internal/protocol"
+	"github.com/gsalert/gsalert/internal/qos"
 	"github.com/gsalert/gsalert/internal/transport"
 )
+
+// wireClass renders a notification class for the wire, empty for the
+// default so pre-QoS receivers see unchanged envelopes.
+func wireClass(c qos.Class) string {
+	if c == qos.ClassNormal {
+		return ""
+	}
+	return c.String()
+}
 
 // MemoryNotifier records notifications in memory; tests, simulations and
 // in-process clients use it.
@@ -121,6 +131,7 @@ func (r *RemoteNotifier) envelopeFor(n Notification) (*protocol.Envelope, error)
 		return protocol.NewEnvelope(r.from, protocol.MsgNotify, &protocol.Notify{
 			Client:    n.Client,
 			ProfileID: n.ProfileID,
+			Class:     wireClass(n.Class),
 			Event:     protocol.Wrap(raw),
 		})
 	}
@@ -129,6 +140,7 @@ func (r *RemoteNotifier) envelopeFor(n Notification) (*protocol.Envelope, error)
 		ProfileID: n.ProfileID,
 		Kind:      n.Composite,
 		DocIDs:    n.DocIDs,
+		Class:     wireClass(n.Class),
 		Event:     protocol.Wrap(raw),
 	}
 	for _, ev := range n.Contributing {
@@ -161,6 +173,7 @@ func (r *RemoteNotifier) NotifyBatch(ns []Notification) error {
 			Client:    n.Client,
 			ProfileID: n.ProfileID,
 			Composite: n.Composite,
+			Class:     wireClass(n.Class),
 			Event:     protocol.Wrap(raw),
 		}
 		for _, ev := range n.Contributing {

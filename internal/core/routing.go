@@ -9,6 +9,7 @@ import (
 	"github.com/gsalert/gsalert/internal/event"
 	"github.com/gsalert/gsalert/internal/profile"
 	"github.com/gsalert/gsalert/internal/protocol"
+	"github.com/gsalert/gsalert/internal/qos"
 	"github.com/gsalert/gsalert/internal/queue"
 	"github.com/gsalert/gsalert/internal/transport"
 )
@@ -88,6 +89,14 @@ func (s *Service) publishEvent(ctx context.Context, ev *event.Event) (time.Durat
 // problem, not the matcher's. Matches of composite step profiles are not
 // delivered — they drive the composite engine's state machines, whose
 // completions re-enter the pipeline as synthesized notifications.
+//
+// With a QoS controller installed this is the admission point
+// (docs/QOS.md): realtime matches bypass quotas, normal matches over the
+// subscriber or collection quota are deferred to the mailbox (delayed, not
+// lost), and bulk matches over quota are coalesced into a periodic digest
+// through the composite engine. Composite step matches are not admission-
+// checked — the state machines already dampen their volume, and their
+// synthesized firings inherit the composite profile's class.
 func (s *Service) filterLocally(ev *event.Event) time.Duration {
 	start := time.Now()
 	matches := s.matcher.Match(ev)
@@ -96,9 +105,13 @@ func (s *Service) filterLocally(ev *event.Event) time.Duration {
 	s.mu.Lock()
 	s.stats.FilterTime += elapsed
 	now := s.clock()
+	ctrl := s.qos
 	s.mu.Unlock()
 
-	var enqueued, refused int64
+	var enqueued, refused, admitted, deferred, coalesced int64
+	// The collection bucket is consumed at most once per event, and only
+	// when the event actually fans out to quota-subject subscriptions.
+	collChecked, collOK := false, true
 	for _, m := range matches {
 		if m.Profile.CompositeOf != "" {
 			// Matches are sorted by profile ID, so for one composite the
@@ -107,23 +120,49 @@ func (s *Service) filterLocally(ev *event.Event) time.Duration {
 			s.composite.OnPrimitive(m.Profile.CompositeOf, m.Profile.CompositeStep, ev, m.DocIDs, now)
 			continue
 		}
-		err := s.delivery.Enqueue(Notification{
+		n := Notification{
 			Client:    m.Profile.Owner,
 			ProfileID: m.Profile.ID,
 			Event:     ev,
 			DocIDs:    m.DocIDs,
+			Class:     m.Profile.Class,
 			At:        now,
-		})
-		if err != nil {
+		}
+		if ctrl != nil && m.Profile.Class != qos.ClassRealtime {
+			if !collChecked {
+				collOK = ctrl.AllowCollection(ev.Collection.String())
+				collChecked = true
+			}
+			// A dry collection bucket short-circuits: the subscriber's own
+			// tokens are preserved for less noisy collections.
+			if !collOK || !ctrl.AllowSubscriber(m.Profile.Owner) {
+				if m.Profile.Class == qos.ClassBulk {
+					s.coalesceBulk(m.Profile.ID, m.Profile.Owner, ev, m.DocIDs, now, ctrl)
+					coalesced++
+				} else if err := s.delivery.Defer(n); err != nil {
+					refused++
+				} else {
+					deferred++
+				}
+				continue
+			}
+		}
+		if err := s.delivery.Enqueue(n); err != nil {
 			refused++
 			continue
 		}
+		if ctrl != nil {
+			admitted++
+		}
 		enqueued++
 	}
-	if enqueued != 0 || refused != 0 {
+	if enqueued != 0 || refused != 0 || admitted != 0 || deferred != 0 || coalesced != 0 {
 		s.mu.Lock()
 		s.stats.Notifications += enqueued
 		s.stats.NotifyFailures += refused
+		s.stats.QoSAdmitted += admitted
+		s.stats.QoSDeferred += deferred
+		s.stats.QoSCoalesced += coalesced
 		s.mu.Unlock()
 	}
 	return elapsed

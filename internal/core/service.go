@@ -36,6 +36,7 @@ import (
 	"github.com/gsalert/gsalert/internal/gds"
 	"github.com/gsalert/gsalert/internal/profile"
 	"github.com/gsalert/gsalert/internal/protocol"
+	"github.com/gsalert/gsalert/internal/qos"
 	"github.com/gsalert/gsalert/internal/queue"
 	"github.com/gsalert/gsalert/internal/transport"
 )
@@ -104,9 +105,13 @@ type Config struct {
 	// Matcher is the filtering engine; defaults to equality-preferred.
 	Matcher filter.Matcher
 	// Delivery is the asynchronous notification pipeline. When nil the
-	// service builds a default in-memory pipeline (sharded, non-durable);
-	// pass a configured pipeline for durability or custom backpressure.
+	// service builds its own pipeline — from DeliveryConfig when set,
+	// defaults otherwise — and closes it with the service; pass a
+	// pre-built pipeline to share or manage it externally.
 	Delivery *delivery.Pipeline
+	// DeliveryConfig configures the service-owned pipeline built when
+	// Delivery is nil; ignored otherwise.
+	DeliveryConfig *delivery.Config
 	// ContentWarmup is how long the service keeps flooding after switching
 	// to RouteContent, while digest advertisements populate the directory's
 	// routing tables. Negative disables the warm-up (deterministic
@@ -122,6 +127,13 @@ type Config struct {
 	// CompositeMaxInstances caps open sequence instances per composite
 	// profile (internal/composite); zero selects the engine default.
 	CompositeMaxInstances int
+	// QoS enables admission control at the publish path (docs/QOS.md):
+	// per-subscriber and per-collection token-bucket quotas, with
+	// over-quota normal traffic deferred and over-quota bulk traffic
+	// coalesced into digests. Nil disables admission (every match is
+	// enqueued, as before), though priority classes still select delivery
+	// scheduling weights.
+	QoS *qos.Controller
 	// Clock overrides time.Now for deterministic tests.
 	Clock func() time.Time
 }
@@ -193,6 +205,10 @@ type Service struct {
 	replSink  ReplicationSink
 	replStats ReplicaStatsProvider
 
+	// qos is the admission controller (nil = admission disabled); read
+	// under mu so SetQoS can swap it at runtime.
+	qos *qos.Controller
+
 	idCounter atomic.Uint64
 	stats     ServiceStats
 }
@@ -236,6 +252,13 @@ type ServiceStats struct {
 	ReplicaSnapshots int64  // full snapshots sent or applied
 	ReplicaResyncs   int64  // snapshot catch-ups after gaps
 	ReplicaPromoted  bool   // standby has taken over
+	// QoS admission accounting (internal/qos, nil controller = all zero).
+	// Every non-composite-step match lands in exactly one of admitted,
+	// deferred, coalesced or NotifyFailures — nothing is silently lost.
+	QoSAdmitted  int64 // matches enqueued for immediate delivery (realtime always lands here)
+	QoSDeferred  int64 // over-quota normal matches parked for delayed delivery
+	QoSCoalesced int64 // over-quota bulk matches folded into a pending digest
+	QoSDigests   int64 // coalesced digest notifications synthesized
 }
 
 // Queued payload kinds for the retry queue.
@@ -283,12 +306,17 @@ func New(cfg Config) (*Service, error) {
 	if s.matcher == nil {
 		s.matcher = filter.NewEqualityPreferred()
 	}
+	s.qos = cfg.QoS
 	if s.resolver == nil && s.gdsCli != nil {
 		s.resolver = s.gdsCli
 	}
 	s.delivery = cfg.Delivery
 	if s.delivery == nil {
-		p, err := delivery.NewPipeline(delivery.Config{})
+		dcfg := delivery.Config{}
+		if cfg.DeliveryConfig != nil {
+			dcfg = *cfg.DeliveryConfig
+		}
+		p, err := delivery.NewPipeline(dcfg)
 		if err != nil {
 			return nil, err
 		}
@@ -317,6 +345,22 @@ func (s *Service) Close() error {
 
 // Delivery exposes the notification pipeline (metrics, pending mailboxes).
 func (s *Service) Delivery() *delivery.Pipeline { return s.delivery }
+
+// SetQoS installs (or, with nil, removes) the admission controller at
+// runtime. In-flight deferred traffic and pending coalesced digests are
+// unaffected: they drain through their normal paths.
+func (s *Service) SetQoS(c *qos.Controller) {
+	s.mu.Lock()
+	s.qos = c
+	s.mu.Unlock()
+}
+
+// QoS returns the installed admission controller (nil when disabled).
+func (s *Service) QoS() *qos.Controller {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.qos
+}
 
 // DrainDeliveries blocks until every enqueued notification is delivered or
 // parked. Simulations and tests call it to observe a quiescent state;
@@ -485,6 +529,9 @@ func (s *Service) Unsubscribe(client, profileID string) error {
 		return fmt.Errorf("core: profile %q belongs to %q, not %q", profileID, p.Owner, client)
 	}
 	s.matcher.Remove(profileID)
+	// Any digest pending from QoS bulk coalescing dies with the profile:
+	// the subscriber cancelled, so its shed backlog is no longer owed.
+	s.composite.Remove(qosDigestID(profileID))
 	s.mu.Lock()
 	if set := s.profilesByClient[client]; set != nil {
 		delete(set, profileID)

@@ -10,13 +10,23 @@
 // Architecture:
 //
 //	Enqueue ──▶ per-user mailbox (append; WAL when durable)
-//	        ──▶ hash(client) ──▶ shard queue (bounded) ──▶ worker
+//	        ──▶ hash(client) ──▶ shard: per-class queues (bounded)
+//	                               │ realtime ─┐
+//	                               │ normal  ──┼─ WFQ dequeue ──▶ worker
+//	                               │ bulk    ──┘ (qos.Scheduler)
 //	                               │ overflow: block / drop-oldest / spill
 //	                               ▼
 //	                     per-client batch (flush on size / interval)
 //	                               ▼
 //	                 Deliverer (attached sink) ──▶ ack mailbox
 //	                     └─ none attached ──▶ park in mailbox
+//
+// Each shard keeps one bounded queue per QoS class and services them by
+// weighted deficit round-robin (internal/qos), so a bulk flood cannot queue
+// ahead of realtime traffic: realtime latency is bounded by its own queue
+// depth and service weight, not by total load. Ordering is therefore FIFO
+// per client per class; a client's realtime alerts may legitimately overtake
+// its earlier bulk alerts.
 //
 // A parked notification survives until the client re-attaches (reconnect),
 // at which point the mailbox is drained back through the pipeline. With a
@@ -35,6 +45,7 @@ import (
 	"time"
 
 	"github.com/gsalert/gsalert/internal/event"
+	"github.com/gsalert/gsalert/internal/qos"
 )
 
 // Notification is one alert addressed to one client. core.Notification is an
@@ -55,6 +66,10 @@ type Notification struct {
 	// arrival order; Event then holds the synthesized summary event. Nil
 	// for primitive alerts.
 	Contributing []*event.Event
+	// Class is the QoS priority class inherited from the matching profile;
+	// it selects the shard queue (and so the scheduling weight) the
+	// notification is serviced from. Zero value = qos.ClassNormal.
+	Class qos.Class
 	// At is the local delivery time.
 	At time.Time
 }
@@ -145,7 +160,11 @@ type Config struct {
 	// RetryInterval schedules redelivery of notifications parked by a
 	// FAILED delivery attempt while the client stays attached (a client
 	// that detaches is drained by its next Attach instead). Default 1s.
+	// QoS-deferred notifications (Defer) ride the same schedule.
 	RetryInterval time.Duration
+	// ClassWeights sets the per-class WFQ service weights of the shard
+	// workers; non-positive entries fall back to qos.DefaultWeights.
+	ClassWeights [qos.NumClasses]int
 }
 
 func (c *Config) fillDefaults() {
@@ -178,11 +197,16 @@ type item struct {
 	seq uint64
 }
 
-// shard is one worker pool: a bounded queue, an optional disk spill and a
-// goroutine batching per client.
+// shard is one worker pool: one bounded queue per QoS class, an optional
+// disk spill and a goroutine batching per client. The worker services the
+// class queues by weighted deficit round-robin.
 type shard struct {
-	ch    chan item
-	spill *spillQueue // nil unless SpillToDisk
+	chs [qos.NumClasses]chan item
+	// spills are the per-class disk FIFOs of SpillToDisk (nil entries
+	// otherwise). One spill per class keeps re-ingestion independent: a
+	// class's spilled backlog drains as soon as its own queue idles, never
+	// waiting on another class's sustained load.
+	spills [qos.NumClasses]*spillQueue
 	// admitMu serialises SpillToDisk admissions: the spill-empty check and
 	// the queue/spill placement must be atomic or two concurrent admits
 	// for one client could land out of order.
@@ -257,16 +281,20 @@ func NewPipeline(cfg Config) (*Pipeline, error) {
 	}
 	for i := 0; i < cfg.Shards; i++ {
 		sh := &shard{
-			ch:   make(chan item, cfg.QueueDepth),
 			poke: make(chan struct{}, 1),
 			done: make(chan struct{}),
 		}
+		for c := range sh.chs {
+			sh.chs[c] = make(chan item, cfg.QueueDepth)
+		}
 		if cfg.Overflow == SpillToDisk {
-			sq, err := newSpillQueue(cfg.Dir, i)
-			if err != nil {
-				return nil, err
+			for c := 0; c < qos.NumClasses; c++ {
+				sq, err := newSpillQueue(cfg.Dir, i, qos.Class(c))
+				if err != nil {
+					return nil, err
+				}
+				sh.spills[c] = sq
 			}
-			sh.spill = sq
 		}
 		p.shards = append(p.shards, sh)
 		p.wg.Add(1)
@@ -293,8 +321,9 @@ func (p *Pipeline) retryLoop() {
 		}
 		now := time.Now()
 		type drain struct {
-			mb    *mailbox
-			items []item
+			client string
+			mb     *mailbox
+			items  []item
 		}
 		var due []drain
 		p.mu.Lock()
@@ -308,7 +337,7 @@ func (p *Pipeline) retryLoop() {
 			}
 			if mb := p.mailboxes[client]; mb != nil {
 				if items := mb.takePending(); len(items) > 0 {
-					due = append(due, drain{mb: mb, items: items})
+					due = append(due, drain{client: client, mb: mb, items: items})
 				}
 			}
 		}
@@ -316,10 +345,21 @@ func (p *Pipeline) retryLoop() {
 		for _, d := range due {
 			for i, it := range d.items {
 				if err := p.admit(it, d.mb); err != nil {
+					// admit parked the failed item itself; return the rest
+					// of the snapshot too and re-arm the client's retry so
+					// a transient spill/shutdown error delays the drain
+					// rather than stranding it until the next Attach. The
+					// loop itself must survive: Defer's delayed-not-lost
+					// promise rides on it.
 					for _, rest := range d.items[i+1:] {
 						d.mb.park(rest.seq)
 					}
-					return
+					p.mu.Lock()
+					if !p.closed {
+						p.retryAt[d.client] = time.Now().Add(p.cfg.RetryInterval)
+					}
+					p.mu.Unlock()
+					break
 				}
 			}
 		}
@@ -388,23 +428,36 @@ func (p *Pipeline) Enqueue(n Notification) error {
 	return p.admit(item{n: n, seq: seq}, mb)
 }
 
-// admit places an item on its shard queue, honouring the overflow policy.
-// The item must already be present (inflight) in mb.
+// classOf bounds a notification's class to a valid queue index (a corrupt
+// WAL or future wire value must not panic the worker).
+func classOf(n Notification) qos.Class {
+	if n.Class >= qos.NumClasses {
+		return qos.ClassNormal
+	}
+	return n.Class
+}
+
+// admit places an item on its shard's queue for the item's class, honouring
+// the overflow policy. The item must already be present (inflight) in mb.
+// Class queues are independent: a saturated bulk queue never blocks (Block)
+// nor displaces (DropOldest) realtime admissions.
 func (p *Pipeline) admit(it item, mb *mailbox) error {
 	sh := p.shardOf(it.n.Client)
+	class := classOf(it.n)
+	ch := sh.chs[class]
 	p.inflight.Add(1)
 	switch p.cfg.Overflow {
 	case DropOldest:
 		for {
 			select {
-			case sh.ch <- it:
+			case ch <- it:
 				return nil
 			default:
 			}
 			select {
-			case old := <-sh.ch:
-				// Displace the oldest queued item back to its mailbox:
-				// parked, deliverable on the next attach/drain.
+			case old := <-ch:
+				// Displace the oldest queued item of the same class back to
+				// its mailbox: parked, deliverable on the next attach/drain.
 				p.parkItems([]item{old})
 				p.m.Displaced.Inc()
 				p.inflight.Add(-1)
@@ -413,21 +466,22 @@ func (p *Pipeline) admit(it item, mb *mailbox) error {
 			}
 		}
 	case SpillToDisk:
-		// Once anything is spilled, later items must also spill: the
-		// worker drains the queue before the spill, so admitting a newer
-		// item to the queue while older ones sit on disk would reorder a
-		// client's notifications. admitMu makes the check-and-place
-		// atomic against concurrent admits.
+		// Once anything of a class is spilled, later items of that class
+		// must also spill: the worker drains a class's queue before its
+		// spill, so admitting a newer item to the queue while older
+		// same-class ones sit on disk would reorder a client's
+		// notifications. admitMu makes the check-and-place atomic against
+		// concurrent admits.
 		sh.admitMu.Lock()
-		if sh.spill.len() == 0 {
+		if sh.spills[class].len() == 0 {
 			select {
-			case sh.ch <- it:
+			case ch <- it:
 				sh.admitMu.Unlock()
 				return nil
 			default:
 			}
 		}
-		err := sh.spill.push(it)
+		err := sh.spills[class].push(it)
 		sh.admitMu.Unlock()
 		if err != nil {
 			p.inflight.Add(-1)
@@ -438,7 +492,7 @@ func (p *Pipeline) admit(it item, mb *mailbox) error {
 		return nil
 	default: // Block: backpressure the producer.
 		select {
-		case sh.ch <- it:
+		case ch <- it:
 			return nil
 		case <-p.stop:
 			// Shutting down: the item stays in the mailbox, parked (and,
@@ -448,6 +502,46 @@ func (p *Pipeline) admit(it item, mb *mailbox) error {
 			return ErrClosed
 		}
 	}
+}
+
+// Defer parks one notification in the client's mailbox WITHOUT queueing it
+// for immediate delivery — the QoS degradation for over-quota normal-class
+// traffic: delayed, never lost. The notification is durably appended (WAL
+// when configured, replicated when observed) and redelivered by the retry
+// loop once RetryInterval elapses, or by the client's next Attach, whichever
+// comes first.
+func (p *Pipeline) Defer(n Notification) error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return ErrClosed
+	}
+	p.mu.Unlock()
+	mb, err := p.mailboxOf(n.Client)
+	if err != nil {
+		return err
+	}
+	seq, evicted, err := mb.add(n)
+	if err != nil {
+		return err
+	}
+	mb.park(seq)
+	p.m.Dropped.Add(int64(len(evicted)))
+	p.m.Deferred.Inc()
+	if obs := p.observer(); obs != nil {
+		ops := make([]MailboxOp, 0, 1+len(evicted))
+		ops = append(ops, MailboxOp{Client: n.Client, Seq: seq, N: n})
+		for _, gone := range evicted {
+			ops = append(ops, MailboxOp{Client: n.Client, Seq: gone, Ack: true})
+		}
+		obs(ops)
+	}
+	p.mu.Lock()
+	if _, due := p.retryAt[n.Client]; !due {
+		p.retryAt[n.Client] = time.Now().Add(p.cfg.RetryInterval)
+	}
+	p.mu.Unlock()
+	return nil
 }
 
 // Attach registers the delivery sink for a client and schedules redelivery
@@ -502,11 +596,14 @@ func (p *Pipeline) Pending(client string) int {
 	return mb.parkedCount()
 }
 
-// QueueDepths reports the current occupancy of each shard queue.
+// QueueDepths reports the current occupancy of each shard's queues (summed
+// across classes).
 func (p *Pipeline) QueueDepths() []int {
 	out := make([]int, len(p.shards))
 	for i, sh := range p.shards {
-		out[i] = len(sh.ch)
+		for _, ch := range sh.chs {
+			out[i] += len(ch)
+		}
 	}
 	return out
 }
@@ -554,19 +651,24 @@ func (p *Pipeline) Close() error {
 	// in admit's select). Park such stragglers so they stay visible in
 	// their mailboxes and inflight returns to zero.
 	for _, sh := range p.shards {
-	drainShard:
-		for {
-			select {
-			case it := <-sh.ch:
-				p.parkItems([]item{it})
-				p.inflight.Add(-1)
-			default:
-				break drainShard
+		for _, ch := range sh.chs {
+		drainClass:
+			for {
+				select {
+				case it := <-ch:
+					p.parkItems([]item{it})
+					p.inflight.Add(-1)
+				default:
+					break drainClass
+				}
 			}
 		}
-		if sh.spill != nil {
+		for _, sq := range sh.spills {
+			if sq == nil {
+				continue
+			}
 			for {
-				it, ok, dropped, err := sh.spill.pop()
+				it, ok, dropped, err := sq.pop()
 				if err != nil {
 					p.inflight.Add(-int64(dropped))
 					p.m.Dropped.Add(int64(dropped))
@@ -589,8 +691,11 @@ func (p *Pipeline) Close() error {
 		}
 	}
 	for _, sh := range p.shards {
-		if sh.spill != nil {
-			if err := sh.spill.close(); err != nil && firstErr == nil {
+		for _, sq := range sh.spills {
+			if sq == nil {
+				continue
+			}
+			if err := sq.close(); err != nil && firstErr == nil {
 				firstErr = err
 			}
 		}
@@ -601,17 +706,42 @@ func (p *Pipeline) Close() error {
 // ---------------------------------------------------------------------------
 // Worker
 
-// worker is one shard's goroutine: it accumulates per-client batches and
-// flushes them on size, interval, drain pokes and shutdown.
+// worker is one shard's goroutine: it services the per-class queues by
+// weighted deficit round-robin, accumulates per-client batches and flushes
+// them on size, interval, drain pokes and shutdown.
 func (p *Pipeline) worker(sh *shard) {
 	defer p.wg.Done()
 	defer close(sh.done)
 	batches := make(map[string][]item)
+	sched := qos.NewScheduler(p.cfg.ClassWeights)
 	ticker := time.NewTicker(p.cfg.FlushInterval)
 	defer ticker.Stop()
 	for {
+		// Fast path: while work is queued, service it in WFQ order. The
+		// inline ticker check keeps interval flushes honest under sustained
+		// load (the select below is only reached when the queues go idle).
+		if it, ok := p.tryDequeue(sh, sched); ok {
+			p.ingest(sh, batches, it)
+			// A class whose queue just went idle may have spilled overflow
+			// waiting; re-ingest it even while OTHER classes stay busy — a
+			// bulk flood must never pin spilled realtime items on disk.
+			p.popSpill(sh, batches)
+			select {
+			case <-ticker.C:
+				p.flushAll(batches)
+			default:
+			}
+			continue
+		}
+		if p.popSpill(sh, batches) {
+			continue
+		}
 		select {
-		case it := <-sh.ch:
+		case it := <-sh.chs[qos.ClassRealtime]:
+			p.ingest(sh, batches, it)
+		case it := <-sh.chs[qos.ClassNormal]:
+			p.ingest(sh, batches, it)
+		case it := <-sh.chs[qos.ClassBulk]:
 			p.ingest(sh, batches, it)
 		case <-ticker.C:
 			p.drainQueue(sh, batches)
@@ -627,6 +757,51 @@ func (p *Pipeline) worker(sh *shard) {
 	}
 }
 
+// popSpill re-ingests at most one spilled item per class, for every class
+// whose own queue is currently empty (the per-class no-reorder guard: a
+// class's queued items predate its spilled ones, so the spill may only feed
+// in once the queue idles). Returns whether anything was re-ingested.
+func (p *Pipeline) popSpill(sh *shard, batches map[string][]item) bool {
+	popped := false
+	for _, c := range qos.ByPriority {
+		sq := sh.spills[c]
+		if sq == nil || sq.len() == 0 || len(sh.chs[c]) > 0 {
+			continue
+		}
+		it, ok, dropped, err := sq.pop()
+		if err != nil {
+			// The spill reset itself; settle the accounting for the
+			// discarded queue copies (durable copies stay in the WALs).
+			p.inflight.Add(-int64(dropped))
+			p.m.Dropped.Add(int64(dropped))
+			continue
+		}
+		if ok {
+			p.ingest(sh, batches, it)
+			popped = true
+		}
+	}
+	return popped
+}
+
+// tryDequeue takes the next queued item in WFQ order without blocking. A
+// DropOldest displacer may race the receive; the spent credit is then simply
+// forfeited and the next iteration re-picks.
+func (p *Pipeline) tryDequeue(sh *shard, sched *qos.Scheduler) (item, bool) {
+	for tries := 0; tries < 2; tries++ {
+		c, ok := sched.Pick(func(cl qos.Class) bool { return len(sh.chs[cl]) > 0 })
+		if !ok {
+			return item{}, false
+		}
+		select {
+		case it := <-sh.chs[c]:
+			return it, true
+		default:
+		}
+	}
+	return item{}, false
+}
+
 // ingest adds one item to its client batch, flushing on size.
 func (p *Pipeline) ingest(sh *shard, batches map[string][]item, it item) {
 	b := append(batches[it.n.Client], it)
@@ -639,30 +814,24 @@ func (p *Pipeline) ingest(sh *shard, batches map[string][]item, it item) {
 }
 
 // drainQueue consumes everything currently queued (and spilled) without
-// blocking.
+// blocking, classes in priority order.
 func (p *Pipeline) drainQueue(sh *shard, batches map[string][]item) {
 	for {
-		select {
-		case it := <-sh.ch:
-			p.ingest(sh, batches, it)
+		got := false
+		for _, c := range qos.ByPriority {
+			select {
+			case it := <-sh.chs[c]:
+				p.ingest(sh, batches, it)
+				got = true
+			default:
+			}
+		}
+		if got {
 			continue
-		default:
 		}
-		if sh.spill == nil || sh.spill.len() == 0 {
+		if !p.popSpill(sh, batches) {
 			return
 		}
-		it, ok, dropped, err := sh.spill.pop()
-		if err != nil {
-			// The spill reset itself; settle the accounting for the
-			// discarded queue copies (durable copies stay in the WALs).
-			p.inflight.Add(-int64(dropped))
-			p.m.Dropped.Add(int64(dropped))
-			return
-		}
-		if !ok {
-			return
-		}
-		p.ingest(sh, batches, it)
 	}
 }
 
@@ -720,12 +889,22 @@ func (p *Pipeline) flush(client string, b []item) {
 		p.mu.Unlock()
 		start := time.Now()
 		err := d(client, ns)
-		p.m.FlushLatency.ObserveDuration(time.Since(start))
+		p.m.FlushLatency.Observe(time.Since(start))
 		p.m.BatchSizes.Observe(float64(len(b)))
 		p.m.Batches.Inc()
 		if err == nil {
 			p.ackItems(client, b)
 			p.m.Delivered.Add(int64(len(b)))
+			now := time.Now()
+			for _, it := range b {
+				c := classOf(it.n)
+				p.m.DeliveredByClass[c].Inc()
+				if !it.n.At.IsZero() {
+					// End-to-end delivery latency per class (enqueue → sink),
+					// including any parked or deferred dwell time.
+					p.m.ClassLatency[c].Observe(now.Sub(it.n.At))
+				}
+			}
 			return
 		}
 		tried, triedGen = true, gen

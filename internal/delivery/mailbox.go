@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"github.com/gsalert/gsalert/internal/event"
+	"github.com/gsalert/gsalert/internal/qos"
 )
 
 // A mailbox holds one user's undelivered notifications. Entries move through
@@ -564,6 +565,7 @@ type walNotification struct {
 	DocIDs       []string `xml:"Docs>ID,omitempty"`
 	AtNano       int64    `xml:"At,omitempty"`
 	Composite    string   `xml:"Composite,omitempty"`
+	Class        string   `xml:"Class,omitempty"`
 	Event        rawXML   `xml:"Event"`
 	Contributing []rawXML `xml:"Contributing>Event,omitempty"`
 }
@@ -575,6 +577,9 @@ func marshalNotification(n Notification) ([]byte, error) {
 		DocIDs:    n.DocIDs,
 		AtNano:    n.At.UnixNano(),
 		Composite: n.Composite,
+	}
+	if n.Class != qos.ClassNormal {
+		w.Class = n.Class.String()
 	}
 	if n.Event != nil {
 		raw, err := n.Event.MarshalXMLBytes()
@@ -607,6 +612,11 @@ func unmarshalNotification(raw []byte) (Notification, error) {
 		ProfileID: w.ProfileID,
 		DocIDs:    w.DocIDs,
 		Composite: w.Composite,
+	}
+	// A class this build does not know (or a corrupt field) degrades to
+	// normal rather than failing recovery.
+	if class, err := qos.ParseClass(w.Class); err == nil {
+		n.Class = class
 	}
 	if w.AtNano != 0 {
 		n.At = time.Unix(0, w.AtNano)

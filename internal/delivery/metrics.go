@@ -1,7 +1,10 @@
 package delivery
 
 import (
+	"time"
+
 	"github.com/gsalert/gsalert/internal/metrics"
+	"github.com/gsalert/gsalert/internal/qos"
 )
 
 // Metrics are the pipeline's externally visible counters and histograms,
@@ -15,6 +18,10 @@ type Metrics struct {
 	// Parked counts notifications returned to a mailbox because no sink
 	// was attached or the sink failed.
 	Parked metrics.Counter
+	// Deferred counts notifications parked by QoS admission control
+	// (over-quota normal-class traffic): delayed, redelivered by the retry
+	// loop or the next attach.
+	Deferred metrics.Counter
 	// Retried counts notifications parked after a failed delivery attempt
 	// (a subset of Parked).
 	Retried metrics.Counter
@@ -30,13 +37,29 @@ type Metrics struct {
 	Recovered metrics.Counter
 	// Batches counts delivery flushes.
 	Batches metrics.Counter
-	// FlushLatency samples sink round-trip time per flush (µs).
-	FlushLatency metrics.Histogram
+	// DeliveredByClass splits Delivered by QoS class.
+	DeliveredByClass [qos.NumClasses]metrics.Counter
+	// ClassLatency samples end-to-end delivery latency (enqueue → sink,
+	// including parked dwell time) per QoS class. Lock-free: it sits on the
+	// per-notification flush path of every shard worker.
+	ClassLatency [qos.NumClasses]metrics.LatencyHistogram
+	// FlushLatency samples sink round-trip time per flush.
+	FlushLatency metrics.LatencyHistogram
 	// BatchSizes samples notifications per flush.
 	BatchSizes metrics.Histogram
 }
 
 func newMetrics() *Metrics { return &Metrics{} }
+
+// ClassSnapshot is the per-class slice of a Snapshot.
+type ClassSnapshot struct {
+	Class     string
+	Delivered int64
+	// P50 and P99 are end-to-end delivery latency quantiles (bucket upper
+	// bounds, exact to within 2x).
+	P50 time.Duration
+	P99 time.Duration
+}
 
 // Snapshot is a point-in-time copy of the counters, convenient for tests
 // and stat dumps.
@@ -44,20 +67,23 @@ type Snapshot struct {
 	Enqueued  int64
 	Delivered int64
 	Parked    int64
+	Deferred  int64
 	Retried   int64
 	Displaced int64
 	Spilled   int64
 	Dropped   int64
 	Recovered int64
 	Batches   int64
+	Classes   [qos.NumClasses]ClassSnapshot
 }
 
 // Snapshot captures the current counter values.
 func (m *Metrics) Snapshot() Snapshot {
-	return Snapshot{
+	s := Snapshot{
 		Enqueued:  m.Enqueued.Value(),
 		Delivered: m.Delivered.Value(),
 		Parked:    m.Parked.Value(),
+		Deferred:  m.Deferred.Value(),
 		Retried:   m.Retried.Value(),
 		Displaced: m.Displaced.Value(),
 		Spilled:   m.Spilled.Value(),
@@ -65,4 +91,13 @@ func (m *Metrics) Snapshot() Snapshot {
 		Recovered: m.Recovered.Value(),
 		Batches:   m.Batches.Value(),
 	}
+	for c := 0; c < qos.NumClasses; c++ {
+		s.Classes[c] = ClassSnapshot{
+			Class:     qos.Class(c).String(),
+			Delivered: m.DeliveredByClass[c].Value(),
+			P50:       m.ClassLatency[c].Quantile(0.5),
+			P99:       m.ClassLatency[c].Quantile(0.99),
+		}
+	}
+	return s
 }

@@ -7,6 +7,8 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+
+	"github.com/gsalert/gsalert/internal/qos"
 )
 
 // spillQueue is a disk-backed FIFO absorbing shard-queue overflow under the
@@ -27,11 +29,15 @@ type spillQueue struct {
 	count   int
 }
 
-func newSpillQueue(dir string, shard int) (*spillQueue, error) {
+// newSpillQueue opens the spill FIFO of one (shard, class) pair. Spills are
+// per class so re-ingesting one class's overflow never depends on another
+// class's queue going idle — a bulk flood must not pin spilled realtime
+// items on disk.
+func newSpillQueue(dir string, shard int, class qos.Class) (*spillQueue, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("delivery: spill dir: %w", err)
 	}
-	path := filepath.Join(dir, fmt.Sprintf("shard-%d.spill", shard))
+	path := filepath.Join(dir, fmt.Sprintf("shard-%d-%s.spill", shard, class))
 	// Spill contents are transient overflow; a leftover file from a crash
 	// holds items that are also in the mailbox WALs, so start clean.
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_TRUNC, 0o644)

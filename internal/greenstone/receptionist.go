@@ -10,6 +10,7 @@ import (
 	"github.com/gsalert/gsalert/internal/core"
 	"github.com/gsalert/gsalert/internal/profile"
 	"github.com/gsalert/gsalert/internal/protocol"
+	"github.com/gsalert/gsalert/internal/qos"
 	"github.com/gsalert/gsalert/internal/transport"
 )
 
@@ -219,6 +220,15 @@ func (r *Receptionist) Subscribe(ctx context.Context, host string, p *profile.Pr
 	return transport.SendOneWay(ctx, r.tr, addr, env)
 }
 
+// SubscribeWithClass registers a profile tagged with a QoS priority class
+// (docs/QOS.md): realtime is never shed under overload, normal may be
+// deferred, bulk degrades to coalesced digests. Subscribe without a class
+// registers normal.
+func (r *Receptionist) SubscribeWithClass(ctx context.Context, host string, p *profile.Profile, class qos.Class) error {
+	p.Class = class
+	return r.Subscribe(ctx, host, p)
+}
+
 // Unsubscribe cancels a user profile at a host.
 func (r *Receptionist) Unsubscribe(ctx context.Context, host, client, profileID string) error {
 	addr, err := r.addrOf(host)
@@ -279,7 +289,8 @@ func (r *Receptionist) ListenForNotifications(addr string) (<-chan core.Notifica
 		if err != nil {
 			return err
 		}
-		out := core.Notification{Client: n.Client, ProfileID: n.ProfileID, Event: ev, Composite: n.Composite}
+		class, _ := qos.ParseClass(n.Class) // unknown class degrades to normal
+		out := core.Notification{Client: n.Client, ProfileID: n.ProfileID, Event: ev, Composite: n.Composite, Class: class}
 		for _, raw := range n.Contributing {
 			cev, err := eventFromRaw(raw.Bytes())
 			if err != nil {
@@ -304,12 +315,14 @@ func (r *Receptionist) ListenForNotifications(addr string) (<-chan core.Notifica
 			if err != nil {
 				return protocol.Errorf(r.name, "event", "%v", err), nil
 			}
+			class, _ := qos.ParseClass(cn.Class) // unknown class degrades to normal
 			n := core.Notification{
 				Client:    cn.Client,
 				ProfileID: cn.ProfileID,
 				Event:     ev,
 				DocIDs:    cn.DocIDs,
 				Composite: cn.Kind,
+				Class:     class,
 			}
 			for _, raw := range cn.Contributing {
 				cev, err := eventFromRaw(raw.Bytes())

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"github.com/gsalert/gsalert/internal/event"
+	"github.com/gsalert/gsalert/internal/qos"
 )
 
 // Kind distinguishes user profiles from the server-to-server auxiliary
@@ -80,6 +81,12 @@ type Profile struct {
 	Super event.QName
 	// Sub is, for auxiliary profiles, the watched sub-collection.
 	Sub event.QName
+	// Class is the QoS priority class of the subscription (realtime /
+	// normal / bulk). The zero value is qos.ClassNormal, so untagged
+	// profiles keep their pre-QoS behaviour. The class travels the wire
+	// with the profile (MsgSubscribe, replication, persistence) and is
+	// stamped onto every notification the profile produces.
+	Class qos.Class
 	// CreatedAt timestamps profile definition.
 	CreatedAt time.Time
 }
@@ -184,6 +191,7 @@ func (p *Profile) StepProfiles() []*Profile {
 			Expr:          Clone(step),
 			CompositeOf:   p.ID,
 			CompositeStep: i,
+			Class:         p.Class,
 			CreatedAt:     p.CreatedAt,
 		})
 	}
@@ -232,6 +240,7 @@ type xmlProfile struct {
 	Owner      string       `xml:"Owner"`
 	HomeServer string       `xml:"HomeServer,omitempty"`
 	Expr       string       `xml:"Expr"`
+	Class      string       `xml:"Class,omitempty"`
 	Super      *event.QName `xml:"Super,omitempty"`
 	Sub        *event.QName `xml:"Sub,omitempty"`
 	CreatedAt  time.Time    `xml:"CreatedAt"`
@@ -249,6 +258,9 @@ func (p *Profile) MarshalXMLBytes() ([]byte, error) {
 		HomeServer: p.HomeServer,
 		Expr:       p.ExprText(),
 		CreatedAt:  p.CreatedAt.UTC(),
+	}
+	if p.Class != qos.ClassNormal {
+		w.Class = p.Class.String()
 	}
 	if !p.Super.IsZero() {
 		super := p.Super
@@ -279,6 +291,11 @@ func UnmarshalXMLBytes(raw []byte) (*Profile, error) {
 	if err != nil {
 		return nil, fmt.Errorf("profile %s: %w", w.ID, err)
 	}
+	// A class this build does not know degrades to normal rather than
+	// failing: replication apply and snapshot restore must survive a newer
+	// peer's classes (strict validation belongs at the user-facing
+	// subscribe surface, which takes a typed Class).
+	class, _ := qos.ParseClass(w.Class)
 	p := &Profile{
 		ID:         w.ID,
 		Kind:       kind,
@@ -286,6 +303,7 @@ func UnmarshalXMLBytes(raw []byte) (*Profile, error) {
 		HomeServer: w.HomeServer,
 		Expr:       expr,
 		Composite:  comp,
+		Class:      class,
 		CreatedAt:  w.CreatedAt,
 	}
 	if w.Super != nil {

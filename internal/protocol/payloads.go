@@ -334,7 +334,10 @@ type Notify struct {
 	ProfileID string   `xml:"ProfileID"`
 	// Composite is the composite operator ("sequence", "count", "digest");
 	// empty for primitive alerts.
-	Composite    string   `xml:"Composite,omitempty"`
+	Composite string `xml:"Composite,omitempty"`
+	// Class is the QoS priority class of the subscription ("realtime",
+	// "normal", "bulk"); empty means normal (pre-QoS senders).
+	Class        string   `xml:"Class,omitempty"`
 	Event        RawXML   `xml:"Event"`
 	Contributing []RawXML `xml:"Contributing>Event,omitempty"`
 }
@@ -355,8 +358,12 @@ type CompositeNotify struct {
 	Client    string   `xml:"Client"`
 	ProfileID string   `xml:"ProfileID"`
 	// Kind is the composite operator: "sequence", "count" or "digest".
-	Kind         string   `xml:"Kind"`
-	DocIDs       []string `xml:"Docs>ID,omitempty"`
+	Kind   string   `xml:"Kind"`
+	DocIDs []string `xml:"Docs>ID,omitempty"`
+	// Class is the QoS priority class ("realtime", "normal", "bulk");
+	// empty means normal. QoS bulk coalescing delivers its digests with
+	// Kind "digest" and Class "bulk".
+	Class        string   `xml:"Class,omitempty"`
 	Event        RawXML   `xml:"Event"`
 	Contributing []RawXML `xml:"Contributing>Event,omitempty"`
 }

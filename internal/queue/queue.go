@@ -34,6 +34,10 @@ type Item struct {
 	attempts    int
 	nextAttempt time.Time
 	enqueuedAt  time.Time
+	// seq is a monotonic admission number breaking enqueuedAt ties, so
+	// flush order is FIFO even under a frozen deterministic clock (equal
+	// timestamps would otherwise sort unstably).
+	seq uint64
 }
 
 // Attempts reports how many sends have failed so far.
@@ -49,8 +53,9 @@ type Queue struct {
 	maxOff  time.Duration
 	now     func() time.Time
 
-	mu    sync.Mutex
-	items map[string]*Item
+	mu      sync.Mutex
+	items   map[string]*Item
+	nextSeq uint64
 
 	stop chan struct{}
 	done chan struct{}
@@ -103,11 +108,13 @@ func New(sender Sender, opts ...Option) (*Queue, error) {
 func (q *Queue) Add(id, dest string, payload any) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
+	q.nextSeq++
 	q.items[id] = &Item{
 		ID:         id,
 		Dest:       dest,
 		Payload:    payload,
 		enqueuedAt: q.now(),
+		seq:        q.nextSeq,
 		// immediately eligible
 		nextAttempt: q.now(),
 	}
@@ -156,7 +163,12 @@ func (q *Queue) Pending() []Item {
 	for _, it := range q.items {
 		out = append(out, *it)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].enqueuedAt.Before(out[j].enqueuedAt) })
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].enqueuedAt.Equal(out[j].enqueuedAt) {
+			return out[i].enqueuedAt.Before(out[j].enqueuedAt)
+		}
+		return out[i].seq < out[j].seq
+	})
 	return out
 }
 
@@ -187,8 +199,15 @@ func (q *Queue) Flush(ctx context.Context, force bool) int {
 			eligible = append(eligible, it)
 		}
 	}
-	// Deterministic order: oldest first.
-	sort.Slice(eligible, func(i, j int) bool { return eligible[i].enqueuedAt.Before(eligible[j].enqueuedAt) })
+	// Deterministic order: oldest first, admission sequence breaking
+	// timestamp ties (FIFO per destination follows: same-destination items
+	// share the clock and are distinguished by seq).
+	sort.Slice(eligible, func(i, j int) bool {
+		if !eligible[i].enqueuedAt.Equal(eligible[j].enqueuedAt) {
+			return eligible[i].enqueuedAt.Before(eligible[j].enqueuedAt)
+		}
+		return eligible[i].seq < eligible[j].seq
+	})
 	q.mu.Unlock()
 
 	delivered := 0

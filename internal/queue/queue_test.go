@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -227,5 +228,117 @@ func TestSenderErrorKeepsPayload(t *testing.T) {
 	}
 	if st := q.Stats(); st.Failed != 2 || st.Succeeded != 1 {
 		t.Errorf("stats = %+v", st)
+	}
+}
+
+// TestConcurrentStartFlushStop is the -race exercise: Start, Flush, Stop,
+// Add and Remove racing from many goroutines must neither data-race nor
+// deliver an item twice.
+func TestConcurrentStartFlushStop(t *testing.T) {
+	var mu sync.Mutex
+	sent := make(map[string]int)
+	q, err := New(func(_ context.Context, it *Item) error {
+		mu.Lock()
+		sent[it.ID]++
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	const workers = 4
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				q.Add(fmt.Sprintf("it-%d-%d", w, i), "D", i)
+				if i%5 == 0 {
+					q.Flush(context.Background(), true)
+				}
+				if i%7 == 0 {
+					_ = q.Start(time.Millisecond) // may already be started
+				}
+				if i%11 == 0 {
+					q.Stop()
+				}
+				if i%13 == 0 {
+					q.Remove(fmt.Sprintf("it-%d-%d", w, i/2))
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	q.Flush(context.Background(), true)
+	q.Stop()
+	mu.Lock()
+	defer mu.Unlock()
+	for id, n := range sent {
+		if n > 1 {
+			t.Errorf("item %s delivered %d times", id, n)
+		}
+	}
+	if q.Len() != 0 {
+		t.Errorf("%d items left queued after final flush", q.Len())
+	}
+}
+
+// TestFlushDuringHealFIFOPerDestination models the partition-heal drain: a
+// frozen deterministic clock stamps every spooled item with the same
+// enqueue time, and the flush after "healing" must still deliver them in
+// admission (FIFO) order per destination — the seq tie-break, without which
+// equal timestamps sort unstably.
+func TestFlushDuringHealFIFOPerDestination(t *testing.T) {
+	frozen := time.Unix(500, 0)
+	var order []string
+	down := true
+	q, err := New(func(_ context.Context, it *Item) error {
+		if down {
+			return errors.New("partitioned")
+		}
+		order = append(order, it.ID)
+		return nil
+	}, WithClock(func() time.Time { return frozen }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const perDest = 20
+	for i := 0; i < perDest; i++ {
+		q.Add(fmt.Sprintf("a-%02d", i), "DestA", i)
+		q.Add(fmt.Sprintf("b-%02d", i), "DestB", i)
+	}
+	// Flush into the partition: everything fails, stays queued.
+	if n := q.Flush(context.Background(), true); n != 0 {
+		t.Fatalf("delivered %d through a partition", n)
+	}
+	// Heal and drain.
+	down = false
+	if n := q.Flush(context.Background(), true); n != 2*perDest {
+		t.Fatalf("delivered %d of %d after heal", n, 2*perDest)
+	}
+	// Per destination, delivery follows admission order exactly.
+	var gotA, gotB []string
+	for _, id := range order {
+		if strings.HasPrefix(id, "a-") {
+			gotA = append(gotA, id)
+		} else {
+			gotB = append(gotB, id)
+		}
+	}
+	for i := 0; i < perDest; i++ {
+		if wantA := fmt.Sprintf("a-%02d", i); gotA[i] != wantA {
+			t.Fatalf("DestA position %d = %s, want %s (order %v)", i, gotA[i], wantA, gotA)
+		}
+		if wantB := fmt.Sprintf("b-%02d", i); gotB[i] != wantB {
+			t.Fatalf("DestB position %d = %s, want %s (order %v)", i, gotB[i], wantB, gotB)
+		}
+	}
+	// Pending() reports the same deterministic order.
+	q.Add("z-1", "DestA", 1)
+	q.Add("z-0", "DestA", 0)
+	pending := q.Pending()
+	if len(pending) != 2 || pending[0].ID != "z-1" || pending[1].ID != "z-0" {
+		t.Errorf("pending order = %v", pending)
 	}
 }

@@ -129,6 +129,13 @@ func (c *Cluster) NodeAddr(i int) string { return c.nodeAddrs[i] }
 // AddServer creates a Greenstone server with alerting, registered at the
 // GDS node with index nodeIdx (-1 picks round-robin by current count).
 func (c *Cluster) AddServer(name string, nodeIdx int) (*greenstone.Server, error) {
+	return c.AddServerWith(name, nodeIdx, nil)
+}
+
+// AddServerWith is AddServer with a hook to adjust the assembled core
+// configuration before the service is built (experiments inject QoS
+// controllers or delivery-pipeline settings).
+func (c *Cluster) AddServerWith(name string, nodeIdx int, mutate func(*core.Config)) (*greenstone.Server, error) {
 	if _, dup := c.servers[name]; dup {
 		return nil, fmt.Errorf("sim: server %q already exists", name)
 	}
@@ -141,7 +148,7 @@ func (c *Cluster) AddServer(name string, nodeIdx int) (*greenstone.Server, error
 	addr := ServerAddr(name)
 	gdsCli := gds.NewClient(name, addr, c.nodeAddrs[nodeIdx], c.TR)
 	store := collection.NewStore(name)
-	svc, err := core.New(core.Config{
+	cfg := core.Config{
 		ServerName: name,
 		ServerAddr: addr,
 		Transport:  c.TR,
@@ -152,7 +159,11 @@ func (c *Cluster) AddServer(name string, nodeIdx int) (*greenstone.Server, error
 		// tables are warm the moment an advertisement returns: no flood
 		// warm-up window needed.
 		ContentWarmup: -1,
-	})
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	svc, err := core.New(cfg)
 	if err != nil {
 		return nil, err
 	}

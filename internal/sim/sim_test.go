@@ -3,6 +3,7 @@ package sim
 import (
 	"strings"
 	"testing"
+	"time"
 
 	"github.com/gsalert/gsalert/internal/core"
 )
@@ -407,6 +408,34 @@ func TestContentRoutingTableChecksEquivalence(t *testing.T) {
 	}
 	if tbl == nil {
 		t.Fatal("nil table")
+	}
+}
+
+func TestRunQoSOverloadAcceptance(t *testing.T) {
+	// The E15 acceptance point: a 16-server tree at 10x overload (30 events
+	// against a per-subscriber budget of 3) must, in every routing mode,
+	// deliver realtime loss-free with bounded p99, defer (not lose) normal,
+	// coalesce bulk into one digest carrying every shed event, and account
+	// for every match.
+	const servers, events, burst = 16, 30, 3
+	for _, mode := range []core.RoutingMode{core.RouteBroadcast, core.RouteMulticast, core.RouteContent} {
+		r, err := RunQoSOverload(servers, events, burst, mode, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", mode, err)
+		}
+		if err := qosOverloadCheck(r, 30*time.Second); err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+func TestQoSOverloadTableAssertsDegradation(t *testing.T) {
+	tbl, err := QoSOverloadTable(8, 20, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl == nil || tbl.Rows() != 3 {
+		t.Fatalf("table = %+v", tbl)
 	}
 }
 
