@@ -20,6 +20,7 @@ import (
 
 	"github.com/gsalert/gsalert/internal/event"
 	"github.com/gsalert/gsalert/internal/gds"
+	"github.com/gsalert/gsalert/internal/obs"
 	"github.com/gsalert/gsalert/internal/transport"
 )
 
@@ -35,6 +36,12 @@ func run() int {
 		parentID   = flag.String("parent-id", "", "parent node identifier (non-root nodes)")
 		parentAddr = flag.String("parent-addr", "", "parent node address (non-root nodes)")
 		dedupCap   = flag.Int("dedup-capacity", event.DefaultDedupCapacity, "message-ID dedup window (IDs remembered); larger windows cost ~100 B per ID but tolerate longer broadcast echo delays, smaller ones risk relaying late duplicates")
+
+		// Observability knobs (internal/obs, docs/OBSERVABILITY.md).
+		metricsAddr  = flag.String("metrics-addr", "", "serve the Prometheus metric catalog over HTTP at this address (GET /metrics, plus the node snapshot as JSON at GET /stats); empty disables")
+		pushURL      = flag.String("metrics-push-url", "", "push gzip'd Prometheus snapshots to this HTTP sink; empty disables")
+		pushInterval = flag.Duration("metrics-push-interval", 15*time.Second, "interval between pushed metric snapshots")
+		pushMaxBps   = flag.Int("metrics-push-max-bps", 0, "bandwidth cap for pushed snapshots in compressed bytes/sec; 0 = unlimited")
 	)
 	flag.Parse()
 
@@ -49,6 +56,35 @@ func run() int {
 	defer func() { _ = node.Close() }()
 	if *dedupCap != event.DefaultDedupCapacity {
 		node.SetDedupCapacity(*dedupCap)
+	}
+
+	// Observability: the node's dissemination counters, per-link digest
+	// tables and transport wire counters, scrapeable and/or pushed.
+	reg := obs.NewRegistry()
+	obs.RegisterGDSNode(reg, node)
+	obs.RegisterHTTPTransport(reg, tr)
+	obs.RegisterGoRuntime(reg)
+	if *metricsAddr != "" {
+		closeOps, err := obs.ServeOps(*metricsAddr, reg, func() any { return node.Snapshot() })
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gds-server: metrics server: %v\n", err)
+			return 1
+		}
+		defer closeOps()
+		fmt.Printf("gds-server %s serving http://%s/metrics\n", *id, *metricsAddr)
+	}
+	if *pushURL != "" {
+		exp, err := obs.NewExporter(reg, obs.ExporterConfig{
+			URL:            *pushURL,
+			Interval:       *pushInterval,
+			MaxBytesPerSec: *pushMaxBps,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gds-server: metrics exporter: %v\n", err)
+			return 1
+		}
+		defer exp.Close()
+		fmt.Printf("gds-server %s pushing metrics to %s every %s\n", *id, *pushURL, *pushInterval)
 	}
 
 	if *parentAddr != "" {

@@ -17,10 +17,8 @@ package main
 
 import (
 	"context"
-	"encoding/json"
 	"flag"
 	"fmt"
-	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
@@ -34,6 +32,7 @@ import (
 	"github.com/gsalert/gsalert/internal/event"
 	"github.com/gsalert/gsalert/internal/gds"
 	"github.com/gsalert/gsalert/internal/greenstone"
+	"github.com/gsalert/gsalert/internal/obs"
 	"github.com/gsalert/gsalert/internal/protocol"
 	"github.com/gsalert/gsalert/internal/qos"
 	"github.com/gsalert/gsalert/internal/replica"
@@ -80,7 +79,13 @@ func run() int {
 		replListen  = flag.String("replica-listen", "", "replication endpoint to listen on (host:port); primaries accept standby joins here, standbys receive the stream")
 		replicaOf   = flag.String("replica-of", "", "run as standby of the primary whose replication endpoint is this address (requires -replica-listen); the server inherits -name, stays unregistered and passive, and serves only after promotion")
 		promoteAddr = flag.String("promote", "", "one-shot: order the standby at this replication endpoint to promote to serving primary, then exit")
-		statsAddr   = flag.String("stats-addr", "", "serve ServiceStats (including the Replica* fields) as JSON over HTTP at this address (GET /stats); empty disables")
+
+		// Observability knobs (internal/obs, docs/OBSERVABILITY.md).
+		statsAddr    = flag.String("stats-addr", "", "serve ServiceStats (including the Replica* fields) as JSON over HTTP at this address (GET /stats; GET /metrics serves the same catalog as Prometheus text); empty disables")
+		metricsAddr  = flag.String("metrics-addr", "", "serve the Prometheus metric catalog over HTTP at this address (GET /metrics, plus the JSON GET /stats); empty disables")
+		pushURL      = flag.String("metrics-push-url", "", "push gzip'd Prometheus snapshots to this HTTP sink (e.g. a VictoriaMetrics import endpoint); empty disables")
+		pushInterval = flag.Duration("metrics-push-interval", 15*time.Second, "interval between pushed metric snapshots")
+		pushMaxBps   = flag.Int("metrics-push-max-bps", 0, "bandwidth cap for pushed snapshots in compressed bytes/sec; 0 = unlimited")
 	)
 	flag.Parse()
 
@@ -276,14 +281,45 @@ func run() int {
 		}
 	}
 
-	if *statsAddr != "" {
-		closeStats, err := serveStats(*statsAddr, svc, pipeline)
+	// Observability: one registry covers every subsystem; -metrics-addr and
+	// -stats-addr serve the same mux (Prometheus /metrics + JSON /stats), and
+	// -metrics-push-url starts the self-monitoring push exporter against the
+	// same registry.
+	reg := obs.NewRegistry()
+	obs.RegisterService(reg, svc.Stats)
+	obs.RegisterDelivery(reg, pipeline)
+	if ctrl != nil {
+		obs.RegisterQoS(reg, ctrl)
+	}
+	obs.RegisterHTTPTransport(reg, tr)
+	obs.RegisterGoRuntime(reg)
+	statsJSON := func() any {
+		return struct {
+			Service  core.ServiceStats
+			Delivery delivery.Snapshot
+		}{svc.Stats(), pipeline.Metrics().Snapshot()}
+	}
+	for _, opsAddr := range opsAddrs(*metricsAddr, *statsAddr) {
+		closeOps, err := obs.ServeOps(opsAddr, reg, statsJSON)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "gs-server: stats server: %v\n", err)
+			fmt.Fprintf(os.Stderr, "gs-server: ops server: %v\n", err)
 			return 1
 		}
-		defer closeStats()
-		fmt.Printf("gs-server %s serving stats at http://%s/stats\n", *name, *statsAddr)
+		defer closeOps()
+		fmt.Printf("gs-server %s serving http://%s/metrics and http://%s/stats\n", *name, opsAddr, opsAddr)
+	}
+	if *pushURL != "" {
+		exp, err := obs.NewExporter(reg, obs.ExporterConfig{
+			URL:            *pushURL,
+			Interval:       *pushInterval,
+			MaxBytesPerSec: *pushMaxBps,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gs-server: metrics exporter: %v\n", err)
+			return 1
+		}
+		defer exp.Close()
+		fmt.Printf("gs-server %s pushing metrics to %s every %s\n", *name, *pushURL, *pushInterval)
 	}
 
 	// The retry queue delivers deferred aux-profile traffic in the
@@ -373,31 +409,27 @@ func runPromote(addr string) int {
 	return 0
 }
 
-// serveStats exposes the service's counters (including the Replica* fields)
-// and the delivery pipeline's snapshot as JSON for ops visibility.
-func serveStats(addr string, svc *core.Service, pipeline *delivery.Pipeline) (func(), error) {
-	mux := http.NewServeMux()
-	handler := func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		_ = enc.Encode(struct {
-			Service  core.ServiceStats
-			Delivery delivery.Snapshot
-		}{svc.Stats(), pipeline.Metrics().Snapshot()})
+// opsAddrs deduplicates the two ops-endpoint flags: both -metrics-addr and
+// the older -stats-addr serve the identical mux, so pointing them at the
+// same address must not double-bind.
+func opsAddrs(addrs ...string) []string {
+	var out []string
+	for _, a := range addrs {
+		if a == "" {
+			continue
+		}
+		dup := false
+		for _, b := range out {
+			if a == b {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, a)
+		}
 	}
-	mux.HandleFunc("/stats", handler)
-	mux.HandleFunc("/", handler)
-	server := &http.Server{Addr: addr, Handler: mux, ReadHeaderTimeout: 10 * time.Second}
-	errCh := make(chan error, 1)
-	go func() { errCh <- server.ListenAndServe() }()
-	// Fail fast on an unbindable address instead of dying silently later.
-	select {
-	case err := <-errCh:
-		return nil, err
-	case <-time.After(100 * time.Millisecond):
-	}
-	return func() { _ = server.Close() }, nil
+	return out
 }
 
 // runDemo creates the demo collection and starts the rebuild loop.

@@ -1,0 +1,215 @@
+// Self-monitoring — the observability pipeline end to end (internal/obs,
+// docs/OBSERVABILITY.md).
+//
+// One simulated deployment (a GDS node plus a Greenstone server with QoS
+// admission on) is wired into a metric registry, a workload is driven
+// through it, and both halves of the observability story run against the
+// live counters:
+//
+//   - pull: a /metrics endpoint is scraped over HTTP and a slice of the
+//     Prometheus text catalog is printed;
+//   - push: the self-monitoring exporter compresses registry snapshots and
+//     ships them to a local HTTP sink until at least two blocks arrive,
+//     then reports its own gsalert_exporter_* counters — the exporter
+//     watching itself through the registry it exports.
+//
+// The dashboards/ and alerts/ directories next to this file hold a Grafana
+// dashboard and Prometheus alert rules over the same series.
+//
+//	go run ./examples/self-monitoring
+package main
+
+import (
+	"compress/gzip"
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"github.com/gsalert/gsalert/internal/collection"
+	"github.com/gsalert/gsalert/internal/core"
+	"github.com/gsalert/gsalert/internal/obs"
+	"github.com/gsalert/gsalert/internal/profile"
+	"github.com/gsalert/gsalert/internal/qos"
+	"github.com/gsalert/gsalert/internal/sim"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "self-monitoring: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	ctx := context.Background()
+	cluster, err := sim.NewCluster(sim.ClusterConfig{Seed: 2005, GDSNodes: 1})
+	if err != nil {
+		return err
+	}
+	defer cluster.Close()
+
+	ctrl := qos.NewController(qos.Config{
+		SubscriberRate:  50,
+		SubscriberBurst: 100,
+		CollectionRate:  500,
+		CollectionBurst: 1000,
+	})
+	if _, err := cluster.AddServerWith("Hamilton", 0, func(cfg *core.Config) {
+		cfg.QoS = ctrl
+	}); err != nil {
+		return err
+	}
+	svc := cluster.Service("Hamilton")
+
+	// The full catalog in one registry: core service, delivery pipeline,
+	// QoS admission, the directory node and the Go runtime.
+	reg := obs.NewRegistry()
+	obs.RegisterService(reg, svc.Stats)
+	obs.RegisterDelivery(reg, svc.Delivery())
+	obs.RegisterQoS(reg, ctrl)
+	obs.RegisterGDSNode(reg, cluster.Nodes[0])
+	obs.RegisterGoRuntime(reg)
+
+	// Drive a workload so the counters have something to say: one
+	// subscriber per class, three rebuilds.
+	for _, sub := range []struct {
+		client string
+		class  qos.Class
+	}{{"ada", qos.ClassRealtime}, {"bob", qos.ClassNormal}, {"cora", qos.ClassBulk}} {
+		cluster.Notifier("Hamilton", sub.client)
+		p := profile.NewUser(sub.client+"-prof", sub.client, "Hamilton",
+			profile.MustParse(`collection = "Hamilton.D"`))
+		p.Class = sub.class
+		if err := svc.SubscribeProfile(p); err != nil {
+			return err
+		}
+	}
+	if _, err := cluster.Server("Hamilton").AddCollection(ctx, collection.Config{
+		Name: "D", Title: "Dissertations", Public: true,
+	}); err != nil {
+		return err
+	}
+	for round := 0; round < 3; round++ {
+		docs := []*collection.Document{{
+			ID:       fmt.Sprintf("d%d", round),
+			Metadata: map[string][]string{"dc.Title": {fmt.Sprintf("Report %d", round)}},
+			Content:  "self monitoring report",
+		}}
+		if _, _, err := cluster.Server("Hamilton").Build(ctx, "D", docs); err != nil {
+			return err
+		}
+	}
+	cluster.Settle(ctx)
+
+	// --- Pull: serve /metrics and scrape it over HTTP. ---
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	metricsSrv := &http.Server{Handler: obs.Handler(reg), ReadHeaderTimeout: 10 * time.Second}
+	go func() { _ = metricsSrv.Serve(ln) }()
+	defer func() { _ = metricsSrv.Close() }()
+
+	body, err := scrape("http://" + ln.Addr().String() + "/metrics")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("scraped /metrics: %d series lines; a slice of the catalog:\n", countSamples(body))
+	for _, prefix := range []string{
+		"gsalert_core_events_published_total",
+		"gsalert_core_notifications_total",
+		"gsalert_delivery_delivered_by_class_total",
+		"gsalert_delivery_queue_depth{class=\"realtime\",shard=\"0\"}",
+		"gsalert_qos_quota_tokens",
+		"gsalert_gds_deliveries_total",
+	} {
+		for _, line := range strings.Split(body, "\n") {
+			if strings.HasPrefix(line, prefix) {
+				fmt.Printf("  %s\n", line)
+			}
+		}
+	}
+
+	// --- Push: a local sink receives the exporter's gzip'd snapshots. ---
+	var blocks atomic.Int64
+	sinkLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	sinkSrv := &http.Server{
+		ReadHeaderTimeout: 10 * time.Second,
+		Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			zr, err := gzip.NewReader(r.Body)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			if _, err := io.Copy(io.Discard, zr); err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			blocks.Add(1)
+			w.WriteHeader(http.StatusNoContent)
+		}),
+	}
+	go func() { _ = sinkSrv.Serve(sinkLn) }()
+	defer func() { _ = sinkSrv.Close() }()
+
+	exp, err := obs.NewExporter(reg, obs.ExporterConfig{
+		URL:      "http://" + sinkLn.Addr().String() + "/import",
+		Interval: 150 * time.Millisecond,
+	})
+	if err != nil {
+		return err
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for blocks.Load() < 2 && time.Now().Before(deadline) {
+		time.Sleep(20 * time.Millisecond)
+	}
+	exp.Close()
+	if blocks.Load() < 2 {
+		return fmt.Errorf("sink received %d snapshot blocks, want >= 2", blocks.Load())
+	}
+
+	m := exp.Metrics()
+	fmt.Printf("\nexporter pushed %d snapshot blocks to the local sink (%d bytes gzip'd)\n",
+		m.Sent.Value(), m.BytesSent.Value())
+	fmt.Printf("exporter self-monitoring: scrapes=%d sent=%d retries=%d dropped=%d\n",
+		m.Scrapes.Value(), m.Sent.Value(), m.Retries.Value(), m.Dropped.Value())
+	fmt.Println("\nimport dashboards/gsalert.json and alerts/gsalert-alerts.yaml to watch a real deployment (docs/OBSERVABILITY.md)")
+	return nil
+}
+
+// scrape GETs url and returns the body.
+func scrape(url string) (string, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return "", err
+	}
+	defer func() { _ = resp.Body.Close() }()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("scrape %s: http %d", url, resp.StatusCode)
+	}
+	return string(b), nil
+}
+
+// countSamples counts non-comment lines in a Prometheus exposition.
+func countSamples(body string) int {
+	n := 0
+	for _, line := range strings.Split(body, "\n") {
+		if line != "" && !strings.HasPrefix(line, "#") {
+			n++
+		}
+	}
+	return n
+}

@@ -202,6 +202,9 @@ type item struct {
 // class queues by weighted deficit round-robin.
 type shard struct {
 	chs [qos.NumClasses]chan item
+	// sched is the worker's WFQ policy. Only the worker calls Pick;
+	// observability scrapes read the atomic credits via sched.Credits().
+	sched *qos.Scheduler
 	// spills are the per-class disk FIFOs of SpillToDisk (nil entries
 	// otherwise). One spill per class keeps re-ingestion independent: a
 	// class's spilled backlog drains as soon as its own queue idles, never
@@ -281,8 +284,9 @@ func NewPipeline(cfg Config) (*Pipeline, error) {
 	}
 	for i := 0; i < cfg.Shards; i++ {
 		sh := &shard{
-			poke: make(chan struct{}, 1),
-			done: make(chan struct{}),
+			sched: qos.NewScheduler(cfg.ClassWeights),
+			poke:  make(chan struct{}, 1),
+			done:  make(chan struct{}),
 		}
 		for c := range sh.chs {
 			sh.chs[c] = make(chan item, cfg.QueueDepth)
@@ -608,6 +612,47 @@ func (p *Pipeline) QueueDepths() []int {
 	return out
 }
 
+// ClassQueueDepths reports the occupancy of every shard's per-class queues,
+// indexed [shard][class] — the per-shard/per-class depth panel of the
+// Prometheus exposition.
+func (p *Pipeline) ClassQueueDepths() [][qos.NumClasses]int {
+	out := make([][qos.NumClasses]int, len(p.shards))
+	for i, sh := range p.shards {
+		for c, ch := range sh.chs {
+			out[i][c] = len(ch)
+		}
+	}
+	return out
+}
+
+// SchedulerCredits reports the remaining DRR deficit credit of every shard
+// worker's WFQ scheduler, indexed [shard][class]. Safe to call while the
+// workers run (the credits are atomics).
+func (p *Pipeline) SchedulerCredits() [][qos.NumClasses]int64 {
+	out := make([][qos.NumClasses]int64, len(p.shards))
+	for i, sh := range p.shards {
+		out[i] = sh.sched.Credits()
+	}
+	return out
+}
+
+// SpillDepths reports how many notifications sit in each shard's on-disk
+// spill FIFOs (all classes summed); zeros when SpillToDisk is off.
+func (p *Pipeline) SpillDepths() []int {
+	out := make([]int, len(p.shards))
+	for i, sh := range p.shards {
+		for _, sq := range sh.spills {
+			if sq != nil {
+				out[i] += sq.len()
+			}
+		}
+	}
+	return out
+}
+
+// Shards reports the configured shard count.
+func (p *Pipeline) Shards() int { return len(p.shards) }
+
 // Metrics exposes the pipeline's counters and histograms.
 func (p *Pipeline) Metrics() *Metrics { return p.m }
 
@@ -713,14 +758,13 @@ func (p *Pipeline) worker(sh *shard) {
 	defer p.wg.Done()
 	defer close(sh.done)
 	batches := make(map[string][]item)
-	sched := qos.NewScheduler(p.cfg.ClassWeights)
 	ticker := time.NewTicker(p.cfg.FlushInterval)
 	defer ticker.Stop()
 	for {
 		// Fast path: while work is queued, service it in WFQ order. The
 		// inline ticker check keeps interval flushes honest under sustained
 		// load (the select below is only reached when the queues go idle).
-		if it, ok := p.tryDequeue(sh, sched); ok {
+		if it, ok := p.tryDequeue(sh, sh.sched); ok {
 			p.ingest(sh, batches, it)
 			// A class whose queue just went idle may have spilled overflow
 			// waiting; re-ingest it even while OTHER classes stay busy — a

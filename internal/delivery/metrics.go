@@ -59,6 +59,10 @@ type ClassSnapshot struct {
 	// bounds, exact to within 2x).
 	P50 time.Duration
 	P99 time.Duration
+	// P50Text and P99Text render the quantiles human-readable, for the
+	// JSON stats endpoint (the raw fields serialize as nanoseconds).
+	P50Text string
+	P99Text string
 }
 
 // Snapshot is a point-in-time copy of the counters, convenient for tests
@@ -92,11 +96,15 @@ func (m *Metrics) Snapshot() Snapshot {
 		Batches:   m.Batches.Value(),
 	}
 	for c := 0; c < qos.NumClasses; c++ {
+		p50 := m.ClassLatency[c].Quantile(0.5)
+		p99 := m.ClassLatency[c].Quantile(0.99)
 		s.Classes[c] = ClassSnapshot{
 			Class:     qos.Class(c).String(),
 			Delivered: m.DeliveredByClass[c].Value(),
-			P50:       m.ClassLatency[c].Quantile(0.5),
-			P99:       m.ClassLatency[c].Quantile(0.99),
+			P50:       p50,
+			P99:       p99,
+			P50Text:   p50.String(),
+			P99Text:   p99.String(),
 		}
 	}
 	return s

@@ -147,6 +147,11 @@ func (n *Node) handleRouteContent(ctx context.Context, env *protocol.Envelope) (
 	if err != nil {
 		return protocol.Errorf(n.id, "inner", "%v", err), nil
 	}
+	if rc.Flood {
+		n.m.ContentFlooded.Inc()
+	} else {
+		n.m.ContentRouted.Inc()
+	}
 	attrs := rc.AttrMap()
 
 	n.mu.Lock()
@@ -180,9 +185,7 @@ func (n *Node) handleRouteContent(ctx context.Context, env *protocol.Envelope) (
 		delivery.Header.Hops = env.Header.Hops
 		delivery.Header.From = n.id
 		_ = transport.SendOneWay(ctx, n.tr, addr, delivery) // best effort
-		n.mu.Lock()
-		n.deliveries++
-		n.mu.Unlock()
+		n.m.Deliveries.Inc()
 	}
 	if env.Forwardable() {
 		for _, addr := range relays {

@@ -22,6 +22,7 @@ import (
 	"sync"
 
 	"github.com/gsalert/gsalert/internal/event"
+	"github.com/gsalert/gsalert/internal/metrics"
 	"github.com/gsalert/gsalert/internal/profile"
 	"github.com/gsalert/gsalert/internal/protocol"
 	"github.com/gsalert/gsalert/internal/transport"
@@ -66,9 +67,36 @@ type Node struct {
 	listener io.Closer
 	closed   bool
 
-	// deliveries counts inner envelopes handed to registered servers.
-	deliveries int64
+	m Metrics
 }
+
+// Metrics are the node's dissemination counters, lock-free so the handlers'
+// hot paths never serialise on a stats mutex and an observability scrape
+// can read them live (internal/obs registers them on gds-server's
+// /metrics endpoint).
+type Metrics struct {
+	// Deliveries counts inner envelopes handed to registered servers.
+	Deliveries metrics.Counter
+	// Broadcasts counts flood envelopes relayed through this node
+	// (post-dedup).
+	Broadcasts metrics.Counter
+	// Multicasts counts group-multicast envelopes relayed (post-dedup).
+	Multicasts metrics.Counter
+	// ContentRouted counts digest-pruned content-routing envelopes relayed
+	// (post-dedup, Flood unset).
+	ContentRouted metrics.Counter
+	// ContentFlooded counts content envelopes that took the flood fallback
+	// (Flood set: warm-up or unwarm tables).
+	ContentFlooded metrics.Counter
+	// Resolves counts name-resolution requests served here.
+	Resolves metrics.Counter
+	// ResolvesDelegated counts resolutions escalated to the parent (subset
+	// of Resolves).
+	ResolvesDelegated metrics.Counter
+}
+
+// Metrics exposes the node's live counters.
+func (n *Node) Metrics() *Metrics { return &n.m }
 
 // NewNode creates a GDS node listening on addr at the given stratum.
 func NewNode(id, addr string, stratum int, tr transport.Transport) (*Node, error) {
@@ -320,6 +348,7 @@ func (n *Node) handleResolve(ctx context.Context, env *protocol.Envelope) (*prot
 	if err := protocol.Decode(env, protocol.MsgResolve, &r); err != nil {
 		return protocol.Errorf(n.id, "decode", "%v", err), nil
 	}
+	n.m.Resolves.Inc()
 	n.mu.Lock()
 	addr, found := n.subtree[r.Name]
 	parentAddr := n.parentAddr
@@ -335,6 +364,7 @@ func (n *Node) handleResolve(ctx context.Context, env *protocol.Envelope) (*prot
 		}), nil
 	}
 	// Delegate upwards: an ancestor knows every name in its larger subtree.
+	n.m.ResolvesDelegated.Inc()
 	up, err := protocol.NewEnvelope(n.id, protocol.MsgResolve, &r)
 	if err != nil {
 		return protocol.Errorf(n.id, "encode", "%v", err), nil
@@ -361,6 +391,7 @@ func (n *Node) handleBroadcast(ctx context.Context, env *protocol.Envelope) (*pr
 	if err != nil {
 		return protocol.Errorf(n.id, "inner", "%v", err), nil
 	}
+	n.m.Broadcasts.Inc()
 
 	n.mu.Lock()
 	from := env.Header.From
@@ -391,9 +422,7 @@ func (n *Node) handleBroadcast(ctx context.Context, env *protocol.Envelope) (*pr
 		delivery.Header.Hops = env.Header.Hops
 		delivery.Header.From = n.id
 		_ = transport.SendOneWay(ctx, n.tr, addr, delivery) // best effort
-		n.mu.Lock()
-		n.deliveries++
-		n.mu.Unlock()
+		n.m.Deliveries.Inc()
 	}
 	// Relay through the tree.
 	if env.Forwardable() {
@@ -495,6 +524,7 @@ func (n *Node) handleMulticast(ctx context.Context, env *protocol.Envelope) (*pr
 	if err != nil {
 		return protocol.Errorf(n.id, "inner", "%v", err), nil
 	}
+	n.m.Multicasts.Inc()
 
 	n.mu.Lock()
 	from := env.Header.From
@@ -523,9 +553,7 @@ func (n *Node) handleMulticast(ctx context.Context, env *protocol.Envelope) (*pr
 		delivery.Header.Hops = env.Header.Hops
 		delivery.Header.From = n.id
 		_ = transport.SendOneWay(ctx, n.tr, addr, delivery) // best effort
-		n.mu.Lock()
-		n.deliveries++
-		n.mu.Unlock()
+		n.m.Deliveries.Inc()
 	}
 	if env.Forwardable() {
 		if parentAddr != "" {
@@ -572,7 +600,7 @@ func (n *Node) Snapshot() Info {
 		ID:         n.id,
 		Stratum:    n.stratum,
 		ParentID:   n.parentID,
-		Deliveries: n.deliveries,
+		Deliveries: n.m.Deliveries.Value(),
 		DedupHits:  n.dedup.Hits(),
 		Groups:     make(map[string][]string, len(n.groups)),
 		Digests:    make(map[string][]string, len(n.digests)),

@@ -58,6 +58,30 @@ func (h *LatencyHistogram) Observe(d time.Duration) {
 // Count reports recorded samples.
 func (h *LatencyHistogram) Count() int64 { return h.count.Load() }
 
+// Sum reports the total observed latency across all samples — the `_sum`
+// series of the histogram's Prometheus exposition.
+func (h *LatencyHistogram) Sum() time.Duration { return time.Duration(h.sum.Load()) }
+
+// Buckets walks the occupied buckets in ascending bound order, calling f
+// with each bucket's inclusive upper bound and the CUMULATIVE sample count
+// up to and including it — the `le`/`_bucket` shape of a Prometheus
+// histogram. Cumulative counts are monotonically non-decreasing by
+// construction even while writers race the sweep (each per-bucket term is
+// non-negative). Returns the total accumulated by the sweep, which callers
+// should prefer over Count() for a `_count` consistent with the buckets.
+func (h *LatencyHistogram) Buckets(f func(upper time.Duration, cumulative int64)) int64 {
+	var cum int64
+	for i := 0; i < latencyBuckets; i++ {
+		c := h.counts[i].Load()
+		if c == 0 {
+			continue
+		}
+		cum += c
+		f(upperBound(i), cum)
+	}
+	return cum
+}
+
 // Mean reports the average latency (0 when empty).
 func (h *LatencyHistogram) Mean() time.Duration {
 	n := h.count.Load()

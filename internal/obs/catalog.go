@@ -1,0 +1,177 @@
+package obs
+
+import (
+	"runtime"
+	"strconv"
+
+	"github.com/gsalert/gsalert/internal/core"
+	"github.com/gsalert/gsalert/internal/delivery"
+	"github.com/gsalert/gsalert/internal/gds"
+	"github.com/gsalert/gsalert/internal/qos"
+	"github.com/gsalert/gsalert/internal/transport"
+)
+
+// This file wires every subsystem's counters into a Registry under the
+// `gsalert_` namespace. Each RegisterX is startup-time wiring; the actual
+// reads happen per scrape. docs/OBSERVABILITY.md documents the resulting
+// catalog.
+
+// RegisterService exposes core.ServiceStats — including the Composite*,
+// Replica* and QoS* fields — via one Stats() snapshot per scrape.
+func RegisterService(r *Registry, stats func() core.ServiceStats) {
+	r.Collect(func(c *Collector) {
+		s := stats()
+		c.Counter("gsalert_core_events_published_total", "Events published by local collection builds.", float64(s.EventsPublished))
+		c.Counter("gsalert_core_events_received_total", "Events received via GDS dissemination.", float64(s.EventsReceived))
+		c.Counter("gsalert_core_duplicates_dropped_total", "Duplicate events suppressed by the dedup window.", float64(s.DuplicatesDropped))
+		c.Counter("gsalert_core_notifications_total", "Notifications enqueued to the delivery pipeline.", float64(s.Notifications))
+		c.Counter("gsalert_core_notify_failures_total", "Notifications refused by the delivery pipeline.", float64(s.NotifyFailures))
+		c.Counter("gsalert_core_aux_forwards_total", "Events forwarded over the GS network (aux profiles).", float64(s.AuxForwards))
+		c.Counter("gsalert_core_transforms_total", "Events renamed to a super-collection.", float64(s.Transforms))
+		c.Counter("gsalert_core_cycle_refusals_total", "Aux-profile installs refused by the cycle guard.", float64(s.CycleRefusals))
+		c.Counter("gsalert_core_aux_installs_sent_total", "Auxiliary profile installs sent to peers.", float64(s.AuxInstallsSent))
+		c.Counter("gsalert_core_aux_cancels_sent_total", "Auxiliary profile cancels sent to peers.", float64(s.AuxCancelsSent))
+		c.Counter("gsalert_core_broadcasts_sent_total", "Events handed to the GDS for dissemination.", float64(s.BroadcastsSent))
+		c.Counter("gsalert_core_advertisements_sent_total", "Profile-digest advertisements sent (content routing).", float64(s.AdvertisementsSent))
+		c.Counter("gsalert_core_forwarding_failures_total", "Server-to-server forwards queued for retry.", float64(s.ForwardingFailures))
+		c.Counter("gsalert_core_filter_seconds_total", "Cumulative local profile-filtering time.", s.FilterTime.Seconds())
+		c.Counter("gsalert_core_receive_latency_seconds_total", "Cumulative transit latency of received events.", s.ReceiveLatency.Seconds())
+		c.Counter("gsalert_core_receive_hops_total", "Cumulative relay hops of received events.", float64(s.ReceiveHops))
+
+		c.Counter("gsalert_composite_primitives_total", "Step matches consumed by composite state machines.", float64(s.CompositePrimitives))
+		c.Counter("gsalert_composite_firings_total", "Synthesized composite notifications.", float64(s.CompositeFirings))
+		c.Counter("gsalert_composite_digest_flushes_total", "Non-empty composite digest flushes.", float64(s.CompositeDigestFlushes))
+		c.Counter("gsalert_composite_windows_expired_total", "Composite instances dropped by closed time windows.", float64(s.CompositeWindowsExpired))
+		c.Gauge("gsalert_composite_live_instances", "Currently open composite instances.", float64(s.CompositeLiveInstances))
+
+		role := s.ReplicaRole
+		if role == "" {
+			role = "off"
+		}
+		c.Gauge("gsalert_replica_role", "Replication role of this server (1 on the active role's series).", 1, L("role", role))
+		c.Gauge("gsalert_replica_stream_seq", "Stream records sent (primary) or applied (standby).", float64(s.ReplicaStreamSeq))
+		c.Counter("gsalert_replica_streamed_total", "Replication records shipped or applied.", float64(s.ReplicaStreamed))
+		c.Counter("gsalert_replica_dropped_total", "Replication records dropped while no standby was attached.", float64(s.ReplicaDropped))
+		c.Counter("gsalert_replica_errors_total", "Replication stream transport or apply failures.", float64(s.ReplicaErrors))
+		c.Counter("gsalert_replica_snapshots_total", "Full replication snapshots sent or applied.", float64(s.ReplicaSnapshots))
+		c.Counter("gsalert_replica_resyncs_total", "Snapshot catch-ups after stream gaps.", float64(s.ReplicaResyncs))
+		promoted := 0.0
+		if s.ReplicaPromoted {
+			promoted = 1
+		}
+		c.Gauge("gsalert_replica_promoted", "1 once a standby has taken over as primary.", promoted)
+
+		c.Counter("gsalert_qos_admitted_total", "Matches enqueued for immediate delivery.", float64(s.QoSAdmitted))
+		c.Counter("gsalert_qos_deferred_total", "Over-quota normal matches parked for delayed delivery.", float64(s.QoSDeferred))
+		c.Counter("gsalert_qos_coalesced_total", "Over-quota bulk matches folded into a pending digest.", float64(s.QoSCoalesced))
+		c.Counter("gsalert_qos_digests_total", "Coalesced digest notifications synthesized.", float64(s.QoSDigests))
+	})
+}
+
+// RegisterDelivery exposes the pipeline's counters (lock-free, read
+// directly), per-class delivered counts and end-to-end latency histograms,
+// and the per-shard/per-class queue depths, spill depths and DRR deficits.
+func RegisterDelivery(r *Registry, p *delivery.Pipeline) {
+	m := p.Metrics()
+	r.CounterValue("gsalert_delivery_enqueued_total", "Notifications accepted by Enqueue.", &m.Enqueued)
+	r.CounterValue("gsalert_delivery_delivered_total", "Notifications successfully handed to a sink.", &m.Delivered)
+	r.CounterValue("gsalert_delivery_parked_total", "Notifications parked in a mailbox (no sink or sink failed).", &m.Parked)
+	r.CounterValue("gsalert_delivery_deferred_total", "Notifications parked by QoS admission control.", &m.Deferred)
+	r.CounterValue("gsalert_delivery_retried_total", "Notifications parked after a failed delivery attempt.", &m.Retried)
+	r.CounterValue("gsalert_delivery_displaced_total", "Notifications displaced from a full queue (DropOldest).", &m.Displaced)
+	r.CounterValue("gsalert_delivery_spilled_total", "Notifications diverted to the disk spill.", &m.Spilled)
+	r.CounterValue("gsalert_delivery_dropped_total", "Notifications evicted from a full mailbox (actual loss).", &m.Dropped)
+	r.CounterValue("gsalert_delivery_recovered_total", "Notifications restored from mailbox WALs at start.", &m.Recovered)
+	r.CounterValue("gsalert_delivery_batches_total", "Delivery flushes.", &m.Batches)
+	r.Histogram("gsalert_delivery_flush_seconds", "Sink round-trip time per delivery flush.", &m.FlushLatency)
+	for cl := 0; cl < qos.NumClasses; cl++ {
+		label := L("class", qos.Class(cl).String())
+		r.CounterValue("gsalert_delivery_delivered_by_class_total", "Delivered notifications split by QoS class.", &m.DeliveredByClass[cl], label)
+		r.Histogram("gsalert_delivery_latency_seconds", "End-to-end delivery latency per QoS class (enqueue to sink, including parked dwell).", &m.ClassLatency[cl], label)
+	}
+	r.Collect(func(c *Collector) {
+		depths := p.ClassQueueDepths()
+		credits := p.SchedulerCredits()
+		spills := p.SpillDepths()
+		for i := range depths {
+			shard := L("shard", strconv.Itoa(i))
+			for cl := 0; cl < qos.NumClasses; cl++ {
+				class := L("class", qos.Class(cl).String())
+				c.Gauge("gsalert_delivery_queue_depth", "Current occupancy of a shard's per-class queue.", float64(depths[i][cl]), shard, class)
+				c.Gauge("gsalert_delivery_drr_credit", "Remaining DRR deficit credit of a shard worker, per class.", float64(credits[i][cl]), shard, class)
+			}
+			c.Gauge("gsalert_delivery_spill_depth", "Notifications in a shard's on-disk spill FIFOs.", float64(spills[i]), shard)
+		}
+		c.Gauge("gsalert_delivery_batch_size_mean", "Mean notifications per delivery flush.", m.BatchSizes.Mean())
+	})
+}
+
+// RegisterQoS exposes the admission controller's token-bucket levels.
+func RegisterQoS(r *Registry, ctrl *qos.Controller) {
+	r.Collect(func(c *Collector) {
+		s := ctrl.Stats()
+		for _, dim := range []struct {
+			name   string
+			levels qos.BucketLevels
+		}{
+			{"subscriber", s.Subscribers},
+			{"collection", s.Collections},
+		} {
+			label := L("dimension", dim.name)
+			c.Gauge("gsalert_qos_quota_buckets", "Live token buckets tracked per quota dimension.", float64(dim.levels.Buckets), label)
+			c.Gauge("gsalert_qos_quota_tokens", "Aggregate stored tokens per quota dimension (near zero across many buckets = quotas saturated).", dim.levels.Tokens, label)
+		}
+	})
+}
+
+// RegisterGDSNode exposes a directory node's dissemination counters and its
+// content-routing table: one digest-size gauge per warm tree link.
+func RegisterGDSNode(r *Registry, n *gds.Node) {
+	m := n.Metrics()
+	r.CounterValue("gsalert_gds_deliveries_total", "Inner envelopes handed to registered servers.", &m.Deliveries)
+	r.CounterValue("gsalert_gds_broadcasts_total", "Flood envelopes relayed through this node.", &m.Broadcasts)
+	r.CounterValue("gsalert_gds_multicasts_total", "Group-multicast envelopes relayed.", &m.Multicasts)
+	r.CounterValue("gsalert_gds_content_routed_total", "Digest-pruned content-routing envelopes relayed.", &m.ContentRouted)
+	r.CounterValue("gsalert_gds_content_flooded_total", "Content envelopes that took the flood fallback.", &m.ContentFlooded)
+	r.CounterValue("gsalert_gds_resolves_total", "Name resolutions served.", &m.Resolves)
+	r.CounterValue("gsalert_gds_resolves_delegated_total", "Name resolutions escalated to the parent.", &m.ResolvesDelegated)
+	r.Collect(func(c *Collector) {
+		info := n.Snapshot()
+		c.Gauge("gsalert_gds_node_info", "Static node identity (always 1; id and stratum as labels).", 1,
+			L("id", info.ID), L("stratum", strconv.Itoa(info.Stratum)))
+		c.Counter("gsalert_gds_dedup_hits_total", "Duplicate envelopes suppressed by the dedup window.", float64(info.DedupHits))
+		c.Gauge("gsalert_gds_children", "Attached child directory nodes.", float64(len(info.Children)))
+		c.Gauge("gsalert_gds_servers", "Directly registered Greenstone servers.", float64(len(info.Servers)))
+		c.Gauge("gsalert_gds_subtree_names", "Names resolvable from this node's subtree table.", float64(len(info.Subtree)))
+		c.Gauge("gsalert_gds_groups", "Multicast groups with at least one member.", float64(len(info.Groups)))
+		c.Gauge("gsalert_gds_warm_links", "Tree links with an advertised content digest.", float64(len(info.Digests)))
+		for link, digest := range info.Digests {
+			c.Gauge("gsalert_gds_link_digest_conjunctions", "Digest conjunctions advertised over one tree link.", float64(len(digest)), L("link", link))
+		}
+	})
+}
+
+// RegisterHTTPTransport exposes the wire-level frame and byte counters of
+// the process's HTTP transport.
+func RegisterHTTPTransport(r *Registry, t *transport.HTTP) {
+	m := t.Metrics()
+	r.CounterValue("gsalert_transport_frames_sent_total", "Envelopes POSTed to peers.", &m.FramesSent)
+	r.CounterValue("gsalert_transport_frames_received_total", "Envelopes accepted by local listeners.", &m.FramesReceived)
+	r.CounterValue("gsalert_transport_bytes_sent_total", "Envelope payload bytes sent.", &m.BytesSent)
+	r.CounterValue("gsalert_transport_bytes_received_total", "Envelope payload bytes received.", &m.BytesReceived)
+	r.CounterValue("gsalert_transport_send_errors_total", "Sends that failed before yielding a response envelope.", &m.SendErrors)
+}
+
+// RegisterGoRuntime exposes the process-level runtime gauges every
+// dashboard wants next to the subsystem panels.
+func RegisterGoRuntime(r *Registry) {
+	r.Collect(func(c *Collector) {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		c.Gauge("gsalert_go_goroutines", "Live goroutines.", float64(runtime.NumGoroutine()))
+		c.Gauge("gsalert_go_heap_alloc_bytes", "Bytes of allocated heap objects.", float64(ms.HeapAlloc))
+		c.Gauge("gsalert_go_heap_objects", "Allocated heap objects.", float64(ms.HeapObjects))
+		c.Counter("gsalert_go_gc_cycles_total", "Completed GC cycles.", float64(ms.NumGC))
+		c.Counter("gsalert_go_gc_pause_seconds_total", "Cumulative GC stop-the-world pause time.", float64(ms.PauseTotalNs)/1e9)
+	})
+}

@@ -1,0 +1,49 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"time"
+)
+
+// TextContentType is the Prometheus text exposition content type.
+const TextContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// Handler serves the registry's exposition at GET /metrics semantics (any
+// method is accepted; scraping is read-only).
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", TextContentType)
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// ServeOps starts the operational HTTP endpoint of one server process on
+// addr: `/metrics` serves the registry's Prometheus exposition and, when
+// statsJSON is non-nil, `/stats` (and `/`, for back-compat with the
+// original -stats-addr endpoint) serves its value as indented JSON. The
+// returned func stops the server.
+func ServeOps(addr string, reg *Registry, statsJSON func() any) (func(), error) {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", Handler(reg))
+	if statsJSON != nil {
+		js := func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			_ = enc.Encode(statsJSON())
+		}
+		mux.HandleFunc("/stats", js)
+		mux.HandleFunc("/", js)
+	}
+	server := &http.Server{Addr: addr, Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	errCh := make(chan error, 1)
+	go func() { errCh <- server.ListenAndServe() }()
+	// Fail fast on an unbindable address instead of dying silently later.
+	select {
+	case err := <-errCh:
+		return nil, err
+	case <-time.After(100 * time.Millisecond):
+	}
+	return func() { _ = server.Close() }, nil
+}

@@ -1,0 +1,411 @@
+// Package obs is the observability layer: a metric registry with
+// Prometheus text-format exposition, catalog wiring for every subsystem
+// (core service, delivery pipeline, QoS admission, GDS directory nodes,
+// HTTP transport, Go runtime), and a self-monitoring push exporter modeled
+// on the VictoriaMetrics-importer pipeline (collect → compress → bounded
+// sender pool with retry/backoff and a bandwidth cap).
+//
+// The registry is deliberately scrape-time-pull: hot paths keep the
+// lock-free types of internal/metrics (Counter, LatencyHistogram) and pay
+// nothing for being observable — the registry holds read functions and
+// histogram pointers and reads them only when /metrics is scraped or the
+// exporter collects. Registration is startup-time wiring; invalid names,
+// duplicate series and kind conflicts panic immediately rather than
+// producing an exposition a Prometheus scraper would reject at 3 a.m.
+//
+// Three registration shapes cover every producer:
+//
+//   - Counter/Gauge: one static series backed by a read func (wrap a
+//     *metrics.Counter's Value, an atomic gauge, a len()).
+//   - Histogram: one static series backed by a *metrics.LatencyHistogram,
+//     rendered as a real Prometheus histogram (cumulative `_bucket` lines
+//     over the power-of-two buckets, `_sum`, `_count`).
+//   - Collect: a callback run per scrape that emits samples with dynamic
+//     label sets (per-shard queue depths, per-link digest sizes) or many
+//     samples from one snapshot call (core.ServiceStats).
+//
+// See docs/OBSERVABILITY.md for the full metric catalog and deployment
+// walkthrough.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/gsalert/gsalert/internal/metrics"
+)
+
+// Label is one name/value pair attached to a series.
+type Label struct {
+	Name  string
+	Value string
+}
+
+// L is shorthand for building a Label.
+func L(name, value string) Label { return Label{Name: name, Value: value} }
+
+// kind is the exposition type of a family.
+type kind uint8
+
+const (
+	counterKind kind = iota
+	gaugeKind
+	histogramKind
+)
+
+func (k kind) String() string {
+	switch k {
+	case counterKind:
+		return "counter"
+	case gaugeKind:
+		return "gauge"
+	case histogramKind:
+		return "histogram"
+	default:
+		return fmt.Sprintf("kind-%d", int(k))
+	}
+}
+
+// series is one static scalar series.
+type series struct {
+	key    string // canonical label block, the sort/dedup key
+	labels []Label
+	read   func() float64
+}
+
+// histSeries is one static histogram series.
+type histSeries struct {
+	key    string
+	labels []Label
+	h      *metrics.LatencyHistogram
+}
+
+// family groups every series sharing one metric name.
+type family struct {
+	name string
+	help string
+	kind kind
+	// static series, sorted lazily at render time.
+	series []series
+	hists  []histSeries
+}
+
+// Registry holds metric families and renders them in Prometheus text
+// format. All methods are safe for concurrent use; WritePrometheus may run
+// while registered read funcs' underlying counters are being written (the
+// lock-free types of internal/metrics tolerate that by design).
+type Registry struct {
+	mu         sync.Mutex
+	families   map[string]*family
+	collectors []func(*Collector)
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+var (
+	metricNameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelNameRe  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+// validate panics on names a Prometheus scraper would reject — wiring bugs
+// must fail at startup, not at scrape time.
+func validate(name string, labels []Label) {
+	if !metricNameRe.MatchString(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	for _, l := range labels {
+		if !labelNameRe.MatchString(l.Name) {
+			panic(fmt.Sprintf("obs: metric %s: invalid label name %q", name, l.Name))
+		}
+		if l.Name == "le" {
+			panic(fmt.Sprintf("obs: metric %s: label name \"le\" is reserved for histogram buckets", name))
+		}
+	}
+}
+
+// labelKey renders labels as the canonical `{a="b",c="d"}` block ("" when
+// unlabelled). Labels are sorted by name so registration order never leaks
+// into the exposition.
+func labelKey(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	sorted := make([]Label, len(labels))
+	copy(sorted, labels)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range sorted {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabelValue applies the text-format escapes: backslash, double
+// quote and newline.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp applies the HELP-line escapes: backslash and newline.
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// familyOf fetches or creates a family, panicking on help/kind conflicts.
+func (r *Registry) familyOf(name, help string, k kind) *family {
+	f := r.families[name]
+	if f == nil {
+		f = &family{name: name, help: help, kind: k}
+		r.families[name] = f
+		return f
+	}
+	if f.kind != k {
+		panic(fmt.Sprintf("obs: metric %s registered as both %s and %s", name, f.kind, k))
+	}
+	return f
+}
+
+// addSeries installs one static series, panicking on duplicates.
+func (r *Registry) addSeries(name, help string, k kind, labels []Label, read func() float64) {
+	validate(name, labels)
+	key := labelKey(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.familyOf(name, help, k)
+	for _, s := range f.series {
+		if s.key == key {
+			panic(fmt.Sprintf("obs: duplicate series %s%s", name, key))
+		}
+	}
+	f.series = append(f.series, series{key: key, labels: labels, read: read})
+}
+
+// Counter registers a monotonically increasing series read at scrape time.
+// By convention the name ends in `_total` (or `_seconds_total` for
+// accumulated durations).
+func (r *Registry) Counter(name, help string, read func() float64, labels ...Label) {
+	r.addSeries(name, help, counterKind, labels, read)
+}
+
+// CounterValue registers a counter series backed directly by a lock-free
+// metrics.Counter.
+func (r *Registry) CounterValue(name, help string, c *metrics.Counter, labels ...Label) {
+	r.Counter(name, help, func() float64 { return float64(c.Value()) }, labels...)
+}
+
+// Gauge registers a point-in-time series read at scrape time.
+func (r *Registry) Gauge(name, help string, read func() float64, labels ...Label) {
+	r.addSeries(name, help, gaugeKind, labels, read)
+}
+
+// Histogram registers a latency histogram series. It renders as a real
+// Prometheus histogram — cumulative `_bucket{le="..."}` lines over the
+// occupied power-of-two buckets (bounds in seconds), `_sum` and `_count` —
+// so PromQL `histogram_quantile` works against it.
+func (r *Registry) Histogram(name, help string, h *metrics.LatencyHistogram, labels ...Label) {
+	validate(name, labels)
+	key := labelKey(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.familyOf(name, help, histogramKind)
+	for _, s := range f.hists {
+		if s.key == key {
+			panic(fmt.Sprintf("obs: duplicate series %s%s", name, key))
+		}
+	}
+	f.hists = append(f.hists, histSeries{key: key, labels: labels, h: h})
+}
+
+// Collect registers a callback run on every scrape. Use it for series whose
+// label sets are dynamic (per-link tables, per-shard depths) or when many
+// samples derive from one snapshot call.
+func (r *Registry) Collect(fn func(*Collector)) {
+	r.mu.Lock()
+	r.collectors = append(r.collectors, fn)
+	r.mu.Unlock()
+}
+
+// Collector accumulates one scrape's dynamic samples.
+type Collector struct {
+	families map[string]*collFamily
+}
+
+type collFamily struct {
+	help    string
+	kind    kind
+	samples []collSample
+}
+
+type collSample struct {
+	key string
+	v   float64
+}
+
+func (c *Collector) add(name, help string, k kind, v float64, labels []Label) {
+	validate(name, labels)
+	f := c.families[name]
+	if f == nil {
+		f = &collFamily{help: help, kind: k}
+		c.families[name] = f
+	} else if f.kind != k {
+		panic(fmt.Sprintf("obs: metric %s collected as both %s and %s", name, f.kind, k))
+	}
+	f.samples = append(f.samples, collSample{key: labelKey(labels), v: v})
+}
+
+// Counter emits one counter sample for this scrape.
+func (c *Collector) Counter(name, help string, v float64, labels ...Label) {
+	c.add(name, help, counterKind, v, labels)
+}
+
+// Gauge emits one gauge sample for this scrape.
+func (c *Collector) Gauge(name, help string, v float64, labels ...Label) {
+	c.add(name, help, gaugeKind, v, labels)
+}
+
+// formatValue renders a sample value: integers exactly, floats in the
+// shortest round-trip form.
+func formatValue(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders every registered family in Prometheus text
+// format (families and series in deterministic sorted order).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	// Snapshot family pointers and collectors; reads and collector runs
+	// happen outside the lock so a slow read func cannot block registration
+	// (and a collector calling back into the registry cannot deadlock).
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	collectors := make([]func(*Collector), len(r.collectors))
+	copy(collectors, r.collectors)
+	r.mu.Unlock()
+
+	c := &Collector{families: make(map[string]*collFamily)}
+	for _, fn := range collectors {
+		fn(c)
+	}
+
+	type renderFamily struct {
+		name string
+		help string
+		kind kind
+		// scalar lines, sorted by label key.
+		scalars []collSample
+		hists   []histSeries
+	}
+	byName := make(map[string]*renderFamily, len(fams)+len(c.families))
+	for _, f := range fams {
+		rf := &renderFamily{name: f.name, help: f.help, kind: f.kind, hists: f.hists}
+		for _, s := range f.series {
+			rf.scalars = append(rf.scalars, collSample{key: s.key, v: s.read()})
+		}
+		byName[f.name] = rf
+	}
+	for name, cf := range c.families {
+		rf := byName[name]
+		if rf == nil {
+			rf = &renderFamily{name: name, help: cf.help, kind: cf.kind}
+			byName[name] = rf
+		} else if rf.kind != cf.kind {
+			panic(fmt.Sprintf("obs: metric %s registered as %s but collected as %s", name, rf.kind, cf.kind))
+		}
+		rf.scalars = append(rf.scalars, cf.samples...)
+	}
+
+	names := make([]string, 0, len(byName))
+	for name := range byName {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var b strings.Builder
+	for _, name := range names {
+		rf := byName[name]
+		fmt.Fprintf(&b, "# HELP %s %s\n", rf.name, escapeHelp(rf.help))
+		fmt.Fprintf(&b, "# TYPE %s %s\n", rf.name, rf.kind)
+		sort.Slice(rf.scalars, func(i, j int) bool { return rf.scalars[i].key < rf.scalars[j].key })
+		for _, s := range rf.scalars {
+			fmt.Fprintf(&b, "%s%s %s\n", rf.name, s.key, formatValue(s.v))
+		}
+		hists := make([]histSeries, len(rf.hists))
+		copy(hists, rf.hists)
+		sort.Slice(hists, func(i, j int) bool { return hists[i].key < hists[j].key })
+		for _, hs := range hists {
+			writeHistogram(&b, rf.name, hs)
+		}
+		if _, err := io.WriteString(w, b.String()); err != nil {
+			return err
+		}
+		b.Reset()
+	}
+	return nil
+}
+
+// writeHistogram renders one histogram series: cumulative buckets over the
+// occupied power-of-two bounds (in seconds), the +Inf bucket, `_sum` and
+// `_count`. The `_count` and +Inf values come from the same bucket sweep as
+// the `le` lines, so the series is internally monotone even when writers
+// race the scrape.
+func writeHistogram(b *strings.Builder, name string, hs histSeries) {
+	// Splice `le` into the existing canonical label block: the key already
+	// holds the sorted, escaped labels; `le` conventionally goes last.
+	bucketPrefix := name + "_bucket{le=\""
+	if hs.key != "" {
+		bucketPrefix = name + "_bucket" + hs.key[:len(hs.key)-1] + ",le=\""
+	}
+	total := hs.h.Buckets(func(upper time.Duration, cumulative int64) {
+		b.WriteString(bucketPrefix)
+		b.WriteString(strconv.FormatFloat(upper.Seconds(), 'g', -1, 64))
+		b.WriteString("\"} ")
+		b.WriteString(strconv.FormatInt(cumulative, 10))
+		b.WriteByte('\n')
+	})
+	b.WriteString(bucketPrefix)
+	b.WriteString("+Inf\"} ")
+	b.WriteString(strconv.FormatInt(total, 10))
+	b.WriteByte('\n')
+	fmt.Fprintf(b, "%s_sum%s %s\n", name, hs.key, formatValue(hs.h.Sum().Seconds()))
+	fmt.Fprintf(b, "%s_count%s %s\n", name, hs.key, strconv.FormatInt(total, 10))
+}

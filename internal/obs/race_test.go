@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/gsalert/gsalert/internal/delivery"
+	"github.com/gsalert/gsalert/internal/event"
+	"github.com/gsalert/gsalert/internal/qos"
+)
+
+// TestScrapeUnderConcurrentWrites scrapes the full delivery + QoS catalog
+// while shard workers deliver, producers enqueue across classes and the
+// admission controller takes tokens — the scenario the scrape-time-pull
+// design exists for. Run under -race this proves the registry needs no
+// cooperation from the hot paths; each scrape is also checked for
+// histogram monotonicity (the cumulative sweep must hold up mid-write).
+func TestScrapeUnderConcurrentWrites(t *testing.T) {
+	pipe, err := delivery.NewPipeline(delivery.Config{
+		Shards:        2,
+		QueueDepth:    64,
+		BatchSize:     8,
+		FlushInterval: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = pipe.Close() }()
+	ctrl := qos.NewController(qos.Config{
+		SubscriberRate:  50,
+		SubscriberBurst: 100,
+		CollectionRate:  500,
+		CollectionBurst: 1000,
+	})
+
+	reg := NewRegistry()
+	RegisterDelivery(reg, pipe)
+	RegisterQoS(reg, ctrl)
+	RegisterGoRuntime(reg)
+
+	const clients = 4
+	for c := 0; c < clients; c++ {
+		pipe.Attach(fmt.Sprintf("user-%d", c), func(string, []delivery.Notification) error { return nil })
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	// Producers: enqueue across every class, hammer the admission buckets.
+	for p := 0; p < 3; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			i := 0
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				client := fmt.Sprintf("user-%d", i%clients)
+				ev := event.New(fmt.Sprintf("ev-%d-%d", p, i), event.TypeCollectionRebuilt,
+					event.QName{Host: "Hamilton", Collection: "D"}, i, nil, time.Now())
+				_ = pipe.Enqueue(delivery.Notification{
+					Client:    client,
+					ProfileID: "prof",
+					Event:     ev,
+					Class:     qos.Class(i % qos.NumClasses),
+					At:        time.Now(),
+				})
+				ctrl.AllowSubscriber(client)
+				ctrl.AllowCollection("Hamilton.D")
+				i++
+			}
+		}(p)
+	}
+
+	// Scrapers: render and validate the exposition concurrently.
+	for s := 0; s < 2; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				checkExposition(t, render(t, reg))
+			}
+		}()
+	}
+
+	time.Sleep(50 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	// The catalog must reflect the work that just happened.
+	out := render(t, reg)
+	for _, want := range []string{
+		"gsalert_delivery_enqueued_total",
+		"gsalert_delivery_latency_seconds_bucket",
+		`gsalert_qos_quota_tokens{dimension="subscriber"}`,
+		`gsalert_delivery_drr_credit{class="realtime",shard="0"}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("catalog missing %s after load:\n%s", want, out)
+		}
+	}
+}

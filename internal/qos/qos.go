@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -266,6 +267,46 @@ func (c *Controller) AllowCollection(collection string) bool {
 	return c.collections.take(collection, c.cfg.CollectionRate, float64(c.cfg.CollectionBurst), c.cfg.Clock())
 }
 
+// BucketLevels summarises one quota dimension's live token buckets for
+// monitoring: how many keys are tracked and how many tokens they hold in
+// aggregate. Tokens are the raw stored levels (no refill-to-now), so an
+// idle dimension reads as its last admitted state.
+type BucketLevels struct {
+	Buckets int
+	Tokens  float64
+}
+
+// ControllerStats is a point-in-time view of the controller's bucket maps
+// (the "is admission control biting?" panel: aggregate tokens near zero
+// across many buckets means quotas are saturated).
+type ControllerStats struct {
+	Subscribers BucketLevels
+	Collections BucketLevels
+}
+
+// Stats snapshots the controller's bucket levels across both dimensions.
+func (c *Controller) Stats() ControllerStats {
+	return ControllerStats{
+		Subscribers: c.subscribers.levels(),
+		Collections: c.collections.levels(),
+	}
+}
+
+// levels sums one bucketSet's population and stored tokens.
+func (s *bucketSet) levels() BucketLevels {
+	var out BucketLevels
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		out.Buckets += len(sh.m)
+		for _, b := range sh.m {
+			out.Tokens += b.tokens
+		}
+		sh.mu.Unlock()
+	}
+	return out
+}
+
 // ---------------------------------------------------------------------------
 // Weighted-fair scheduler
 
@@ -278,11 +319,13 @@ var DefaultWeights = [NumClasses]int{ClassRealtime: 8, ClassNormal: 4, ClassBulk
 // class holds credit replenished from its weight; Pick serves the
 // highest-priority ready class with credit, recharging every class when
 // credit runs out while work remains. It is a pure policy object — the
-// caller owns the queues — and is NOT safe for concurrent use: each delivery
-// shard worker owns one.
+// caller owns the queues — and Pick is NOT safe for concurrent use: each
+// delivery shard worker owns one. Credits() alone may be called from other
+// goroutines (the credits are atomics precisely so an observability scrape
+// can read a live scheduler's deficits without stalling its worker).
 type Scheduler struct {
 	weights [NumClasses]int
-	credit  [NumClasses]int
+	credit  [NumClasses]atomic.Int64
 }
 
 // NewScheduler builds a scheduler; non-positive weights fall back to
@@ -295,9 +338,23 @@ func NewScheduler(weights [NumClasses]int) *Scheduler {
 			w = DefaultWeights[c]
 		}
 		s.weights[c] = w
-		s.credit[c] = w
+		s.credit[c].Store(int64(w))
 	}
 	return s
+}
+
+// Weights reports the per-class service weights in effect.
+func (s *Scheduler) Weights() [NumClasses]int { return s.weights }
+
+// Credits reports the remaining DRR deficit credit per class — how much of
+// the current recharge cycle each class may still consume. Safe to call
+// concurrently with the owning worker's Pick loop.
+func (s *Scheduler) Credits() [NumClasses]int64 {
+	var out [NumClasses]int64
+	for c := 0; c < NumClasses; c++ {
+		out[c] = s.credit[c].Load()
+	}
+	return out
 }
 
 // Pick selects the next class to serve. ready reports whether a class has
@@ -307,8 +364,8 @@ func NewScheduler(weights [NumClasses]int) *Scheduler {
 func (s *Scheduler) Pick(ready func(Class) bool) (Class, bool) {
 	for pass := 0; pass < 2; pass++ {
 		for _, c := range ByPriority {
-			if s.credit[c] > 0 && ready(c) {
-				s.credit[c]--
+			if s.credit[c].Load() > 0 && ready(c) {
+				s.credit[c].Add(-1)
 				return c, true
 			}
 		}
@@ -319,7 +376,7 @@ func (s *Scheduler) Pick(ready func(Class) bool) (Class, bool) {
 			if ready(c) {
 				any = true
 			}
-			s.credit[c] = s.weights[c]
+			s.credit[c].Store(int64(s.weights[c]))
 		}
 		if !any {
 			return ClassNormal, false

@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/gsalert/gsalert/internal/metrics"
 	"github.com/gsalert/gsalert/internal/protocol"
 )
 
@@ -29,7 +30,31 @@ type HTTP struct {
 	servers map[string]*http.Server
 	wg      sync.WaitGroup
 	closed  bool
+
+	m HTTPMetrics
 }
+
+// HTTPMetrics are the transport's wire-level counters: envelopes (frames)
+// and payload bytes in each direction, plus send failures. Lock-free; an
+// observability scrape reads them live (internal/obs).
+type HTTPMetrics struct {
+	// FramesSent counts envelopes POSTed to peers.
+	FramesSent metrics.Counter
+	// FramesReceived counts envelopes accepted by local listeners.
+	FramesReceived metrics.Counter
+	// BytesSent counts marshalled envelope bytes sent (request bodies plus
+	// response bodies written by local listeners).
+	BytesSent metrics.Counter
+	// BytesReceived counts envelope bytes read (request bodies accepted by
+	// local listeners plus response bodies of our own sends).
+	BytesReceived metrics.Counter
+	// SendErrors counts Send calls that failed before yielding a response
+	// envelope (unreachable peer, HTTP-level failure).
+	SendErrors metrics.Counter
+}
+
+// Metrics exposes the transport's live wire counters.
+func (t *HTTP) Metrics() *HTTPMetrics { return &t.m }
 
 var _ Transport = (*HTTP)(nil)
 
@@ -66,7 +91,7 @@ func (t *HTTP) Listen(addr string, h Handler) (io.Closer, error) {
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc(EnvelopePath, func(w http.ResponseWriter, r *http.Request) {
-		serveEnvelope(w, r, h)
+		t.serveEnvelope(w, r, h)
 	})
 	srv := &http.Server{
 		Handler:           mux,
@@ -117,7 +142,7 @@ func BoundAddr(c io.Closer) string {
 	return ""
 }
 
-func serveEnvelope(w http.ResponseWriter, r *http.Request, h Handler) {
+func (t *HTTP) serveEnvelope(w http.ResponseWriter, r *http.Request, h Handler) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST required", http.StatusMethodNotAllowed)
 		return
@@ -136,6 +161,8 @@ func serveEnvelope(w http.ResponseWriter, r *http.Request, h Handler) {
 		http.Error(w, "malformed envelope: "+err.Error(), http.StatusBadRequest)
 		return
 	}
+	t.m.FramesReceived.Inc()
+	t.m.BytesReceived.Add(int64(len(body)))
 	resp, err := h.Handle(r.Context(), env)
 	if err != nil {
 		resp = protocol.Errorf("", "handler", "%v", err)
@@ -153,6 +180,7 @@ func serveEnvelope(w http.ResponseWriter, r *http.Request, h Handler) {
 	if _, err := w.Write(raw); err != nil {
 		return // client went away; nothing to do
 	}
+	t.m.BytesSent.Add(int64(len(raw)))
 }
 
 // Send POSTs the envelope to addr and parses the response envelope, if any.
@@ -174,8 +202,11 @@ func (t *HTTP) Send(ctx context.Context, addr string, env *protocol.Envelope) (*
 		return nil, fmt.Errorf("transport: build request: %w", err)
 	}
 	req.Header.Set("Content-Type", "application/xml; charset=utf-8")
+	t.m.FramesSent.Inc()
+	t.m.BytesSent.Add(int64(len(raw)))
 	httpResp, err := t.client.Do(req)
 	if err != nil {
+		t.m.SendErrors.Inc()
 		return nil, fmt.Errorf("%w: %q: %w", ErrUnreachable, addr, err)
 	}
 	defer func() { _ = httpResp.Body.Close() }()
@@ -185,9 +216,12 @@ func (t *HTTP) Send(ctx context.Context, addr string, env *protocol.Envelope) (*
 	}
 	body, err := io.ReadAll(io.LimitReader(httpResp.Body, maxEnvelopeBytes+1))
 	if err != nil {
+		t.m.SendErrors.Inc()
 		return nil, fmt.Errorf("transport: read response: %w", err)
 	}
+	t.m.BytesReceived.Add(int64(len(body)))
 	if httpResp.StatusCode != http.StatusOK {
+		t.m.SendErrors.Inc()
 		return nil, fmt.Errorf("%w: %q: http %d: %s", ErrRemoteFailure, addr, httpResp.StatusCode, truncate(body, 200))
 	}
 	return protocol.Unmarshal(body)
