@@ -3,7 +3,7 @@ GO ?= go
 # stable numbers, lower it for a quick smoke pass.
 BENCHTIME ?= 0.2s
 
-.PHONY: all build vet test race bench bench-json bench-diff experiments docs-check examples-smoke clean
+.PHONY: all build vet test race bench bench-json bench-diff experiments docs-check examples-smoke chaos fuzz-smoke clean
 
 all: vet build test docs-check
 
@@ -47,6 +47,25 @@ experiments:
 # Verify README package table, package doc comments and docs/ links.
 docs-check:
 	$(GO) run ./cmd/docs-check
+
+# The E16 chaos-soak gate: the scale/chaos acceptance tests under -race
+# (short schedule — 20k-profile population), plus the concurrency
+# composition test and the fault-engine suites. CI runs this as the
+# chaos-soak job and uploads a cmd/loadgen summary as an artifact; run
+# cmd/loadgen directly for the full 100k-profile soak.
+chaos:
+	$(GO) test -race -short -count=1 -timeout 600s \
+		-run 'TestChaosSoak|TestPromotionConcurrent|TestLoadGen|TestClassSLO' ./internal/sim/
+	$(GO) test -race -count=1 ./internal/chaos/ ./internal/transport/ ./internal/queue/
+
+# Run each fuzz target briefly against its committed corpus plus a short
+# exploration budget (regression seeds under testdata/fuzz are always
+# replayed by plain `go test`).
+FUZZTIME ?= 10s
+fuzz-smoke:
+	$(GO) test -fuzz 'FuzzParse$$' -fuzztime $(FUZZTIME) ./internal/profile/
+	$(GO) test -fuzz FuzzParseText -fuzztime $(FUZZTIME) ./internal/profile/
+	$(GO) test -fuzz FuzzUnmarshal -fuzztime $(FUZZTIME) ./internal/protocol/
 
 # Build and run every example program with a timeout, so the walkthroughs
 # cannot silently rot. Each example is a self-terminating demo; a hang or a

@@ -175,10 +175,36 @@ func BenchmarkBuildOverhead(b *testing.B) {
 					}
 				}
 				b.ResetTimer()
+				var prevVersion int
 				for i := 0; i < b.N; i++ {
 					set[0].Content = fmt.Sprintf("body changed %d", i)
-					if _, _, err := c.Server("Host").Build(ctx, "Col", set); err != nil {
+					res, _, err := c.Server("Host").Build(ctx, "Col", set)
+					if err != nil {
 						b.Fatal(err)
+					}
+					// Guard the invariants the measurement rests on: each
+					// iteration is one monotonically-versioned incremental
+					// rebuild diffing exactly the one mutated document (the
+					// first build ingests the whole set). If the differ ever
+					// regresses to full re-adds, the profile-matching cost
+					// being measured silently changes shape.
+					if res.Version != prevVersion+1 {
+						b.Fatalf("build %d: version %d after %d", i, res.Version, prevVersion)
+					}
+					prevVersion = res.Version
+					added, changed := len(res.Added), len(res.Changed)
+					if len(res.Removed) != 0 {
+						b.Fatalf("build %d removed %d documents", i, len(res.Removed))
+					}
+					if i == 0 {
+						if added != docs || changed != 0 {
+							b.Fatalf("initial build diffed %d added/%d changed, want %d/0", added, changed, docs)
+						}
+					} else if added != 0 || changed != 1 {
+						b.Fatalf("build %d diffed %d added/%d changed, want 0/1", i, added, changed)
+					}
+					if len(res.Events) == 0 {
+						b.Fatalf("build %d produced no events", i)
 					}
 				}
 			})
@@ -637,6 +663,38 @@ func benchQoSScheduling(b *testing.B, classes, clients int) {
 	b.StopTimer()
 	if got := p.Metrics().Delivered.Value(); got < int64(b.N) {
 		b.Fatalf("delivered %d of %d", got, b.N)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// E16 — scale & chaos soak.
+
+// BenchmarkChaosSoak runs the E16 soak at benchmark scale (a reduced
+// population; the acceptance-scale runs live in the sim tests and
+// cmd/loadgen) and records the per-class p99 delivery latency and message
+// cost alongside wall time. The invariant check runs every iteration: a
+// soak that loses alerts is not a number worth recording.
+func BenchmarkChaosSoak(b *testing.B) {
+	for _, profiles := range []int{5_000, 20_000} {
+		b.Run(fmt.Sprintf("profiles=%d", profiles), func(b *testing.B) {
+			var last *sim.ChaosSoakResult
+			for i := 0; i < b.N; i++ {
+				cfg := sim.DefaultChaosSoakConfig(int64(i + 1))
+				cfg.Load.Profiles = profiles
+				r, err := sim.RunChaosSoak(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := r.Check(); err != nil {
+					b.Fatal(err)
+				}
+				last = r
+			}
+			b.ReportMetric(float64(last.Messages)/float64(last.Events), "msgs/event")
+			for _, s := range last.SLO {
+				b.ReportMetric(float64(s.P99.Microseconds())/1e3, s.Class+"-p99-ms")
+			}
+		})
 	}
 }
 

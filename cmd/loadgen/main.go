@@ -1,0 +1,209 @@
+// Command loadgen drives the E16 scale-and-chaos soak outside the test
+// suite: a zipfian subscriber population (100k–1M profiles, mixed
+// primitive/composite, QoS-classed) is spread across a simulated
+// deployment, rounds of zipf-topic events are published, and a chaos
+// schedule — primary kills, directory-subtree partitions, lagging
+// standbys, mode flips, transport fault injection — runs against the
+// workload. The run repeats failure-free as a baseline; the PR 4/5
+// invariants are checked against the composition and per-class delivery
+// latency is evaluated against SLOs.
+//
+// The schedule comes from -schedule (a file in the docs/CHAOS.md text
+// format), or is generated from -gen-seed; with neither, the canonical
+// default schedule runs. -json writes the summary in the same layout as
+// BENCH_results.json (name/iterations/ns_per_op/metrics), so bench-diff
+// can compare soak runs:
+//
+//	go run ./cmd/loadgen -profiles 100000 -seeds 1,7,42 -json soak.json
+//
+// A failed invariant check exits non-zero: CI runs this as the chaos-soak
+// gate.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+
+	"github.com/gsalert/gsalert/internal/chaos"
+	"github.com/gsalert/gsalert/internal/sim"
+)
+
+// benchResult and benchFile mirror cmd/bench-json's output layout so soak
+// summaries and benchmark results share tooling (bench-diff reads both).
+type benchResult struct {
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+type benchFile struct {
+	Goos       string        `json:"goos,omitempty"`
+	Goarch     string        `json:"goarch,omitempty"`
+	Pkg        string        `json:"pkg,omitempty"`
+	Benchmarks []benchResult `json:"benchmarks"`
+}
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		seeds     = flag.String("seeds", "1", "comma-separated run seeds (one soak per seed)")
+		servers   = flag.Int("servers", 16, "alerting servers in the simulated deployment")
+		rounds    = flag.Int("rounds", 12, "publish rounds")
+		events    = flag.Int("events", 4, "events published per round")
+		burst     = flag.Int("burst", 8, "per-subscriber burst-only quota on the observed servers")
+		profiles  = flag.Int("profiles", 100_000, "live subscriber profiles (zipfian population)")
+		topics    = flag.Int("topics", 500, "topic vocabulary size")
+		zipfS     = flag.Float64("zipf-s", 1.07, "zipf skew (> 1)")
+		composite = flag.Float64("composite", 0.02, "fraction of the population registered as DIGEST composites")
+		schedFile = flag.String("schedule", "", "chaos schedule file (docs/CHAOS.md format); empty = canonical default")
+		genSeed   = flag.Int64("gen-seed", 0, "generate a random valid schedule from this seed instead")
+		jsonOut   = flag.String("json", "", "write the summary in BENCH_results.json layout to this file")
+		quiet     = flag.Bool("q", false, "suppress the result tables (summary lines only)")
+	)
+	flag.Parse()
+
+	seedList, err := parseSeeds(*seeds)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+		return 2
+	}
+
+	out := benchFile{
+		Goos:   runtime.GOOS,
+		Goarch: runtime.GOARCH,
+		Pkg:    "github.com/gsalert/gsalert/cmd/loadgen",
+	}
+	failed := 0
+	for _, seed := range seedList {
+		cfg := sim.DefaultChaosSoakConfig(seed)
+		cfg.Servers = *servers
+		cfg.Rounds = *rounds
+		cfg.EventsPerRound = *events
+		cfg.Burst = *burst
+		cfg.Load.Profiles = *profiles
+		cfg.Load.Topics = *topics
+		cfg.Load.ZipfS = *zipfS
+		cfg.Load.CompositeFraction = *composite
+		switch {
+		case *schedFile != "":
+			src, err := os.ReadFile(*schedFile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+				return 2
+			}
+			s, err := chaos.ParseSchedule(string(src))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "loadgen: %s: %v\n", *schedFile, err)
+				return 2
+			}
+			cfg.Schedule = s
+		case *genSeed != 0:
+			s, err := chaos.Generate(chaos.GenConfig{
+				Seed: *genSeed, Rounds: cfg.Rounds, Primary: sim.SoakReplServer,
+				LinkA: "gds0", LinkB: "gds3", InjectTypePrefix: "gs.",
+			})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+				return 2
+			}
+			cfg.Schedule = s
+		default:
+			cfg.Schedule = sim.DefaultSoakSchedule(cfg.Rounds, "gds3")
+		}
+
+		r, err := sim.RunChaosSoak(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: seed %d: %v\n", seed, err)
+			return 1
+		}
+		if !*quiet {
+			fmt.Println(sim.ChaosSoakTable(r).Render())
+		}
+		verdict := "PASS"
+		if err := r.Check(); err != nil {
+			verdict = "FAIL"
+			failed++
+			fmt.Fprintf(os.Stderr, "loadgen: seed %d: %v\n", seed, err)
+		}
+		fmt.Printf("loadgen: seed %d: %s — %d profiles, %d events, %d faults, %d msgs, chaos %v / baseline %v\n",
+			seed, verdict, r.LiveProfiles, r.Events, len(r.Applied),
+			r.Messages, r.WallChaos.Round(1e6), r.WallBaseline.Round(1e6))
+		out.Benchmarks = append(out.Benchmarks, toBench(seed, r))
+	}
+
+	if *jsonOut != "" {
+		raw, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+			return 1
+		}
+		raw = append(raw, '\n')
+		if err := os.WriteFile(*jsonOut, raw, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+			return 1
+		}
+		fmt.Printf("loadgen: wrote %d run(s) to %s\n", len(out.Benchmarks), *jsonOut)
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "loadgen: %d of %d soak run(s) failed the invariant check\n", failed, len(seedList))
+		return 1
+	}
+	return 0
+}
+
+// toBench flattens one soak result into a bench-json row: wall time as
+// ns/op, the invariant observations and per-class latency quantiles as
+// custom metrics.
+func toBench(seed int64, r *sim.ChaosSoakResult) benchResult {
+	m := map[string]float64{
+		"live_profiles":  float64(r.LiveProfiles),
+		"events":         float64(r.Events),
+		"faults":         float64(len(r.Applied)),
+		"msgs":           float64(r.Messages),
+		"blocked":        float64(r.Blocked),
+		"injected_drops": float64(r.InjectedDrops),
+		"inherited":      float64(r.Inherited),
+		"resyncs":        float64(r.Resyncs),
+		"dropped":        float64(r.PipelineDropped),
+	}
+	for _, s := range r.SLO {
+		m[s.Class+"_p50_ms"] = float64(s.P50.Microseconds()) / 1e3
+		m[s.Class+"_p99_ms"] = float64(s.P99.Microseconds()) / 1e3
+	}
+	return benchResult{
+		Name:       fmt.Sprintf("SoakChaos/seed=%d", seed),
+		Iterations: 1,
+		NsPerOp:    float64(r.WallChaos.Nanoseconds()),
+		Metrics:    m,
+	}
+}
+
+func parseSeeds(s string) ([]int64, error) {
+	var out []int64
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.ParseInt(part, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad seed %q", part)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no seeds in %q", s)
+	}
+	return out, nil
+}

@@ -16,7 +16,6 @@ package profile
 
 import (
 	"fmt"
-	"strconv"
 	"strings"
 
 	"github.com/gsalert/gsalert/internal/index"
@@ -146,12 +145,32 @@ func (p *Pred) String() string {
 	case OpIn:
 		vals := make([]string, 0, len(p.Values))
 		for _, v := range p.Values {
-			vals = append(vals, strconv.Quote(v))
+			vals = append(vals, quoteValue(v))
 		}
 		return fmt.Sprintf("%s%s in (%s)", prefix, p.Attr, strings.Join(vals, ", "))
 	default:
-		return fmt.Sprintf("%s%s %s %s", prefix, p.Attr, p.Op, strconv.Quote(p.Value))
+		return fmt.Sprintf("%s%s %s %s", prefix, p.Attr, p.Op, quoteValue(p.Value))
 	}
+}
+
+// quoteValue renders a string literal in the profile language. The lexer's
+// escape rule is "a backslash takes the next rune literally", so only the
+// quote and the backslash need escaping; every other rune — control
+// characters included — is written raw. (strconv.Quote's \xNN escapes
+// would not re-lex, breaking the parseable-back contract of
+// Expr.String.)
+func quoteValue(v string) string {
+	var b strings.Builder
+	b.Grow(len(v) + 2)
+	b.WriteByte('"')
+	for _, r := range v {
+		if r == '"' || r == '\\' {
+			b.WriteByte('\\')
+		}
+		b.WriteRune(r)
+	}
+	b.WriteByte('"')
+	return b.String()
 }
 
 func joinExprs(children []Expr, sep string) string {

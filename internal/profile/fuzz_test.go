@@ -1,0 +1,96 @@
+package profile
+
+import (
+	"testing"
+)
+
+// FuzzParse drives the profile-language parser with arbitrary input. The
+// parser guards every subscription the system accepts (including remote
+// auxiliary installs arriving over the wire), so it must never panic, and
+// its output must honour the language's round-trip contract: Expr.String()
+// renders "parseable back" (ast.go), so a successful parse must reparse,
+// and the reparse must render identically (String is a canonical form).
+// ToDNF over a parsed expression must also be panic-free — the routing
+// digests run it on every subscription.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		`collection = "H.C"`,
+		`collection = "H.C" AND dc.Subject = "t001"`,
+		`event.type = "documents-added" OR event.type = "documents-changed"`,
+		`NOT (host = "H" AND origin = "remote")`,
+		`dc.Creator IN ("a", "b", "c")`,
+		`dc.Title CONTAINS "alert" AND NOT doc.id = "d1"`,
+		`dc.Title PREFIX "The" OR dc.Title SUFFIX "end"`,
+		`dc.Date >= "2005" AND dc.Date < "2006"`,
+		`text QUERY "greenstone alerting"`,
+		`collection MATCHES "H.*"`,
+		`dc.Subject EXISTS`,
+		`a = "1" AND (b = "2" OR c = "3") AND NOT d != "4"`,
+		``,
+		`AND`,
+		`collection = `,
+		`((((`,
+		`collection = "unterminated`,
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		e, err := Parse(src)
+		if err != nil {
+			return // rejecting is fine; panicking is not
+		}
+		rendered := e.String()
+		again, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("String() output does not reparse: %q -> %q: %v", src, rendered, err)
+		}
+		if got := again.String(); got != rendered {
+			t.Fatalf("round trip not canonical: %q -> %q -> %q", src, rendered, got)
+		}
+		// DNF conversion must not panic; oversize expansions error cleanly.
+		if _, err := ToDNF(e); err != nil && err != ErrDNFTooLarge {
+			// Any parseable expression is convertible (or too large);
+			// other failures indicate an AST shape the converter missed.
+			t.Fatalf("ToDNF(%q): %v", rendered, err)
+		}
+	})
+}
+
+// FuzzParseText covers the unified subscription entry point: the composite
+// grammar (SEQUENCE/COUNT/DIGEST wrappers), its fallback into the
+// primitive grammar, and the contract that a successful parse always
+// yields a non-nil routable expression.
+func FuzzParseText(f *testing.F) {
+	for _, seed := range []string{
+		`SEQUENCE (a = "1") THEN (b = "2") WITHIN 1h`,
+		`COUNT 3 OF (collection = "H.C") WITHIN 30m`,
+		`DIGEST (collection = "H.C" AND dc.Subject = "t001") EVERY 1h`,
+		`SEQUENCE (a = "1") THEN (b = "2") THEN (c = "3") WITHIN 24h`,
+		`count = "5"`, // operator-like attribute: primitive fallback
+		`collection = "H.C"`,
+		`COUNT 0 OF (a = "1")`,
+		`DIGEST () EVERY 0s`,
+		`SEQUENCE`,
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		e, c, err := ParseText(src)
+		if err != nil {
+			return
+		}
+		if e == nil {
+			t.Fatalf("ParseText(%q) succeeded with a nil expression", src)
+		}
+		if c != nil {
+			rendered := c.String()
+			_, again, err := ParseText(rendered)
+			if err != nil {
+				t.Fatalf("composite String() output does not reparse: %q -> %q: %v", src, rendered, err)
+			}
+			if again == nil {
+				t.Fatalf("composite round trip lost the composite: %q -> %q", src, rendered)
+			}
+		}
+	})
+}

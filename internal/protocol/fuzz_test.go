@@ -1,0 +1,56 @@
+package protocol
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzUnmarshal drives the envelope decoder with arbitrary byte streams —
+// the exact surface a hostile or corrupted peer reaches first. It must
+// never panic; whatever it accepts must survive the Marshal→Unmarshal
+// round trip with the header intact (the dedup and routing fields the rest
+// of the system trusts).
+func FuzzUnmarshal(f *testing.F) {
+	// Real envelopes of several types as seeds, plus malformed shapes.
+	for _, env := range []*Envelope{
+		MustEnvelope("gds0", MsgPing, nil),
+		MustEnvelope("C001", MsgAck, nil),
+		MustEnvelope("C002", MsgReplWAL, &ErrorPayload{Code: "x", Message: "not really"}),
+	} {
+		raw, err := Marshal(env)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(raw)
+	}
+	f.Add([]byte(`<Envelope><Header><Type>gds.ping</Type></Header></Envelope>`))
+	f.Add([]byte(`<Envelope><Header></Header></Envelope>`)) // missing type
+	f.Add([]byte(`not xml at all`))
+	f.Add([]byte(``))
+	f.Add([]byte(`<Envelope><Body><inner>&#0;</inner></Body>`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		env, err := Unmarshal(data)
+		if err != nil {
+			return // rejecting is fine; panicking is not
+		}
+		if env.Header.Type == "" {
+			t.Fatalf("Unmarshal accepted an envelope without a header type: %q", data)
+		}
+		raw, err := Marshal(env)
+		if err != nil {
+			t.Fatalf("accepted envelope does not re-marshal: %v\ninput: %q", err, data)
+		}
+		again, err := Unmarshal(raw)
+		if err != nil {
+			t.Fatalf("re-marshalled envelope does not re-parse: %v\nround: %q", err, raw)
+		}
+		if again.Header.ID != env.Header.ID || again.Header.Type != env.Header.Type ||
+			again.Header.From != env.Header.From || again.Header.TTL != env.Header.TTL {
+			t.Fatalf("header drifted across round trip:\nfirst: %+v\nagain: %+v", env.Header, again.Header)
+		}
+		if !bytes.Equal(bytes.TrimSpace(again.Body.Inner), bytes.TrimSpace(env.Body.Inner)) {
+			t.Fatalf("body drifted across round trip:\nfirst: %q\nagain: %q", env.Body.Inner, again.Body.Inner)
+		}
+	})
+}

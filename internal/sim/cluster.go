@@ -32,7 +32,14 @@ type ClusterConfig struct {
 
 // Cluster is an assembled simulated deployment.
 type Cluster struct {
-	TR    *transport.Memory
+	TR *transport.Memory
+	// Inject wraps TR with a chaos rule set; every component the cluster
+	// assembles sends through it (Net), so a fault schedule can degrade or
+	// sever any slice of the traffic. With no rules armed it is a
+	// passthrough.
+	Inject *transport.FaultInjector
+	// Net is the transport handed to assembled components (= Inject).
+	Net   transport.Transport
 	Nodes []*gds.Node
 
 	servers   map[string]*greenstone.Server
@@ -54,8 +61,11 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	if cfg.LinkLatency > 0 {
 		tr.SetDefaultLatency(cfg.LinkLatency)
 	}
+	inj := transport.NewFaultInjector(tr, cfg.Seed)
 	c := &Cluster{
 		TR:        tr,
+		Inject:    inj,
+		Net:       inj,
 		servers:   make(map[string]*greenstone.Server),
 		services:  make(map[string]*core.Service),
 		clients:   make(map[string]*gds.Client),
@@ -66,7 +76,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		id := fmt.Sprintf("gds%d", i)
 		addr := "gds://" + id
 		depth := treeDepth(i, cfg.GDSBranching)
-		node, err := gds.NewNode(id, addr, depth+1, tr)
+		node, err := gds.NewNode(id, addr, depth+1, c.Net)
 		if err != nil {
 			return nil, err
 		}
@@ -146,12 +156,12 @@ func (c *Cluster) AddServerWith(name string, nodeIdx int, mutate func(*core.Conf
 		return nil, fmt.Errorf("sim: node index %d out of range", nodeIdx)
 	}
 	addr := ServerAddr(name)
-	gdsCli := gds.NewClient(name, addr, c.nodeAddrs[nodeIdx], c.TR)
+	gdsCli := gds.NewClient(name, addr, c.nodeAddrs[nodeIdx], c.Net)
 	store := collection.NewStore(name)
 	cfg := core.Config{
 		ServerName: name,
 		ServerAddr: addr,
-		Transport:  c.TR,
+		Transport:  c.Net,
 		GDS:        gdsCli,
 		Store:      store,
 		Matcher:    filter.NewEqualityPreferred(),
@@ -170,7 +180,7 @@ func (c *Cluster) AddServerWith(name string, nodeIdx int, mutate func(*core.Conf
 	srv, err := greenstone.NewServer(greenstone.ServerConfig{
 		Name:      name,
 		Addr:      addr,
-		Transport: c.TR,
+		Transport: c.Net,
 		Store:     store,
 		Alerting:  svc,
 		Resolver:  gdsCli,
@@ -278,6 +288,21 @@ func (c *Cluster) HealServers(a, b string) {
 	c.TR.Heal(b, ServerAddr(a))
 }
 
+// PartitionGDSLink cuts the directory link between two GDS nodes (by node
+// id, e.g. "gds0"), severing the subtree below the lower node from the
+// rest of the tree: flooded events and upward registrations crossing the
+// link are blocked (best-effort delivery — the paper's §6 GDS loses them).
+func (c *Cluster) PartitionGDSLink(a, b string) {
+	c.TR.Partition(a, "gds://"+b)
+	c.TR.Partition(b, "gds://"+a)
+}
+
+// HealGDSLink restores a directory link cut by PartitionGDSLink.
+func (c *Cluster) HealGDSLink(a, b string) {
+	c.TR.Heal(a, "gds://"+b)
+	c.TR.Heal(b, "gds://"+a)
+}
+
 // IsolateServer cuts a server off the entire network (both GS and GDS
 // traffic), modelling a solitary disconnected installation. Both the
 // transport address (inbound) and the logical name (outbound sender) are
@@ -299,5 +324,5 @@ func (c *Cluster) NewReceptionist(name string, hosts ...string) *greenstone.Rece
 // RemoteNotifier builds a notifier that pushes MsgNotify envelopes from a
 // server to a client address over the cluster transport.
 func (c *Cluster) RemoteNotifier(server, clientAddr string) core.Notifier {
-	return core.NewRemoteNotifier(server, clientAddr, c.TR)
+	return core.NewRemoteNotifier(server, clientAddr, c.Net)
 }
