@@ -25,6 +25,7 @@ import (
 	"github.com/gsalert/gsalert/internal/qos"
 	"github.com/gsalert/gsalert/internal/replica"
 	"github.com/gsalert/gsalert/internal/sim"
+	"github.com/gsalert/gsalert/internal/trace"
 	"github.com/gsalert/gsalert/internal/transport"
 )
 
@@ -708,6 +709,153 @@ func BenchmarkQoSScheduling(b *testing.B) {
 				benchQoSScheduling(b, classes, clients)
 			})
 		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// E17 — tracing overhead on the publish path.
+
+// benchTracePublish measures the publish→match→deliver path of one server
+// under a tracer configuration: nil (tracing off), installed with sampling
+// disabled (the always-on production default — one timed root per publish,
+// nothing recorded), and head-sampling at 1% and 100%.
+func benchTracePublish(b *testing.B, mkTracer func() *trace.Tracer) {
+	b.Helper()
+	tr := transport.NewMemory(6)
+	defer tr.Close()
+	svc, err := core.New(core.Config{
+		ServerName: "P", ServerAddr: "gs://p", Transport: tr, Tracer: mkTracer(),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer svc.Close()
+	if _, err := svc.Subscribe("u", profile.MustParse(`collection = "P.C"`)); err != nil {
+		b.Fatal(err)
+	}
+	svc.RegisterNotifier("u", core.NotifierFunc(func(core.Notification) {}))
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev := event.New(fmt.Sprintf("bench-trace-%d", i), event.TypeDocumentsAdded,
+			event.QName{Host: "P", Collection: "C"}, 1, nil, eventTime())
+		if _, err := svc.PublishBuild(ctx, &collection.BuildResult{Events: []*event.Event{ev}}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := svc.DrainDeliveries(ctx); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// traceBenchConfigs are BenchmarkTraceOverhead's tracer configurations,
+// using the production-default collector capacity (the ring's pointer
+// slots are GC-scanned, so an oversized ring would tax every
+// configuration with scan work no deployment pays).
+var traceBenchConfigs = []struct {
+	name string
+	mk   func() *trace.Tracer
+}{
+	{"off", func() *trace.Tracer { return nil }},
+	{"sample=0", func() *trace.Tracer {
+		return trace.New(trace.Config{Service: "P", SampleRate: 0, Seed: 9, Collector: trace.NewCollector(trace.DefaultCapacity)})
+	}},
+	{"sample=0.01", func() *trace.Tracer {
+		return trace.New(trace.Config{Service: "P", SampleRate: 0.01, Seed: 9, Collector: trace.NewCollector(trace.DefaultCapacity)})
+	}},
+	{"sample=1", func() *trace.Tracer {
+		return trace.New(trace.Config{Service: "P", SampleRate: 1, Seed: 9, Collector: trace.NewCollector(trace.DefaultCapacity)})
+	}},
+}
+
+// BenchmarkTraceOverhead compares the publish path with tracing off,
+// installed-but-unsampled, 1%-sampled and fully sampled (experiment E17).
+// The off vs sample=0 delta is the always-on cost every deployment pays;
+// the acceptance bar holds it within 2% (asserted by
+// TestTraceDisabledOverhead).
+func BenchmarkTraceOverhead(b *testing.B) {
+	for _, tc := range traceBenchConfigs {
+		b.Run(tc.name, func(b *testing.B) { benchTracePublish(b, tc.mk) })
+	}
+}
+
+// TestTraceDisabledOverhead is the E17 acceptance assertion: a tracer
+// installed with sampling disabled adds at most 2% to the publish path
+// versus no tracer at all. The two configurations run strictly interleaved
+// batches against long-lived services and compare best-batch times, so
+// clock-frequency drift, GC phase and scheduler noise hit both sides
+// equally instead of deciding the verdict; a small absolute floor absorbs
+// timer granularity.
+func TestTraceDisabledOverhead(t *testing.T) {
+	if testing.Short() {
+		t.Skip("micro-benchmark comparison; skipped in -short mode")
+	}
+	if raceEnabled {
+		t.Skip("race-detector instrumentation swamps the 2% bar; run without -race")
+	}
+	const (
+		rounds    = 8
+		batch     = 2000
+		floorNs   = 150.0
+		tolerance = 1.02
+	)
+	ctx := context.Background()
+	type harness struct {
+		svc  *core.Service
+		seq  int
+		name string
+	}
+	setup := func(name string, mk func() *trace.Tracer) *harness {
+		tr := transport.NewMemory(6)
+		t.Cleanup(func() { tr.Close() })
+		svc, err := core.New(core.Config{
+			ServerName: name, ServerAddr: "gs://" + name, Transport: tr, Tracer: mk(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { svc.Close() })
+		if _, err := svc.Subscribe("u", profile.MustParse(`collection = "`+name+`.C"`)); err != nil {
+			t.Fatal(err)
+		}
+		svc.RegisterNotifier("u", core.NotifierFunc(func(core.Notification) {}))
+		return &harness{svc: svc, name: name}
+	}
+	runBatch := func(h *harness) float64 {
+		start := time.Now()
+		for i := 0; i < batch; i++ {
+			h.seq++
+			ev := event.New(fmt.Sprintf("ovh-%s-%d", h.name, h.seq), event.TypeDocumentsAdded,
+				event.QName{Host: h.name, Collection: "C"}, 1, nil, eventTime())
+			if _, err := h.svc.PublishBuild(ctx, &collection.BuildResult{Events: []*event.Event{ev}}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		elapsed := time.Since(start)
+		if err := h.svc.DrainDeliveries(ctx); err != nil {
+			t.Fatal(err)
+		}
+		return float64(elapsed.Nanoseconds()) / batch
+	}
+	off := setup("P", traceBenchConfigs[0].mk)
+	disabled := setup("Q", traceBenchConfigs[1].mk)
+	runBatch(off) // warm-up both paths before measuring
+	runBatch(disabled)
+	best := func(cur, v float64) float64 {
+		if cur == 0 || v < cur {
+			return v
+		}
+		return cur
+	}
+	var offBest, disBest float64
+	for i := 0; i < rounds; i++ {
+		offBest = best(offBest, runBatch(off))
+		disBest = best(disBest, runBatch(disabled))
+	}
+	limit := offBest*tolerance + floorNs
+	t.Logf("publish path: off %.0fns/op, sampling-disabled %.0fns/op (limit %.0f)", offBest, disBest, limit)
+	if disBest > limit {
+		t.Errorf("sampling-disabled publish path %.0fns/op exceeds off %.0fns/op by more than 2%%", disBest, offBest)
 	}
 }
 

@@ -21,6 +21,7 @@ import (
 	"github.com/gsalert/gsalert/internal/event"
 	"github.com/gsalert/gsalert/internal/gds"
 	"github.com/gsalert/gsalert/internal/obs"
+	"github.com/gsalert/gsalert/internal/trace"
 	"github.com/gsalert/gsalert/internal/transport"
 )
 
@@ -42,6 +43,14 @@ func run() int {
 		pushURL      = flag.String("metrics-push-url", "", "push gzip'd Prometheus snapshots to this HTTP sink; empty disables")
 		pushInterval = flag.Duration("metrics-push-interval", 15*time.Second, "interval between pushed metric snapshots")
 		pushMaxBps   = flag.Int("metrics-push-max-bps", 0, "bandwidth cap for pushed snapshots in compressed bytes/sec; 0 = unlimited")
+
+		// Tracing knobs (internal/trace, docs/TRACING.md). A directory node
+		// never samples — it records route-hop spans for contexts the origin
+		// server already sampled — so the only decisions here are on/off and
+		// ring size.
+		traceOn  = flag.Bool("trace", false, "record route-hop spans for sampled events passing through this node, served at GET /traces on the metrics endpoint")
+		traceCap = flag.Int("trace-capacity", trace.DefaultCapacity, "span slots in the in-memory trace ring (drop-oldest)")
+		pprofOn  = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on the metrics endpoint (docs/OBSERVABILITY.md)")
 	)
 	flag.Parse()
 
@@ -58,14 +67,31 @@ func run() int {
 		node.SetDedupCapacity(*dedupCap)
 	}
 
+	var tracer *trace.Tracer
+	if *traceOn {
+		tracer = trace.New(trace.Config{
+			Service:   *id,
+			Collector: trace.NewCollector(*traceCap),
+		})
+		node.SetTracer(tracer)
+	}
+
 	// Observability: the node's dissemination counters, per-link digest
 	// tables and transport wire counters, scrapeable and/or pushed.
 	reg := obs.NewRegistry()
 	obs.RegisterGDSNode(reg, node)
 	obs.RegisterHTTPTransport(reg, tr)
 	obs.RegisterGoRuntime(reg)
+	var opts []obs.ServeOption
+	if tracer.Enabled() {
+		obs.RegisterTrace(reg, tracer.Collector())
+		opts = append(opts, obs.WithTraces(tracer.Collector()))
+	}
+	if *pprofOn {
+		opts = append(opts, obs.WithPprof())
+	}
 	if *metricsAddr != "" {
-		closeOps, err := obs.ServeOps(*metricsAddr, reg, func() any { return node.Snapshot() })
+		closeOps, err := obs.ServeOps(*metricsAddr, reg, func() any { return node.Snapshot() }, opts...)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "gds-server: metrics server: %v\n", err)
 			return 1

@@ -31,7 +31,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: gs-client <describe|search|browse|get|subscribe|listen|watch> [flags]
+	fmt.Fprintln(os.Stderr, `usage: gs-client <describe|search|browse|get|subscribe|listen|watch|trace> [flags]
 run "gs-client <command> -h" for command flags`)
 }
 
@@ -63,6 +63,8 @@ func run() int {
 		err = cmdListen(ctx, recep, args)
 	case "watch":
 		err = cmdWatch(ctx, recep, args)
+	case "trace":
+		err = cmdTrace(ctx, args)
 	default:
 		usage()
 		return 2

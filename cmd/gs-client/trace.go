@@ -1,0 +1,168 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"net/url"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/gsalert/gsalert/internal/trace"
+)
+
+// cmdTrace fetches assembled traces from a server's ops endpoint (the
+// /traces handler mounted by -trace-sample / -trace) and renders each as an
+// indented span tree with per-span timing offsets.
+func cmdTrace(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	ops := fs.String("ops", "127.0.0.1:8080", "ops endpoint address of a gs-server (-metrics-addr) or gds-server (-metrics-addr) with tracing enabled")
+	minMs := fs.Float64("min-ms", 0, "only traces at least this long end-to-end, in milliseconds")
+	class := fs.String("class", "", "only traces containing a span of this QoS class")
+	stage := fs.String("stage", "", "only traces containing this stage (publish, route-hop, match, composite, qos, queue-wait, flush, notify, replica-apply)")
+	limit := fs.Int("limit", 20, "max traces printed, most recent first")
+	_ = fs.Parse(args)
+
+	q := url.Values{}
+	if *minMs > 0 {
+		q.Set("min_ms", strconv.FormatFloat(*minMs, 'f', -1, 64))
+	}
+	if *class != "" {
+		q.Set("class", *class)
+	}
+	if *stage != "" {
+		q.Set("stage", *stage)
+	}
+	if *limit > 0 {
+		q.Set("limit", strconv.Itoa(*limit))
+	}
+	u := url.URL{Scheme: "http", Host: *ops, Path: "/traces", RawQuery: q.Encode()}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u.String(), nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: %s", u.String(), resp.Status)
+	}
+	var payload struct {
+		Traces  []*trace.Trace `json:"traces"`
+		Dropped int64          `json:"dropped_spans"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&payload); err != nil {
+		return fmt.Errorf("decode /traces response: %w", err)
+	}
+
+	if len(payload.Traces) == 0 {
+		fmt.Println("no traces (is the server tracing? gs-server -trace-sample / gds-server -trace)")
+		return nil
+	}
+	for i, t := range payload.Traces {
+		if i > 0 {
+			fmt.Println()
+		}
+		printTrace(t)
+	}
+	fmt.Printf("\n%d traces", len(payload.Traces))
+	if payload.Dropped > 0 {
+		fmt.Printf(" (%d spans dropped ring-side; raise -trace-capacity for longer retention)", payload.Dropped)
+	}
+	fmt.Println()
+	return nil
+}
+
+// printTrace renders one span tree. Spans whose parent is missing (dropped
+// from the ring) print at top level marked with "~" so partial traces stay
+// readable instead of disappearing.
+func printTrace(t *trace.Trace) {
+	status := "complete"
+	if !t.Complete {
+		status = "incomplete"
+	}
+	fmt.Printf("trace %s  %s  e2e %s  %d spans  %s\n",
+		t.TraceID,
+		time.Unix(0, t.StartUnixNano).Format("15:04:05.000"),
+		formatDur(t.Duration()),
+		len(t.Spans),
+		status)
+
+	byID := make(map[string]*trace.SpanRecord, len(t.Spans))
+	children := make(map[string][]*trace.SpanRecord, len(t.Spans))
+	for _, s := range t.Spans {
+		byID[s.SpanID] = s
+	}
+	var roots []*trace.SpanRecord
+	for _, s := range t.Spans {
+		if s.ParentID != "" {
+			if _, ok := byID[s.ParentID]; ok {
+				children[s.ParentID] = append(children[s.ParentID], s)
+				continue
+			}
+		}
+		roots = append(roots, s)
+	}
+	byStart := func(spans []*trace.SpanRecord) {
+		sort.Slice(spans, func(i, j int) bool { return spans[i].StartUnixNano < spans[j].StartUnixNano })
+	}
+	byStart(roots)
+	for _, c := range children {
+		byStart(c)
+	}
+	var walk func(s *trace.SpanRecord, depth int)
+	walk = func(s *trace.SpanRecord, depth int) {
+		printSpan(s, t.StartUnixNano, depth, s.ParentID != "" && byID[s.ParentID] == nil)
+		for _, c := range children[s.SpanID] {
+			walk(c, depth+1)
+		}
+	}
+	for _, r := range roots {
+		walk(r, 1)
+	}
+}
+
+func printSpan(s *trace.SpanRecord, traceStart int64, depth int, orphan bool) {
+	marker := ""
+	if orphan {
+		marker = "~" // parent span missing: dropped from the ring
+	}
+	var extra []string
+	if s.Service != "" {
+		extra = append(extra, "svc="+s.Service)
+	}
+	if s.Class != "" {
+		extra = append(extra, "class="+s.Class)
+	}
+	for _, a := range s.Attrs {
+		extra = append(extra, a.Key+"="+a.Value)
+	}
+	if s.Retained {
+		extra = append(extra, "retained")
+	}
+	fmt.Printf("  %s%s%-14s +%-9s %-9s %s\n",
+		strings.Repeat("  ", depth-1),
+		marker,
+		s.Name,
+		formatDur(time.Duration(s.StartUnixNano-traceStart)),
+		formatDur(s.Duration()),
+		strings.Join(extra, " "))
+}
+
+// formatDur renders durations compactly at microsecond-ish precision.
+func formatDur(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.2fms", float64(d)/float64(time.Millisecond))
+	default:
+		return fmt.Sprintf("%dµs", d.Microseconds())
+	}
+}

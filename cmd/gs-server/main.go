@@ -36,6 +36,7 @@ import (
 	"github.com/gsalert/gsalert/internal/protocol"
 	"github.com/gsalert/gsalert/internal/qos"
 	"github.com/gsalert/gsalert/internal/replica"
+	"github.com/gsalert/gsalert/internal/trace"
 	"github.com/gsalert/gsalert/internal/transport"
 )
 
@@ -86,6 +87,12 @@ func run() int {
 		pushURL      = flag.String("metrics-push-url", "", "push gzip'd Prometheus snapshots to this HTTP sink (e.g. a VictoriaMetrics import endpoint); empty disables")
 		pushInterval = flag.Duration("metrics-push-interval", 15*time.Second, "interval between pushed metric snapshots")
 		pushMaxBps   = flag.Int("metrics-push-max-bps", 0, "bandwidth cap for pushed snapshots in compressed bytes/sec; 0 = unlimited")
+
+		// Tracing knobs (internal/trace, docs/TRACING.md).
+		traceSample = flag.Float64("trace-sample", 0, "head-sampling rate for end-to-end event traces in [0,1]: fraction of publishes recorded as span trees, served at GET /traces on the ops endpoint; 0 disables (with -trace-slow 0)")
+		traceSlow   = flag.Duration("trace-slow", 0, "tail-retain threshold: publish roots slower than this are traced even when head sampling passed them over; 0 disables tail retention")
+		traceCap    = flag.Int("trace-capacity", trace.DefaultCapacity, "span slots in the in-memory trace ring (drop-oldest)")
+		pprofOn     = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on the ops endpoint (docs/OBSERVABILITY.md)")
 	)
 	flag.Parse()
 
@@ -123,6 +130,19 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "gs-server: %v\n", err)
 		return 1
 	}
+	// Tracing: one collector feeds /traces and the gsalert_trace_* series;
+	// the tracer threads through the publish path, delivery pipeline and
+	// (on standbys) the replication apply loop.
+	var tracer *trace.Tracer
+	if *traceSample > 0 || *traceSlow > 0 {
+		tracer = trace.New(trace.Config{
+			Service:    *name,
+			SampleRate: *traceSample,
+			SlowRoot:   *traceSlow,
+			Collector:  trace.NewCollector(*traceCap),
+		})
+	}
+
 	pipeline, err := delivery.NewPipeline(delivery.Config{
 		Shards:        *dlvShards,
 		QueueDepth:    *dlvQueue,
@@ -132,6 +152,7 @@ func run() int {
 		Dir:           *mailboxDir,
 		MailboxCap:    *mailboxCap,
 		ClassWeights:  weights,
+		Tracer:        tracer,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "gs-server: delivery pipeline: %v\n", err)
@@ -166,6 +187,7 @@ func run() int {
 		ContentWarmup: *warmup,
 		DedupCapacity: *dedupCap,
 		QoS:           ctrl,
+		Tracer:        tracer,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "gs-server: %v\n", err)
@@ -204,6 +226,7 @@ func run() int {
 			ListenAddr:  *replListen,
 			PrimaryAddr: *replicaOf,
 			GDS:         gdsCli,
+			Tracer:      tracer,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "gs-server: standby: %v\n", err)
@@ -293,6 +316,14 @@ func run() int {
 	}
 	obs.RegisterHTTPTransport(reg, tr)
 	obs.RegisterGoRuntime(reg)
+	var opts []obs.ServeOption
+	if tracer.Enabled() {
+		obs.RegisterTrace(reg, tracer.Collector())
+		opts = append(opts, obs.WithTraces(tracer.Collector()))
+	}
+	if *pprofOn {
+		opts = append(opts, obs.WithPprof())
+	}
 	statsJSON := func() any {
 		return struct {
 			Service  core.ServiceStats
@@ -300,7 +331,7 @@ func run() int {
 		}{svc.Stats(), pipeline.Metrics().Snapshot()}
 	}
 	for _, opsAddr := range opsAddrs(*metricsAddr, *statsAddr) {
-		closeOps, err := obs.ServeOps(opsAddr, reg, statsJSON)
+		closeOps, err := obs.ServeOps(opsAddr, reg, statsJSON, opts...)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "gs-server: ops server: %v\n", err)
 			return 1

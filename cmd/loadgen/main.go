@@ -57,19 +57,20 @@ func main() {
 
 func run() int {
 	var (
-		seeds     = flag.String("seeds", "1", "comma-separated run seeds (one soak per seed)")
-		servers   = flag.Int("servers", 16, "alerting servers in the simulated deployment")
-		rounds    = flag.Int("rounds", 12, "publish rounds")
-		events    = flag.Int("events", 4, "events published per round")
-		burst     = flag.Int("burst", 8, "per-subscriber burst-only quota on the observed servers")
-		profiles  = flag.Int("profiles", 100_000, "live subscriber profiles (zipfian population)")
-		topics    = flag.Int("topics", 500, "topic vocabulary size")
-		zipfS     = flag.Float64("zipf-s", 1.07, "zipf skew (> 1)")
-		composite = flag.Float64("composite", 0.02, "fraction of the population registered as DIGEST composites")
-		schedFile = flag.String("schedule", "", "chaos schedule file (docs/CHAOS.md format); empty = canonical default")
-		genSeed   = flag.Int64("gen-seed", 0, "generate a random valid schedule from this seed instead")
-		jsonOut   = flag.String("json", "", "write the summary in BENCH_results.json layout to this file")
-		quiet     = flag.Bool("q", false, "suppress the result tables (summary lines only)")
+		seeds       = flag.String("seeds", "1", "comma-separated run seeds (one soak per seed)")
+		servers     = flag.Int("servers", 16, "alerting servers in the simulated deployment")
+		rounds      = flag.Int("rounds", 12, "publish rounds")
+		events      = flag.Int("events", 4, "events published per round")
+		burst       = flag.Int("burst", 8, "per-subscriber burst-only quota on the observed servers")
+		profiles    = flag.Int("profiles", 100_000, "live subscriber profiles (zipfian population)")
+		topics      = flag.Int("topics", 500, "topic vocabulary size")
+		zipfS       = flag.Float64("zipf-s", 1.07, "zipf skew (> 1)")
+		composite   = flag.Float64("composite", 0.02, "fraction of the population registered as DIGEST composites")
+		schedFile   = flag.String("schedule", "", "chaos schedule file (docs/CHAOS.md format); empty = canonical default")
+		traceSample = flag.Float64("trace-sample", 0, "head-sampling rate in (0,1] for end-to-end event traces; emits the per-stage latency attribution table (docs/TRACING.md); 0 disables")
+		genSeed     = flag.Int64("gen-seed", 0, "generate a random valid schedule from this seed instead")
+		jsonOut     = flag.String("json", "", "write the summary in BENCH_results.json layout to this file")
+		quiet       = flag.Bool("q", false, "suppress the result tables (summary lines only)")
 	)
 	flag.Parse()
 
@@ -95,6 +96,7 @@ func run() int {
 		cfg.Load.Topics = *topics
 		cfg.Load.ZipfS = *zipfS
 		cfg.Load.CompositeFraction = *composite
+		cfg.TraceSample = *traceSample
 		switch {
 		case *schedFile != "":
 			src, err := os.ReadFile(*schedFile)
@@ -129,6 +131,9 @@ func run() int {
 		}
 		if !*quiet {
 			fmt.Println(sim.ChaosSoakTable(r).Render())
+			if len(r.Attribution) > 0 {
+				fmt.Println(sim.AttributionTable(r.Attribution).Render())
+			}
 		}
 		verdict := "PASS"
 		if err := r.Check(); err != nil {
@@ -180,6 +185,16 @@ func toBench(seed int64, r *sim.ChaosSoakResult) benchResult {
 	for _, s := range r.SLO {
 		m[s.Class+"_p50_ms"] = float64(s.P50.Microseconds()) / 1e3
 		m[s.Class+"_p99_ms"] = float64(s.P99.Microseconds()) / 1e3
+	}
+	// Traced runs add the attribution table: per class, the traced e2e p99
+	// and each stage's share of the class's end-to-end latency.
+	for _, a := range r.Attribution {
+		m["attr_"+a.Class+"_chains"] = float64(a.Samples)
+		m["attr_"+a.Class+"_e2e_p99_ms"] = float64(a.E2EP99.Microseconds()) / 1e3
+		m["attr_"+a.Class+"_sum_err"] = a.SumError()
+		for stage, share := range a.Share {
+			m["attr_"+a.Class+"_"+stage+"_share"] = share
+		}
 	}
 	return benchResult{
 		Name:       fmt.Sprintf("SoakChaos/seed=%d", seed),

@@ -29,6 +29,7 @@ import (
 
 	"github.com/gsalert/gsalert/internal/event"
 	"github.com/gsalert/gsalert/internal/profile"
+	"github.com/gsalert/gsalert/internal/trace"
 )
 
 // Firing is one completed composite: a sequence that reached its last
@@ -46,6 +47,11 @@ type Firing struct {
 	DocIDs []string
 	// At is the completion (or flush) time.
 	At time.Time
+	// Trace is the trace context of the primitive match that completed the
+	// composite (for digests, the last sampled contribution), so the
+	// synthesized notification stays connected to the triggering event's
+	// span tree. Zero when no contributing event was traced.
+	Trace trace.Context
 }
 
 // Stats counts the engine's externally visible work. Counters are
@@ -119,6 +125,9 @@ type def struct {
 	nextFlush   time.Time
 	batchEvents []*event.Event
 	batchDocIDs []string
+	// batchTrace is the last sampled trace context contributed to the open
+	// digest batch; the flush firing inherits it.
+	batchTrace trace.Context
 }
 
 // Engine drives the state machines of all registered composite profiles of
@@ -247,6 +256,13 @@ func (d *def) liveInstances() int64 {
 // profile and advances its state machine. Completions are emitted after
 // the engine lock is released, in order.
 func (e *Engine) OnPrimitive(profileID string, step int, ev *event.Event, docIDs []string, now time.Time) {
+	e.OnPrimitiveCtx(profileID, step, ev, docIDs, now, trace.Context{})
+}
+
+// OnPrimitiveCtx is OnPrimitive with the triggering match's trace context:
+// a completion fired by this match carries tctx so the composite stage
+// appears in the event's span tree.
+func (e *Engine) OnPrimitiveCtx(profileID string, step int, ev *event.Event, docIDs []string, now time.Time, tctx trace.Context) {
 	e.mu.Lock()
 	d, ok := e.defs[profileID]
 	if !ok {
@@ -263,6 +279,12 @@ func (e *Engine) OnPrimitive(profileID string, step int, ev *event.Event, docIDs
 	case profile.CompositeDigest:
 		d.batchEvents = append(d.batchEvents, ev)
 		d.batchDocIDs = appendUnique(d.batchDocIDs, docIDs)
+		if tctx.Sampled() {
+			d.batchTrace = tctx
+		}
+	}
+	for i := range fired {
+		fired[i].Trace = tctx
 	}
 	e.stats.Firings += int64(len(fired))
 	e.mu.Unlock()
@@ -435,9 +457,11 @@ func (e *Engine) Tick(now time.Time) {
 				Events:    d.batchEvents,
 				DocIDs:    d.batchDocIDs,
 				At:        now,
+				Trace:     d.batchTrace,
 			})
 			d.batchEvents = nil
 			d.batchDocIDs = nil
+			d.batchTrace = trace.Context{}
 			e.stats.DigestFlushes++
 		}
 	}

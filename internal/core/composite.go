@@ -11,6 +11,7 @@ import (
 	"github.com/gsalert/gsalert/internal/event"
 	"github.com/gsalert/gsalert/internal/profile"
 	"github.com/gsalert/gsalert/internal/qos"
+	"github.com/gsalert/gsalert/internal/trace"
 )
 
 // Composite (temporal) profiles: the subscription side registers the
@@ -145,11 +146,13 @@ func qosDigestID(profileID string) string { return qosDigestPrefix + profileID }
 // coalesceBulk folds one over-quota bulk-class match into the profile's
 // pending digest, creating the digest definition on first overflow. The
 // digest flushes on the composite tick once the controller's coalescing
-// period elapses.
-func (s *Service) coalesceBulk(profileID, owner string, ev *event.Event, docIDs []string, now time.Time, ctrl *qos.Controller) {
+// period elapses. tctx is the match's StageQoS span (outcome=coalesce):
+// threading it — rather than a fresh ingest span — attributes the digest's
+// accumulation dwell to the qos stage, where QoS-degraded latency belongs.
+func (s *Service) coalesceBulk(profileID, owner string, ev *event.Event, docIDs []string, now time.Time, ctrl *qos.Controller, tctx trace.Context) {
 	id := qosDigestID(profileID)
 	s.composite.EnsureDigest(id, owner, ctrl.BulkDigestEvery(), now)
-	s.composite.OnPrimitive(id, 0, ev, docIDs, now)
+	s.composite.OnPrimitiveCtx(id, 0, ev, docIDs, now, tctx)
 }
 
 // emitComposite turns an engine firing into a synthesized notification on
@@ -186,6 +189,14 @@ func (s *Service) emitComposite(f composite.Firing) {
 		BuildVersion: last.BuildVersion,
 		OccurredAt:   f.At,
 	}
+	// The fire span marks when the state machine completed; the gap back to
+	// its parent (the ingest or coalesce span) is the engine's dwell, and
+	// the gap forward to queue-wait is enqueue admission.
+	var fctx trace.Context
+	if f.Trace.Sampled() {
+		fctx = s.tracer.Record(f.Trace, trace.StageComposite, time.Now(), 0,
+			class.String(), trace.Attr{Key: "op", Value: "fire"}, trace.Attr{Key: "kind", Value: f.Kind.String()})
+	}
 	err := s.delivery.Enqueue(Notification{
 		Client:       f.Owner,
 		ProfileID:    profileID,
@@ -195,6 +206,7 @@ func (s *Service) emitComposite(f composite.Firing) {
 		Contributing: f.Events,
 		Class:        class,
 		At:           f.At,
+		Trace:        fctx,
 	})
 	s.mu.Lock()
 	if err != nil {

@@ -8,6 +8,7 @@ import (
 	"github.com/gsalert/gsalert/internal/event"
 	"github.com/gsalert/gsalert/internal/profile"
 	"github.com/gsalert/gsalert/internal/protocol"
+	"github.com/gsalert/gsalert/internal/trace"
 )
 
 // Content-based dissemination (RouteContent): instead of joining one
@@ -100,7 +101,7 @@ func (s *Service) readvertiseOnChurn(added *profile.Profile) {
 
 // contentRouteEvent disseminates ev through the directory's content
 // tables, flooding instead while the warm-up window is open.
-func (s *Service) contentRouteEvent(ctx context.Context, ev *event.Event) error {
+func (s *Service) contentRouteEvent(ctx context.Context, ev *event.Event, tctx trace.Context) error {
 	raw, err := ev.MarshalXMLBytes()
 	if err != nil {
 		return err
@@ -109,6 +110,7 @@ func (s *Service) contentRouteEvent(ctx context.Context, ev *event.Event) error 
 	if err != nil {
 		return err
 	}
+	stampTrace(inner, tctx)
 	s.mu.Lock()
 	flood := s.clock().Before(s.contentFloodUntil)
 	s.mu.Unlock()

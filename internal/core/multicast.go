@@ -8,6 +8,7 @@ import (
 	"github.com/gsalert/gsalert/internal/event"
 	"github.com/gsalert/gsalert/internal/profile"
 	"github.com/gsalert/gsalert/internal/protocol"
+	"github.com/gsalert/gsalert/internal/trace"
 )
 
 // RoutingMode selects how events are disseminated through the GDS.
@@ -217,7 +218,7 @@ func (s *Service) groupsOf(p *profile.Profile) []string {
 
 // multicastEvent disseminates ev to its collection's group plus the
 // catch-all group.
-func (s *Service) multicastEvent(ctx context.Context, ev *event.Event) error {
+func (s *Service) multicastEvent(ctx context.Context, ev *event.Event, tctx trace.Context) error {
 	raw, err := ev.MarshalXMLBytes()
 	if err != nil {
 		return err
@@ -227,6 +228,7 @@ func (s *Service) multicastEvent(ctx context.Context, ev *event.Event) error {
 		if err != nil {
 			return err
 		}
+		stampTrace(inner, tctx)
 		if err := s.gdsCli.Multicast(ctx, group, inner); err != nil {
 			return err
 		}

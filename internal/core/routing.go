@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"strconv"
 	"time"
 
 	"github.com/gsalert/gsalert/internal/collection"
@@ -11,6 +12,7 @@ import (
 	"github.com/gsalert/gsalert/internal/protocol"
 	"github.com/gsalert/gsalert/internal/qos"
 	"github.com/gsalert/gsalert/internal/queue"
+	"github.com/gsalert/gsalert/internal/trace"
 	"github.com/gsalert/gsalert/internal/transport"
 )
 
@@ -44,8 +46,17 @@ func (s *Service) publishEvent(ctx context.Context, ev *event.Event) (time.Durat
 	s.stats.EventsPublished++
 	s.mu.Unlock()
 
+	// Root span of the event's end-to-end trace. Always timed — even when
+	// head sampling passes — so the tail-retain rule can rescue slow
+	// outliers; its context rides into the filter path and the disseminated
+	// envelopes so every downstream hop chains onto the same trace.
+	root := s.tracer.StartRoot(trace.StagePublish)
+	root.SetAttr("event", ev.ID)
+	tctx := root.Context()
+	defer root.Finish()
+
 	// 1. Local filtering + notification (+ aux matching), timed.
-	filterTime := s.filterLocally(ev)
+	filterTime := s.filterLocally(ev, tctx)
 
 	// A promoted standby must keep suppressing duplicates of events the
 	// primary already processed, so admissions replicate too — strictly
@@ -68,7 +79,7 @@ func (s *Service) publishEvent(ctx context.Context, ev *event.Event) (time.Durat
 		case RouteContent:
 			disseminate = s.contentRouteEvent
 		}
-		if err := disseminate(ctx, ev); err != nil {
+		if err := disseminate(ctx, ev, tctx); err != nil {
 			// Best effort (paper §6): flooding failures are not fatal.
 			s.mu.Lock()
 			s.stats.ForwardingFailures++
@@ -97,7 +108,14 @@ func (s *Service) publishEvent(ctx context.Context, ev *event.Event) (time.Durat
 // through the composite engine. Composite step matches are not admission-
 // checked — the state machines already dampen their volume, and their
 // synthesized firings inherit the composite profile's class.
-func (s *Service) filterLocally(ev *event.Event) time.Duration {
+//
+// When tctx carries a sampled trace (a local publish root or the context of
+// an incoming GDS hop), the match pass is recorded as one StageMatch span
+// and every admission decision as a StageQoS span whose "outcome" attribute
+// is the qos.Outcome vocabulary; the qos span's context rides on the
+// notification, so mailbox dwell of deferred traffic shows up as qos time
+// in the attribution table (docs/TRACING.md).
+func (s *Service) filterLocally(ev *event.Event, tctx trace.Context) time.Duration {
 	start := time.Now()
 	matches := s.matcher.Match(ev)
 	elapsed := time.Since(start)
@@ -108,6 +126,10 @@ func (s *Service) filterLocally(ev *event.Event) time.Duration {
 	ctrl := s.qos
 	s.mu.Unlock()
 
+	mctx := s.tracer.Record(tctx, trace.StageMatch, start, elapsed, "",
+		trace.Attr{Key: "matches", Value: strconv.Itoa(len(matches))})
+	sampled := mctx.Sampled()
+
 	var enqueued, refused, admitted, deferred, coalesced int64
 	// The collection bucket is consumed at most once per event, and only
 	// when the event actually fans out to quota-subject subscriptions.
@@ -116,8 +138,16 @@ func (s *Service) filterLocally(ev *event.Event) time.Duration {
 		if m.Profile.CompositeOf != "" {
 			// Matches are sorted by profile ID, so for one composite the
 			// steps arrive in step order ("p#0" before "p#1") and an event
-			// matching several steps advances the earliest ones first.
-			s.composite.OnPrimitive(m.Profile.CompositeOf, m.Profile.CompositeStep, ev, m.DocIDs, now)
+			// matching several steps advances the earliest ones first. The
+			// ingest span is recorded at consumption time so the engine's
+			// dwell (window waits, digest accumulation) is attributed to the
+			// composite stage, not to matching.
+			ictx := trace.Context{}
+			if sampled {
+				ictx = s.tracer.Record(mctx, trace.StageComposite, time.Now(), 0,
+					m.Profile.Class.String(), trace.Attr{Key: "op", Value: "ingest"})
+			}
+			s.composite.OnPrimitiveCtx(m.Profile.CompositeOf, m.Profile.CompositeStep, ev, m.DocIDs, now, ictx)
 			continue
 		}
 		n := Notification{
@@ -128,6 +158,12 @@ func (s *Service) filterLocally(ev *event.Event) time.Duration {
 			Class:     m.Profile.Class,
 			At:        now,
 		}
+		// Admission decision first, span second: the span's outcome
+		// attribute records what actually happened to the match.
+		outcome := qos.OutcomeAdmit
+		if ctrl != nil && m.Profile.Class == qos.ClassRealtime {
+			outcome = qos.OutcomeBypass
+		}
 		if ctrl != nil && m.Profile.Class != qos.ClassRealtime {
 			if !collChecked {
 				collOK = ctrl.AllowCollection(ev.Collection.String())
@@ -137,15 +173,30 @@ func (s *Service) filterLocally(ev *event.Event) time.Duration {
 			// tokens are preserved for less noisy collections.
 			if !collOK || !ctrl.AllowSubscriber(m.Profile.Owner) {
 				if m.Profile.Class == qos.ClassBulk {
-					s.coalesceBulk(m.Profile.ID, m.Profile.Owner, ev, m.DocIDs, now, ctrl)
-					coalesced++
-				} else if err := s.delivery.Defer(n); err != nil {
-					refused++
+					outcome = qos.OutcomeCoalesce
 				} else {
-					deferred++
+					outcome = qos.OutcomeDefer
 				}
-				continue
 			}
+		}
+		var qctx trace.Context
+		if sampled {
+			qctx = s.tracer.Record(mctx, trace.StageQoS, time.Now(), 0,
+				m.Profile.Class.String(), trace.Attr{Key: "outcome", Value: outcome.String()})
+			n.Trace = qctx
+		}
+		switch outcome {
+		case qos.OutcomeCoalesce:
+			s.coalesceBulk(m.Profile.ID, m.Profile.Owner, ev, m.DocIDs, now, ctrl, qctx)
+			coalesced++
+			continue
+		case qos.OutcomeDefer:
+			if err := s.delivery.Defer(n); err != nil {
+				refused++
+			} else {
+				deferred++
+			}
+			continue
 		}
 		if err := s.delivery.Enqueue(n); err != nil {
 			refused++
@@ -210,7 +261,7 @@ func (s *Service) forwardPerAuxProfiles(ctx context.Context, ev *event.Event) {
 }
 
 // broadcastEvent floods ev through the GDS.
-func (s *Service) broadcastEvent(ctx context.Context, ev *event.Event) error {
+func (s *Service) broadcastEvent(ctx context.Context, ev *event.Event, tctx trace.Context) error {
 	raw, err := ev.MarshalXMLBytes()
 	if err != nil {
 		return err
@@ -219,7 +270,17 @@ func (s *Service) broadcastEvent(ctx context.Context, ev *event.Event) error {
 	if err != nil {
 		return err
 	}
+	stampTrace(inner, tctx)
 	return s.gdsCli.Broadcast(ctx, inner)
+}
+
+// stampTrace attaches a sampled trace context to an outgoing envelope.
+// Unsampled contexts stay off the wire: absent means unsampled, so pre-trace
+// receivers and untraced runs see byte-identical envelopes.
+func stampTrace(env *protocol.Envelope, tctx trace.Context) {
+	if tctx.Sampled() {
+		env.Header.Trace = tctx.String()
+	}
 }
 
 // HandleEventEnvelope processes an incoming MsgEvent, whether delivered by
@@ -264,7 +325,11 @@ func (s *Service) handleFloodedEvent(ev *event.Event, env *protocol.Envelope) er
 	}
 	s.stats.ReceiveHops += int64(env.Header.Hops)
 	s.mu.Unlock()
-	s.filterLocally(ev)
+	// Continue the publisher's trace: the envelope carries the context of
+	// the last recorded hop span (or the publish root on one-hop paths), so
+	// this server's match/qos spans chain under the dissemination path.
+	tctx, _ := trace.Parse(env.Header.Trace)
+	s.filterLocally(ev, tctx)
 	// After filtering, as in publishEvent: the crash window between the
 	// notification appends and the dedup record duplicates, never loses.
 	s.replicateDedup(ev.ID)

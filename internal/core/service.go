@@ -38,6 +38,7 @@ import (
 	"github.com/gsalert/gsalert/internal/protocol"
 	"github.com/gsalert/gsalert/internal/qos"
 	"github.com/gsalert/gsalert/internal/queue"
+	"github.com/gsalert/gsalert/internal/trace"
 	"github.com/gsalert/gsalert/internal/transport"
 )
 
@@ -134,6 +135,12 @@ type Config struct {
 	// enqueued, as before), though priority classes still select delivery
 	// scheduling weights.
 	QoS *qos.Controller
+	// Tracer records pipeline spans (docs/TRACING.md): a publish root per
+	// originated event, match/qos/composite spans on the filter path, and
+	// the context threaded into disseminated envelopes so downstream hops
+	// chain onto the same trace. Nil disables tracing (the default); the
+	// service also hands the tracer to a pipeline it builds itself.
+	Tracer *trace.Tracer
 	// Clock overrides time.Now for deterministic tests.
 	Clock func() time.Time
 }
@@ -208,6 +215,10 @@ type Service struct {
 	// qos is the admission controller (nil = admission disabled); read
 	// under mu so SetQoS can swap it at runtime.
 	qos *qos.Controller
+
+	// tracer records pipeline spans; nil *trace.Tracer no-ops, so the
+	// untraced hot path pays one pointer check per call site.
+	tracer *trace.Tracer
 
 	idCounter atomic.Uint64
 	stats     ServiceStats
@@ -307,6 +318,7 @@ func New(cfg Config) (*Service, error) {
 		s.matcher = filter.NewEqualityPreferred()
 	}
 	s.qos = cfg.QoS
+	s.tracer = cfg.Tracer
 	if s.resolver == nil && s.gdsCli != nil {
 		s.resolver = s.gdsCli
 	}
@@ -315,6 +327,9 @@ func New(cfg Config) (*Service, error) {
 		dcfg := delivery.Config{}
 		if cfg.DeliveryConfig != nil {
 			dcfg = *cfg.DeliveryConfig
+		}
+		if dcfg.Tracer == nil {
+			dcfg.Tracer = cfg.Tracer
 		}
 		p, err := delivery.NewPipeline(dcfg)
 		if err != nil {
@@ -361,6 +376,9 @@ func (s *Service) QoS() *qos.Controller {
 	defer s.mu.Unlock()
 	return s.qos
 }
+
+// Tracer returns the service's span recorder (nil when tracing is off).
+func (s *Service) Tracer() *trace.Tracer { return s.tracer }
 
 // DrainDeliveries blocks until every enqueued notification is delivered or
 // parked. Simulations and tests call it to observe a quiescent state;

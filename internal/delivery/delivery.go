@@ -46,6 +46,7 @@ import (
 
 	"github.com/gsalert/gsalert/internal/event"
 	"github.com/gsalert/gsalert/internal/qos"
+	"github.com/gsalert/gsalert/internal/trace"
 )
 
 // Notification is one alert addressed to one client. core.Notification is an
@@ -72,6 +73,10 @@ type Notification struct {
 	Class qos.Class
 	// At is the local delivery time.
 	At time.Time
+	// Trace is the trace context of the admission decision that produced
+	// this notification; the pipeline's queue-wait, flush and notify spans
+	// chain under it. The zero value (untraced) costs nothing.
+	Trace trace.Context
 }
 
 // Deliverer pushes one batch of notifications to one client. A non-nil error
@@ -165,6 +170,9 @@ type Config struct {
 	// ClassWeights sets the per-class WFQ service weights of the shard
 	// workers; non-positive entries fall back to qos.DefaultWeights.
 	ClassWeights [qos.NumClasses]int
+	// Tracer records the pipeline's queue-wait, flush and notify spans for
+	// sampled notifications. nil disables tracing.
+	Tracer *trace.Tracer
 }
 
 func (c *Config) fillDefaults() {
@@ -192,9 +200,15 @@ func (c *Config) fillDefaults() {
 }
 
 // item is one queued delivery: the notification plus its mailbox sequence.
+// For traced notifications, qw is the open queue-wait span (admit →
+// dequeue) and deq the dequeue time the flush span starts from; both are
+// zero on the untraced hot path and after a disk-spill round trip (the
+// trace context itself survives in n.Trace, so later stages still chain).
 type item struct {
 	n   Notification
 	seq uint64
+	qw  trace.Span
+	deq time.Time
 }
 
 // shard is one worker pool: one bounded queue per QoS class, an optional
@@ -450,6 +464,11 @@ func (p *Pipeline) admit(it item, mb *mailbox) error {
 	class := classOf(it.n)
 	ch := sh.chs[class]
 	p.inflight.Add(1)
+	// Queue-wait starts at admission; Block-policy backpressure time counts
+	// as queue wait, which is exactly what the attribution table should say
+	// about a saturated shard.
+	it.qw = p.cfg.Tracer.StartChild(it.n.Trace, trace.StageQueueWait)
+	it.qw.SetClass(class.String())
 	switch p.cfg.Overflow {
 	case DropOldest:
 		for {
@@ -462,6 +481,8 @@ func (p *Pipeline) admit(it item, mb *mailbox) error {
 			case old := <-ch:
 				// Displace the oldest queued item of the same class back to
 				// its mailbox: parked, deliverable on the next attach/drain.
+				old.qw.SetAttr("outcome", "displaced")
+				old.qw.Finish()
 				p.parkItems([]item{old})
 				p.m.Displaced.Inc()
 				p.inflight.Add(-1)
@@ -485,6 +506,12 @@ func (p *Pipeline) admit(it item, mb *mailbox) error {
 			default:
 			}
 		}
+		// The span cannot ride to disk: close the in-memory leg here. The
+		// context in it.n.Trace survives the round trip, so flush/notify
+		// spans still chain (under the qos span) after re-ingestion.
+		it.qw.SetAttr("outcome", "spilled")
+		it.qw.Finish()
+		it.qw = trace.Span{}
 		err := sh.spills[class].push(it)
 		sh.admitMu.Unlock()
 		if err != nil {
@@ -848,6 +875,10 @@ func (p *Pipeline) tryDequeue(sh *shard, sched *qos.Scheduler) (item, bool) {
 
 // ingest adds one item to its client batch, flushing on size.
 func (p *Pipeline) ingest(sh *shard, batches map[string][]item, it item) {
+	if it.n.Trace.Sampled() {
+		it.qw.Finish()
+		it.deq = time.Now()
+	}
 	b := append(batches[it.n.Client], it)
 	if len(b) >= p.cfg.BatchSize {
 		delete(batches, it.n.Client)
@@ -933,7 +964,8 @@ func (p *Pipeline) flush(client string, b []item) {
 		p.mu.Unlock()
 		start := time.Now()
 		err := d(client, ns)
-		p.m.FlushLatency.Observe(time.Since(start))
+		sendDur := time.Since(start)
+		p.m.FlushLatency.Observe(sendDur)
 		p.m.BatchSizes.Observe(float64(len(b)))
 		p.m.Batches.Inc()
 		if err == nil {
@@ -948,11 +980,34 @@ func (p *Pipeline) flush(client string, b []item) {
 					// including any parked or deferred dwell time.
 					p.m.ClassLatency[c].Observe(now.Sub(it.n.At))
 				}
+				if it.n.Trace.Sampled() {
+					p.recordFlushSpans(it, c, start, sendDur, now, len(b))
+				}
 			}
 			return
 		}
 		tried, triedGen = true, gen
 	}
+}
+
+// recordFlushSpans emits one traced item's flush and notify spans after a
+// successful batch delivery. The flush span runs dequeue → delivered
+// (batch dwell plus the send); the nested notify span is the sink call
+// itself. Items whose queue-wait span was lost to a spill round trip (or
+// that were drained from a mailbox) chain directly under n.Trace with the
+// batch send as their flush window.
+func (p *Pipeline) recordFlushSpans(it item, c qos.Class, sendStart time.Time, sendDur time.Duration, end time.Time, batchLen int) {
+	parent := it.n.Trace
+	if qctx := it.qw.Context(); qctx.Sampled() {
+		parent = qctx
+	}
+	flushStart := it.deq
+	if flushStart.IsZero() {
+		flushStart = sendStart
+	}
+	fctx := p.cfg.Tracer.Record(parent, trace.StageFlush, flushStart, end.Sub(flushStart), c.String(),
+		trace.Attr{Key: "batch", Value: fmt.Sprint(batchLen)})
+	p.cfg.Tracer.Record(fctx, trace.StageNotify, sendStart, sendDur, c.String())
 }
 
 // ackItems removes delivered items from the client's mailbox.

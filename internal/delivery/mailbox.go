@@ -15,6 +15,7 @@ import (
 
 	"github.com/gsalert/gsalert/internal/event"
 	"github.com/gsalert/gsalert/internal/qos"
+	"github.com/gsalert/gsalert/internal/trace"
 )
 
 // A mailbox holds one user's undelivered notifications. Entries move through
@@ -566,6 +567,7 @@ type walNotification struct {
 	AtNano       int64    `xml:"At,omitempty"`
 	Composite    string   `xml:"Composite,omitempty"`
 	Class        string   `xml:"Class,omitempty"`
+	Trace        string   `xml:"Trace,omitempty"`
 	Event        rawXML   `xml:"Event"`
 	Contributing []rawXML `xml:"Contributing>Event,omitempty"`
 }
@@ -577,6 +579,7 @@ func marshalNotification(n Notification) ([]byte, error) {
 		DocIDs:    n.DocIDs,
 		AtNano:    n.At.UnixNano(),
 		Composite: n.Composite,
+		Trace:     n.Trace.String(),
 	}
 	if n.Class != qos.ClassNormal {
 		w.Class = n.Class.String()
@@ -617,6 +620,10 @@ func unmarshalNotification(raw []byte) (Notification, error) {
 	// normal rather than failing recovery.
 	if class, err := qos.ParseClass(w.Class); err == nil {
 		n.Class = class
+	}
+	// A malformed trace field degrades to untraced the same way.
+	if tctx, ok := trace.Parse(w.Trace); ok {
+		n.Trace = tctx
 	}
 	if w.AtNano != 0 {
 		n.At = time.Unix(0, w.AtNano)

@@ -29,7 +29,7 @@ func TestWFQRealtimeOvertakesBulk(t *testing.T) {
 	p, err := NewPipeline(Config{
 		Shards:        1,
 		QueueDepth:    256,
-		BatchSize:     1,               // flush per item: delivery order == dequeue order
+		BatchSize:     1,                // flush per item: delivery order == dequeue order
 		FlushInterval: 10 * time.Second, // keep the ticker out of the ordering
 	})
 	if err != nil {

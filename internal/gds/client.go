@@ -135,6 +135,9 @@ func (c *Client) Broadcast(ctx context.Context, inner *protocol.Envelope) error 
 	if err != nil {
 		return err
 	}
+	// Mirror the inner envelope's trace context on the outer header so
+	// directory nodes can record per-hop spans without unwrapping Inner.
+	env.Header.Trace = inner.Header.Trace
 	if err := transport.SendOneWay(ctx, c.tr, c.nodeAddr, env); err != nil {
 		return fmt.Errorf("gds: broadcast from %s: %w", c.serverName, err)
 	}
@@ -176,6 +179,7 @@ func (c *Client) Multicast(ctx context.Context, group string, inner *protocol.En
 	if err != nil {
 		return err
 	}
+	env.Header.Trace = inner.Header.Trace
 	return transport.SendOneWay(ctx, c.tr, c.nodeAddr, env)
 }
 

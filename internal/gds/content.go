@@ -3,6 +3,7 @@ package gds
 import (
 	"context"
 	"sort"
+	"time"
 
 	"github.com/gsalert/gsalert/internal/profile"
 	"github.com/gsalert/gsalert/internal/protocol"
@@ -136,6 +137,7 @@ func (n *Node) propagateDigest(ctx context.Context) {
 // matches (paper §6's multicast descent, with digests instead of group
 // membership). Flooded (fallback) messages take the broadcast paths.
 func (n *Node) handleRouteContent(ctx context.Context, env *protocol.Envelope) (*protocol.Envelope, error) {
+	hopStart := time.Now()
 	if n.dedup.Observe(env.Header.ID) {
 		return protocol.Ack(n.id, env), nil
 	}
@@ -179,11 +181,20 @@ func (n *Node) handleRouteContent(ctx context.Context, env *protocol.Envelope) (
 	}
 	n.mu.Unlock()
 
+	mode := "content"
+	if rc.Flood {
+		mode = "content-flood"
+	}
+	hopCtx := n.hopSpan(env, hopStart, mode)
+
 	for _, addr := range targets {
 		delivery := inner.Clone()
 		delivery.Header.VirtualLatencyMicros = env.Header.VirtualLatencyMicros
 		delivery.Header.Hops = env.Header.Hops
 		delivery.Header.From = n.id
+		if hopCtx != "" {
+			delivery.Header.Trace = hopCtx
+		}
 		_ = transport.SendOneWay(ctx, n.tr, addr, delivery) // best effort
 		n.m.Deliveries.Inc()
 	}
@@ -191,6 +202,9 @@ func (n *Node) handleRouteContent(ctx context.Context, env *protocol.Envelope) (
 		for _, addr := range relays {
 			fwd := env.NextHop()
 			fwd.Header.From = n.id
+			if hopCtx != "" {
+				fwd.Header.Trace = hopCtx
+			}
 			_ = transport.SendOneWay(ctx, n.tr, addr, fwd) // best effort
 		}
 	}
@@ -249,6 +263,7 @@ func (c *Client) RouteContent(ctx context.Context, attrs map[string]string, inne
 	if err != nil {
 		return err
 	}
+	env.Header.Trace = inner.Header.Trace
 	return transport.SendOneWay(ctx, c.tr, c.nodeAddr, env)
 }
 

@@ -19,12 +19,15 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
 	"sync"
+	"time"
 
 	"github.com/gsalert/gsalert/internal/event"
 	"github.com/gsalert/gsalert/internal/metrics"
 	"github.com/gsalert/gsalert/internal/profile"
 	"github.com/gsalert/gsalert/internal/protocol"
+	"github.com/gsalert/gsalert/internal/trace"
 	"github.com/gsalert/gsalert/internal/transport"
 )
 
@@ -67,7 +70,39 @@ type Node struct {
 	listener io.Closer
 	closed   bool
 
+	// tracer records one route-hop span per traced dissemination envelope
+	// relayed through this node; nil disables hop recording (traced
+	// envelopes still pass through unchanged).
+	tracer *trace.Tracer
+
 	m Metrics
+}
+
+// SetTracer installs (or, with nil, removes) the node's span recorder. Call
+// it before traffic flows; the dissemination handlers read it unlocked.
+func (n *Node) SetTracer(t *trace.Tracer) { n.tracer = t }
+
+// hopSpan records this node's processing of one traced dissemination
+// envelope as a StageRouteHop span covering receive-to-relay (dedup, decode,
+// target selection) and returns the re-stamp wire context: deliveries and
+// relays carry the hop span as their new parent so a trace's span tree
+// mirrors the dissemination tree hop by hop. Untraced envelopes (or a node
+// without a tracer) return "" and nothing is recorded. The span closes
+// before the sends on purpose: on the synchronous in-memory transport the
+// downstream stages run inside the send, and counting them here would
+// double-attribute their time.
+func (n *Node) hopSpan(env *protocol.Envelope, start time.Time, mode string) string {
+	if n.tracer == nil || env.Header.Trace == "" {
+		return ""
+	}
+	parent, ok := trace.Parse(env.Header.Trace)
+	if !ok || !parent.Sampled() {
+		return ""
+	}
+	ctx := n.tracer.Record(parent, trace.StageRouteHop, start, time.Since(start), "",
+		trace.Attr{Key: "mode", Value: mode},
+		trace.Attr{Key: "hops", Value: strconv.Itoa(env.Header.Hops)})
+	return ctx.String()
 }
 
 // Metrics are the node's dissemination counters, lock-free so the handlers'
@@ -380,6 +415,7 @@ func (n *Node) handleResolve(ctx context.Context, env *protocol.Envelope) (*prot
 // it delivers to locally registered servers, then forwards up to the parent
 // and down to every child except the link it arrived on (paper §4.1).
 func (n *Node) handleBroadcast(ctx context.Context, env *protocol.Envelope) (*protocol.Envelope, error) {
+	hopStart := time.Now()
 	if n.dedup.Observe(env.Header.ID) {
 		return protocol.Ack(n.id, env), nil
 	}
@@ -414,6 +450,8 @@ func (n *Node) handleBroadcast(ctx context.Context, env *protocol.Envelope) (*pr
 	}
 	n.mu.Unlock()
 
+	hopCtx := n.hopSpan(env, hopStart, "broadcast")
+
 	// Deliver to local servers: the inner envelope inherits the broadcast's
 	// accumulated virtual latency and hop count for measurement.
 	for _, addr := range targets {
@@ -421,6 +459,9 @@ func (n *Node) handleBroadcast(ctx context.Context, env *protocol.Envelope) (*pr
 		delivery.Header.VirtualLatencyMicros = env.Header.VirtualLatencyMicros
 		delivery.Header.Hops = env.Header.Hops
 		delivery.Header.From = n.id
+		if hopCtx != "" {
+			delivery.Header.Trace = hopCtx
+		}
 		_ = transport.SendOneWay(ctx, n.tr, addr, delivery) // best effort
 		n.m.Deliveries.Inc()
 	}
@@ -429,6 +470,9 @@ func (n *Node) handleBroadcast(ctx context.Context, env *protocol.Envelope) (*pr
 		for _, addr := range relays {
 			fwd := env.NextHop()
 			fwd.Header.From = n.id
+			if hopCtx != "" {
+				fwd.Header.Trace = hopCtx
+			}
 			_ = transport.SendOneWay(ctx, n.tr, addr, fwd) // best effort
 		}
 	}
@@ -513,6 +557,7 @@ func (n *Node) handleLeaveGroup(ctx context.Context, env *protocol.Envelope) (*p
 // registered members receive it here; the message descends only into child
 // subtrees that reported membership and otherwise climbs towards the root.
 func (n *Node) handleMulticast(ctx context.Context, env *protocol.Envelope) (*protocol.Envelope, error) {
+	hopStart := time.Now()
 	if n.dedup.Observe(env.Header.ID) {
 		return protocol.Ack(n.id, env), nil
 	}
@@ -547,11 +592,16 @@ func (n *Node) handleMulticast(ctx context.Context, env *protocol.Envelope) (*pr
 	}
 	n.mu.Unlock()
 
+	hopCtx := n.hopSpan(env, hopStart, "multicast")
+
 	for _, addr := range direct {
 		delivery := inner.Clone()
 		delivery.Header.VirtualLatencyMicros = env.Header.VirtualLatencyMicros
 		delivery.Header.Hops = env.Header.Hops
 		delivery.Header.From = n.id
+		if hopCtx != "" {
+			delivery.Header.Trace = hopCtx
+		}
 		_ = transport.SendOneWay(ctx, n.tr, addr, delivery) // best effort
 		n.m.Deliveries.Inc()
 	}
@@ -559,6 +609,9 @@ func (n *Node) handleMulticast(ctx context.Context, env *protocol.Envelope) (*pr
 		if parentAddr != "" {
 			fwd := env.NextHop()
 			fwd.Header.From = n.id
+			if hopCtx != "" {
+				fwd.Header.Trace = hopCtx
+			}
 			_ = transport.SendOneWay(ctx, n.tr, parentAddr, fwd) // best effort
 		}
 		for _, addr := range childTargets {
@@ -567,6 +620,9 @@ func (n *Node) handleMulticast(ctx context.Context, env *protocol.Envelope) (*pr
 			}
 			fwd := env.NextHop()
 			fwd.Header.From = n.id
+			if hopCtx != "" {
+				fwd.Header.Trace = hopCtx
+			}
 			_ = transport.SendOneWay(ctx, n.tr, addr, fwd) // best effort
 		}
 	}

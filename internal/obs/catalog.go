@@ -8,6 +8,7 @@ import (
 	"github.com/gsalert/gsalert/internal/delivery"
 	"github.com/gsalert/gsalert/internal/gds"
 	"github.com/gsalert/gsalert/internal/qos"
+	"github.com/gsalert/gsalert/internal/trace"
 	"github.com/gsalert/gsalert/internal/transport"
 )
 
@@ -149,6 +150,16 @@ func RegisterGDSNode(r *Registry, n *gds.Node) {
 			c.Gauge("gsalert_gds_link_digest_conjunctions", "Digest conjunctions advertised over one tree link.", float64(len(digest)), L("link", link))
 		}
 	})
+}
+
+// RegisterTrace exposes the span collector's self-monitoring series: spans
+// recorded, spans dropped by the ring's drop-oldest policy, and the ring's
+// current occupancy against its capacity.
+func RegisterTrace(r *Registry, col *trace.Collector) {
+	r.Counter("gsalert_trace_spans_total", "Spans recorded into the trace collector.", func() float64 { return float64(col.SpansTotal()) })
+	r.Counter("gsalert_trace_dropped_total", "Spans overwritten by the ring's drop-oldest policy before being read.", func() float64 { return float64(col.Dropped()) })
+	r.Gauge("gsalert_trace_ring_occupancy", "Span records currently held in the collector ring.", func() float64 { return float64(col.Occupancy()) })
+	r.Gauge("gsalert_trace_ring_capacity", "Total span slots across the collector's shards.", func() float64 { return float64(col.Capacity()) })
 }
 
 // RegisterHTTPTransport exposes the wire-level frame and byte counters of

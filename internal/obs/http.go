@@ -3,7 +3,11 @@ package obs
 import (
 	"encoding/json"
 	"net/http"
+	"net/http/pprof"
+	"strconv"
 	"time"
+
+	"github.com/gsalert/gsalert/internal/trace"
 )
 
 // TextContentType is the Prometheus text exposition content type.
@@ -18,12 +22,73 @@ func Handler(r *Registry) http.Handler {
 	})
 }
 
+// ServeOption extends ServeOps with additional endpoints.
+type ServeOption func(mux *http.ServeMux)
+
+// WithTraces serves the collector's assembled traces at `/traces` as JSON,
+// filterable with query parameters: `min_ms` (minimum end-to-end duration in
+// milliseconds), `class` (QoS class name), `stage` (span/stage name) and
+// `limit` (maximum traces returned, most recent first; default 100). See
+// docs/TRACING.md.
+func WithTraces(col *trace.Collector) ServeOption {
+	return func(mux *http.ServeMux) {
+		mux.Handle("/traces", TracesHandler(col))
+	}
+}
+
+// WithPprof mounts the standard net/http/pprof profile endpoints under
+// `/debug/pprof/`. Off by default — profiles expose internals and cost CPU —
+// and enabled by the servers' -pprof flag (docs/OBSERVABILITY.md).
+func WithPprof() ServeOption {
+	return func(mux *http.ServeMux) {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+}
+
+// TracesHandler serves one collector's traces as JSON (the /traces endpoint
+// of WithTraces, exposed for tests and custom muxes).
+func TracesHandler(col *trace.Collector) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		q := req.URL.Query()
+		f := trace.Filter{Class: q.Get("class"), Stage: q.Get("stage"), Limit: 100}
+		if v := q.Get("min_ms"); v != "" {
+			ms, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				http.Error(w, "bad min_ms: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			f.MinDuration = time.Duration(ms * float64(time.Millisecond))
+		}
+		if v := q.Get("limit"); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				http.Error(w, "bad limit: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			f.Limit = n
+		}
+		traces := col.Traces(f)
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(struct {
+			Traces  []*trace.Trace `json:"traces"`
+			Dropped int64          `json:"dropped_spans"`
+		}{Traces: traces, Dropped: col.Dropped()})
+	})
+}
+
 // ServeOps starts the operational HTTP endpoint of one server process on
 // addr: `/metrics` serves the registry's Prometheus exposition and, when
 // statsJSON is non-nil, `/stats` (and `/`, for back-compat with the
-// original -stats-addr endpoint) serves its value as indented JSON. The
-// returned func stops the server.
-func ServeOps(addr string, reg *Registry, statsJSON func() any) (func(), error) {
+// original -stats-addr endpoint) serves its value as indented JSON. Options
+// add more endpoints (WithTraces, WithPprof). The returned func stops the
+// server.
+func ServeOps(addr string, reg *Registry, statsJSON func() any, opts ...ServeOption) (func(), error) {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", Handler(reg))
 	if statsJSON != nil {
@@ -35,6 +100,9 @@ func ServeOps(addr string, reg *Registry, statsJSON func() any) (func(), error) 
 		}
 		mux.HandleFunc("/stats", js)
 		mux.HandleFunc("/", js)
+	}
+	for _, opt := range opts {
+		opt(mux)
 	}
 	server := &http.Server{Addr: addr, Handler: mux, ReadHeaderTimeout: 10 * time.Second}
 	errCh := make(chan error, 1)

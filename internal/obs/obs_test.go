@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"github.com/gsalert/gsalert/internal/metrics"
+	"github.com/gsalert/gsalert/internal/trace"
 )
 
 var update = flag.Bool("update", false, "rewrite golden files")
@@ -44,7 +45,30 @@ func buildFixedRegistry() *Registry {
 		c.Gauge("gsalert_test_dynamic", "Dynamic per-scrape series.", 9.25, L("kind", "b"))
 		c.Counter("gsalert_test_collected_total", "Collector-emitted counter.", 11)
 	})
+	RegisterTrace(r, buildFixedTraceCollector())
 	return r
+}
+
+// buildFixedTraceCollector fills a tiny trace ring deterministically (fixed
+// seed, fixed clock, sample-everything) and overflows it so every
+// RegisterTrace series — spans, drops, occupancy, capacity — renders a
+// stable nonzero-where-possible value in the golden file.
+func buildFixedTraceCollector() *trace.Collector {
+	col := trace.NewCollector(8)
+	at := time.Unix(1700000000, 0)
+	tr := trace.New(trace.Config{
+		Service:    "test",
+		SampleRate: 1,
+		Seed:       99,
+		Collector:  col,
+		Clock:      func() time.Time { return at },
+	})
+	root := tr.StartRoot(trace.StagePublish)
+	for i := 0; i < 11; i++ {
+		tr.Record(root.Context(), trace.StageMatch, at, time.Millisecond, "normal")
+	}
+	root.Finish()
+	return col
 }
 
 func render(t *testing.T, r *Registry) string {

@@ -1,0 +1,60 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"github.com/gsalert/gsalert/internal/trace"
+)
+
+func getTraces(t *testing.T, h http.Handler, query string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, "/traces"+query, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+func TestTracesHandler(t *testing.T) {
+	h := TracesHandler(buildFixedTraceCollector())
+
+	rec := getTraces(t, h, "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d, want 200", rec.Code)
+	}
+	var resp struct {
+		Traces  []*trace.Trace `json:"traces"`
+		Dropped int64          `json:"dropped_spans"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, rec.Body.String())
+	}
+	if len(resp.Traces) != 1 {
+		t.Fatalf("traces = %d, want 1", len(resp.Traces))
+	}
+	if !resp.Traces[0].Complete {
+		t.Errorf("trace incomplete: root span missing from response")
+	}
+	if resp.Dropped != 7 {
+		t.Errorf("dropped_spans = %d, want 7 (fixture overflows an 8-slot ring with 12 spans)", resp.Dropped)
+	}
+
+	// Filters that match nothing return an empty list, not an error.
+	if rec := getTraces(t, h, "?stage=notify"); rec.Code != http.StatusOK {
+		t.Errorf("stage filter: status = %d, want 200", rec.Code)
+	} else if body := rec.Body.String(); !json.Valid([]byte(body)) {
+		t.Errorf("stage filter: invalid JSON: %s", body)
+	}
+	if rec := getTraces(t, h, "?class=normal&min_ms=0.5&limit=10"); rec.Code != http.StatusOK {
+		t.Errorf("combined filters: status = %d, want 200", rec.Code)
+	}
+
+	// Malformed numeric parameters are client errors.
+	for _, q := range []string{"?min_ms=abc", "?limit=abc"} {
+		if rec := getTraces(t, h, q); rec.Code != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400", q, rec.Code)
+		}
+	}
+}

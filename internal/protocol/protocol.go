@@ -170,6 +170,13 @@ type Header struct {
 	Hops int `xml:"Hops"`
 	// TraceID correlates every relay of one logical operation.
 	TraceID string `xml:"TraceID,omitempty"`
+	// Trace carries the distributed-tracing context of the event this
+	// envelope disseminates, in internal/trace wire form
+	// ("00-<traceid>-<spanid>-<flags>"). Absent means unsampled, so peers
+	// predating the field interoperate unchanged; relays copy it verbatim
+	// unless they record a hop span of their own, in which case they
+	// re-stamp it with that span as the new parent.
+	Trace string `xml:"Trace,omitempty"`
 	// SentAtUnixNano is the wall-clock send time at the origin.
 	SentAtUnixNano int64 `xml:"SentAt,omitempty"`
 	// VirtualLatencyMicros accumulates simulated per-link latency when the

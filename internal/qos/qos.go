@@ -86,6 +86,40 @@ func ParseClass(s string) (Class, error) {
 	}
 }
 
+// Outcome names an admission decision on the publish path — the value of
+// the qos span's "outcome" attribute in event traces, closing the loop
+// between the degradation ladder and latency attribution (a deferred
+// notification's queue-wait is explained by its outcome=defer span).
+type Outcome uint8
+
+// Admission outcomes.
+const (
+	// OutcomeAdmit: within quota, enqueued normally.
+	OutcomeAdmit Outcome = iota
+	// OutcomeBypass: realtime traffic, quota checks skipped.
+	OutcomeBypass
+	// OutcomeDefer: over-quota normal traffic parked in the mailbox.
+	OutcomeDefer
+	// OutcomeCoalesce: over-quota bulk traffic folded into a digest.
+	OutcomeCoalesce
+)
+
+// String names the outcome (the span-attribute form).
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeAdmit:
+		return "admit"
+	case OutcomeBypass:
+		return "bypass"
+	case OutcomeDefer:
+		return "defer"
+	case OutcomeCoalesce:
+		return "coalesce"
+	default:
+		return fmt.Sprintf("outcome-%d", int(o))
+	}
+}
+
 // ---------------------------------------------------------------------------
 // Token buckets
 

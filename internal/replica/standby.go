@@ -7,12 +7,14 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"time"
 
 	"github.com/gsalert/gsalert/internal/core"
 	"github.com/gsalert/gsalert/internal/delivery"
 	"github.com/gsalert/gsalert/internal/gds"
 	"github.com/gsalert/gsalert/internal/profile"
 	"github.com/gsalert/gsalert/internal/protocol"
+	"github.com/gsalert/gsalert/internal/trace"
 	"github.com/gsalert/gsalert/internal/transport"
 )
 
@@ -34,6 +36,11 @@ type StandbyConfig struct {
 	// GDS, when set, is registered under the inherited name at promotion
 	// (the same client handed to the service's core.Config).
 	GDS *gds.Client
+	// Tracer, when set, records one StageReplApply span per replicated
+	// mailbox append whose notification carries a sampled trace context, so
+	// the attribution table can report replication apply cost. Nil (the
+	// default) records nothing.
+	Tracer *trace.Tracer
 }
 
 // Standby is the receiving end of the replication stream: it applies
@@ -44,6 +51,7 @@ type Standby struct {
 	svc         *core.Service
 	tr          transport.Transport
 	gdsCli      *gds.Client
+	tracer      *trace.Tracer
 	addr        string
 	primaryAddr string
 	listener    io.Closer
@@ -79,6 +87,7 @@ func NewStandby(cfg StandbyConfig) (*Standby, error) {
 		svc:         cfg.Service,
 		tr:          cfg.Transport,
 		gdsCli:      cfg.GDS,
+		tracer:      cfg.Tracer,
 		addr:        cfg.ListenAddr,
 		primaryAddr: cfg.PrimaryAddr,
 		mode:        core.RouteBroadcast,
@@ -326,8 +335,20 @@ func (s *Standby) applyWAL(wal *protocol.ReplWAL) error {
 			if err != nil {
 				return err
 			}
+			// The notification's trace context survived the wire inside the
+			// marshalled record; a sampled one gets its apply recorded so
+			// replication cost appears in the trace's span tree.
+			traced := s.tracer.Enabled() && n.Trace.Sampled()
+			var start time.Time
+			if traced {
+				start = time.Now()
+			}
 			if err := s.svc.Delivery().ApplyAppend(it.Client, it.MailboxSeq, n); err != nil {
 				return err
+			}
+			if traced {
+				s.tracer.Record(n.Trace, trace.StageReplApply, start, time.Since(start),
+					n.Class.String(), trace.Attr{Key: "client", Value: it.Client})
 			}
 		case kindAck:
 			s.svc.Delivery().ApplyAck(it.Client, it.MailboxSeq)

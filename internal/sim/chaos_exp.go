@@ -16,6 +16,7 @@ import (
 	"github.com/gsalert/gsalert/internal/profile"
 	"github.com/gsalert/gsalert/internal/qos"
 	"github.com/gsalert/gsalert/internal/replica"
+	"github.com/gsalert/gsalert/internal/trace"
 	"github.com/gsalert/gsalert/internal/transport"
 )
 
@@ -78,6 +79,10 @@ type ChaosSoakConfig struct {
 	// SLO bounds per-class p99 delivery latency (sanity bounds: latencies
 	// are wall-clock and include parked dwell time).
 	SLO map[qos.Class]time.Duration
+	// TraceSample head-samples end-to-end event traces at this rate in
+	// (0,1]; the chaos run's traced notify chains produce the per-stage
+	// latency attribution table. 0 disables tracing.
+	TraceSample float64
 }
 
 // DefaultChaosSoakConfig is the acceptance-bar configuration: 16 servers,
@@ -309,7 +314,11 @@ type soakOutcome struct {
 	injectedDrops, injectDelay int64
 	applied                    []chaos.Applied
 	slo                        []SLOReport
-	wall                       time.Duration
+	// Trace accounting (TraceSample > 0).
+	attribution              []StageAttribution
+	traces                   []*trace.Trace
+	traceSpans, traceDropped int64
+	wall                     time.Duration
 }
 
 func countSoakPrimitives(sink *core.MemoryNotifier) int {
@@ -334,6 +343,30 @@ func runChaosSoak(cfg ChaosSoakConfig, schedule chaos.Schedule) (*soakOutcome, e
 	}
 	defer c.Close()
 
+	// One collector gathers spans from every service and directory node;
+	// each component gets its own tracer (distinct seeds keep span IDs
+	// collision-free across processes) feeding the shared ring.
+	var tcol *trace.Collector
+	var traceSeq int64
+	newTracer := func(service string) *trace.Tracer {
+		if tcol == nil {
+			return nil
+		}
+		traceSeq++
+		return trace.New(trace.Config{
+			Service:    service,
+			SampleRate: cfg.TraceSample,
+			Seed:       cfg.Seed + traceSeq*7919,
+			Collector:  tcol,
+		})
+	}
+	if cfg.TraceSample > 0 {
+		tcol = trace.NewCollector(1 << 18)
+		for _, n := range c.Nodes {
+			n.SetTracer(newTracer(n.ID()))
+		}
+	}
+
 	quota := func(cc *core.Config) {
 		// A retry interval beyond the run keeps deferred redelivery out of
 		// the measurement (E15's determinism trick); deferred traffic
@@ -349,7 +382,10 @@ func runChaosSoak(cfg ChaosSoakConfig, schedule chaos.Schedule) (*soakOutcome, e
 			// may be cut without touching the invariant-bearing paths.
 			nodeIdx = 0
 		}
-		if _, err := c.AddServerWith(name, nodeIdx, quota); err != nil {
+		if _, err := c.AddServerWith(name, nodeIdx, func(cc *core.Config) {
+			quota(cc)
+			cc.Tracer = newTracer(cc.ServerName)
+		}); err != nil {
 			return nil, err
 		}
 		if err := c.Service(name).SetRoutingMode(ctx, cfg.Mode); err != nil {
@@ -399,6 +435,7 @@ func runChaosSoak(cfg ChaosSoakConfig, schedule chaos.Schedule) (*soakOutcome, e
 		ContentWarmup: -1,
 	}
 	quota(&sbCfg)
+	sbCfg.Tracer = newTracer(SoakReplServer + "b")
 	standby, err := core.New(sbCfg)
 	if err != nil {
 		return nil, err
@@ -431,6 +468,7 @@ func runChaosSoak(cfg ChaosSoakConfig, schedule chaos.Schedule) (*soakOutcome, e
 		ListenAddr:  replStandbyAddr(SoakReplServer),
 		PrimaryAddr: "repl://" + SoakReplServer,
 		GDS:         sbCli,
+		Tracer:      sbCfg.Tracer,
 	})
 	if err != nil {
 		return nil, err
@@ -557,6 +595,12 @@ func runChaosSoak(cfg ChaosSoakConfig, schedule chaos.Schedule) (*soakOutcome, e
 	ist := c.Inject.Stats()
 	out.injectedDrops, out.injectDelay = ist.Dropped, ist.Delayed
 	out.slo = ClassSLOReports(pipes, cfg.SLO)
+	if tcol != nil {
+		out.traces = tcol.Traces(trace.Filter{})
+		out.attribution = AttributionReports(trace.PathSamples(out.traces, trace.StageNotify))
+		out.traceSpans = tcol.SpansTotal()
+		out.traceDropped = tcol.Dropped()
+	}
 	out.wall = time.Since(start)
 	return out, nil
 }
@@ -601,6 +645,11 @@ type ChaosSoakResult struct {
 	// Per-class latency SLOs, chaos run and baseline.
 	SLO         []SLOReport
 	BaselineSLO []SLOReport
+
+	// Per-stage latency attribution from the chaos run's traced notify
+	// chains (empty unless TraceSample > 0).
+	Attribution              []StageAttribution
+	TraceSpans, TraceDropped int64
 
 	WallChaos, WallBaseline time.Duration
 }
@@ -649,6 +698,9 @@ func RunChaosSoak(cfg ChaosSoakConfig) (*ChaosSoakResult, error) {
 		InjectedDrops:     chaosRun.injectedDrops,
 		SLO:               chaosRun.slo,
 		BaselineSLO:       baseline.slo,
+		Attribution:       chaosRun.attribution,
+		TraceSpans:        chaosRun.traceSpans,
+		TraceDropped:      chaosRun.traceDropped,
 		WallChaos:         chaosRun.wall,
 		WallBaseline:      baseline.wall,
 	}
@@ -698,6 +750,14 @@ func (r *ChaosSoakResult) Check() error {
 			return fmt.Errorf("sim: E16 class %s p99 %v exceeds SLO %v", s.Class, s.P99, s.Bound)
 		}
 	}
+	// Traced runs must attribute coherently: each class's per-stage sums
+	// reconstruct its end-to-end latency within 10%.
+	for _, a := range r.Attribution {
+		if a.SumError() > 0.10 {
+			return fmt.Errorf("sim: E16 class %s stage-sum %v vs e2e %v — attribution off by %.1f%%",
+				a.Class, a.StageSum, a.TotalE2E, a.SumError()*100)
+		}
+	}
 	return nil
 }
 
@@ -727,6 +787,9 @@ func ChaosSoakTable(r *ChaosSoakResult) *metrics.Table {
 	for _, s := range r.SLO {
 		t.AddRow(fmt.Sprintf("%s p50/p99 (SLO %v)", s.Class, s.Bound),
 			fmt.Sprintf("%v / %v delivered=%d ok=%v", s.P50, s.P99, s.Delivered, s.OK))
+	}
+	if len(r.Attribution) > 0 {
+		t.AddRow("trace spans / ring-dropped", fmt.Sprintf("%d / %d", r.TraceSpans, r.TraceDropped))
 	}
 	t.AddRow("wall chaos / baseline", fmt.Sprintf("%v / %v", r.WallChaos.Round(time.Millisecond), r.WallBaseline.Round(time.Millisecond)))
 	return t

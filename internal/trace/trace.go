@@ -1,0 +1,166 @@
+// Package trace is a zero-dependency distributed tracing subsystem for the
+// alerting service. A compact TraceContext — 128-bit trace ID, 64-bit span
+// ID, sampled bit — rides the wire in an optional envelope header field
+// (absent = unsampled, so peers predating the field interoperate
+// unchanged), and propagates across GDS routing hops, replication streams
+// and notify batches. Instrumentation points (core publish/match/QoS,
+// gds per-hop forward, composite ingest/fire, delivery queue-wait/flush/
+// notify, replica apply) record named spans with monotonic start and
+// duration into a lock-free sharded ring-buffer collector: bounded memory,
+// drop-oldest, with dropped-span accounting surfaced through internal/obs.
+//
+// Sampling is decided once, at the root: a seeded hash of the trace ID is
+// compared against the configured rate, and the decision travels in the
+// sampled bit so every hop of one event keeps or drops the same trace. A
+// tail-retain rule additionally keeps any root span slower than a
+// threshold — p99 outliers are never sampled away, which is the whole
+// point of latency attribution.
+//
+// The package deliberately has no exporter: spans stay in process and are
+// served as JSON from the /traces endpoint of obs.ServeOps, and the
+// assembled span trees feed the per-stage latency-attribution table of
+// experiment E16 (docs/EXPERIMENTS.md).
+package trace
+
+import (
+	"encoding/hex"
+	"fmt"
+	"strings"
+)
+
+// Stage names used across the pipeline. Instrumentation sites pass these
+// constants so the attribution table's stage axis is closed and stable.
+const (
+	StagePublish   = "publish"    // core.Service event publish (origin)
+	StageRouteHop  = "route-hop"  // gds.Node per-hop forward processing
+	StageMatch     = "match"      // filter match against the profile index
+	StageComposite = "composite"  // composite engine ingest / fire
+	StageQoS       = "qos"        // admission decision (admit/defer/coalesce)
+	StageQueueWait = "queue-wait" // delivery enqueue → WFQ dequeue
+	StageFlush     = "flush"      // dequeue → batch handoff to the notifier
+	StageNotify    = "notify"     // the notifier send itself
+	StageReplApply = "replica-apply"
+)
+
+// Context is the trace context that rides the wire: a 128-bit trace ID, the
+// 64-bit ID of the current span, and the sampling decision made at the
+// root. The zero value is "no trace" and marshals to the empty string, so
+// envelopes and WAL records that never saw a tracer stay byte-identical.
+type Context struct {
+	hi, lo uint64 // trace ID
+	span   uint64 // current span ID
+	sample bool
+}
+
+// Valid reports whether the context carries a trace at all.
+func (c Context) Valid() bool { return (c.hi|c.lo) != 0 && c.span != 0 }
+
+// Sampled reports whether spans should be recorded for this trace.
+func (c Context) Sampled() bool { return c.sample && c.Valid() }
+
+// TraceID renders the 128-bit trace ID as 32 hex digits ("" when invalid).
+func (c Context) TraceID() string {
+	if !c.Valid() {
+		return ""
+	}
+	var b [16]byte
+	putUint64(b[:8], c.hi)
+	putUint64(b[8:], c.lo)
+	return hex.EncodeToString(b[:])
+}
+
+// SpanID renders the current span ID as 16 hex digits ("" when invalid).
+func (c Context) SpanID() string {
+	if !c.Valid() {
+		return ""
+	}
+	var b [8]byte
+	putUint64(b[:], c.span)
+	return hex.EncodeToString(b[:])
+}
+
+// String renders the wire form, a W3C-traceparent-shaped triplet
+// "00-<trace>-<span>-<flags>" (flags 01 = sampled). Invalid contexts render
+// as "" so optional wire fields stay absent.
+func (c Context) String() string {
+	if !c.Valid() {
+		return ""
+	}
+	flags := "00"
+	if c.sample {
+		flags = "01"
+	}
+	return "00-" + c.TraceID() + "-" + c.SpanID() + "-" + flags
+}
+
+// Parse inverts Context.String. The empty string parses to the zero
+// context (ok=true): an absent wire field simply means "unsampled", not an
+// error. Malformed non-empty input returns ok=false.
+func Parse(s string) (Context, bool) {
+	if s == "" {
+		return Context{}, true
+	}
+	parts := strings.Split(s, "-")
+	if len(parts) != 4 || parts[0] != "00" || len(parts[1]) != 32 || len(parts[2]) != 16 || len(parts[3]) != 2 {
+		return Context{}, false
+	}
+	raw, err := hex.DecodeString(parts[1] + parts[2])
+	if err != nil {
+		return Context{}, false
+	}
+	c := Context{
+		hi:   getUint64(raw[:8]),
+		lo:   getUint64(raw[8:16]),
+		span: getUint64(raw[16:24]),
+	}
+	switch parts[3] {
+	case "00":
+	case "01":
+		c.sample = true
+	default:
+		return Context{}, false
+	}
+	if !c.Valid() {
+		return Context{}, false
+	}
+	return c, true
+}
+
+// MustParse is Parse for tests and examples; it panics on malformed input.
+func MustParse(s string) Context {
+	c, ok := Parse(s)
+	if !ok {
+		panic(fmt.Sprintf("trace: malformed context %q", s))
+	}
+	return c
+}
+
+func putUint64(b []byte, v uint64) {
+	_ = b[7]
+	b[0] = byte(v >> 56)
+	b[1] = byte(v >> 48)
+	b[2] = byte(v >> 40)
+	b[3] = byte(v >> 32)
+	b[4] = byte(v >> 24)
+	b[5] = byte(v >> 16)
+	b[6] = byte(v >> 8)
+	b[7] = byte(v)
+}
+
+func getUint64(b []byte) uint64 {
+	_ = b[7]
+	return uint64(b[0])<<56 | uint64(b[1])<<48 | uint64(b[2])<<40 | uint64(b[3])<<32 |
+		uint64(b[4])<<24 | uint64(b[5])<<16 | uint64(b[6])<<8 | uint64(b[7])
+}
+
+// mix is the splitmix64 finalizer: the ID generator and the sampling hash
+// both need a cheap, well-distributed, seedable mix with no allocation.
+func mix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

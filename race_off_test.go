@@ -1,0 +1,5 @@
+//go:build !race
+
+package gsalert_test
+
+const raceEnabled = false

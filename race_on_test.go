@@ -1,0 +1,8 @@
+//go:build race
+
+package gsalert_test
+
+// raceEnabled reports whether this binary was built with the race
+// detector; timing-comparison tests skip themselves under its
+// instrumentation overhead.
+const raceEnabled = true
