@@ -49,14 +49,16 @@ docs-check:
 	$(GO) run ./cmd/docs-check
 
 # The E16 chaos-soak gate: the scale/chaos acceptance tests under -race
-# (short schedule — 20k-profile population), plus the concurrency
-# composition test and the fault-engine suites. CI runs this as the
-# chaos-soak job and uploads a cmd/loadgen summary as an artifact; run
+# (short schedule — 20k-profile population), the E18 health-plane
+# acceptance (deterministic fire/clear, mode-identical meta-alerts,
+# readiness across failover), plus the concurrency composition test and
+# the fault-engine suites. CI runs this as the chaos-soak job and uploads
+# a cmd/loadgen summary + health transition log as artifacts; run
 # cmd/loadgen directly for the full 100k-profile soak.
 chaos:
 	$(GO) test -race -short -count=1 -timeout 600s \
-		-run 'TestChaosSoak|TestPromotionConcurrent|TestLoadGen|TestClassSLO' ./internal/sim/
-	$(GO) test -race -count=1 ./internal/chaos/ ./internal/transport/ ./internal/queue/
+		-run 'TestChaosSoak|TestPromotionConcurrent|TestLoadGen|TestClassSLO|TestHealth' ./internal/sim/
+	$(GO) test -race -count=1 ./internal/chaos/ ./internal/transport/ ./internal/queue/ ./internal/health/
 
 # Run each fuzz target briefly against its committed corpus plus a short
 # exploration budget (regression seeds under testdata/fuzz are always

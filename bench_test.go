@@ -21,6 +21,8 @@ import (
 	"github.com/gsalert/gsalert/internal/delivery"
 	"github.com/gsalert/gsalert/internal/event"
 	"github.com/gsalert/gsalert/internal/filter"
+	"github.com/gsalert/gsalert/internal/health"
+	"github.com/gsalert/gsalert/internal/obs"
 	"github.com/gsalert/gsalert/internal/profile"
 	"github.com/gsalert/gsalert/internal/qos"
 	"github.com/gsalert/gsalert/internal/replica"
@@ -902,4 +904,64 @@ func BenchmarkQoSAdmission(b *testing.B) {
 			}
 		})
 	}
+}
+
+// ---------------------------------------------------------------------------
+// E18 — health-plane rule evaluation at scrape cadence.
+
+// BenchmarkHealthEval measures one engine tick — snapshot the registry,
+// evaluate every rule, step the state machines — against a fully
+// registered catalog (service + delivery + QoS), for the built-in default
+// rule set and a 100-rule synthetic set. The tick runs at scrape cadence
+// (seconds), so anything in the microseconds is free; this pins it there.
+func BenchmarkHealthEval(b *testing.B) {
+	mkSrc := func(b *testing.B) (*obs.Registry, func()) {
+		b.Helper()
+		tr := transport.NewMemory(5)
+		ctrl := qos.NewController(qos.Config{
+			SubscriberRate: 1e9, SubscriberBurst: 1 << 30,
+		})
+		svc, err := core.New(core.Config{
+			ServerName: "P", ServerAddr: "gs://p", Transport: tr, QoS: ctrl,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		reg := obs.NewRegistry()
+		obs.RegisterService(reg, svc.Stats)
+		obs.RegisterDelivery(reg, svc.Delivery())
+		obs.RegisterQoS(reg, ctrl)
+		return reg, func() { svc.Close(); tr.Close() }
+	}
+	bench := func(b *testing.B, rs *health.RuleSet) {
+		b.Helper()
+		reg, done := mkSrc(b)
+		defer done()
+		now := time.Unix(1_700_000_000, 0)
+		eng := health.NewEngine(reg, rs, health.Options{Clock: func() time.Time { return now }})
+		defer eng.Close()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			now = now.Add(time.Second)
+			eng.TickAt(now)
+		}
+	}
+	b.Run("rules=default", func(b *testing.B) { bench(b, health.DefaultRules()) })
+	b.Run("rules=100", func(b *testing.B) {
+		var sb []byte
+		for i := 0; i < 100; i++ {
+			sb = append(sb, fmt.Sprintf(`
+rule r%d {
+	component = c%d
+	severity = warning
+	expr = gsalert_delivery_queue_depth > %d
+}`, i, i%8, i)...)
+		}
+		rs, err := health.ParseRules(string(sb))
+		if err != nil {
+			b.Fatal(err)
+		}
+		bench(b, rs)
+	})
 }

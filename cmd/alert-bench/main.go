@@ -5,7 +5,8 @@
 // fidelity (E8), dissemination ablation (E9), delivery across
 // disconnect/reconnect (E10), delivery throughput (E11), the
 // content-routing dissemination ladder (E12), composite/temporal alerting
-// (E13), replication failover (E14) and QoS overload degradation (E15).
+// (E13), replication failover (E14), QoS overload degradation (E15) and
+// the self-alerting health plane (E18).
 // The E4 filter-engine throughput comparison lives in the Go benchmarks
 // (go test -bench=BenchmarkFilterMatching).
 //
@@ -32,7 +33,7 @@ func main() {
 func run() int {
 	var (
 		seed = flag.Int64("seed", 2005, "random seed for all experiments")
-		only = flag.String("only", "", "comma-separated experiment ids to run (e1,e2,e3,e5,e6,e7,e8,e9,e10,e11,e12,e13,e14,e15); empty = all")
+		only = flag.String("only", "", "comma-separated experiment ids to run (e1,e2,e3,e5,e6,e7,e8,e9,e10,e11,e12,e13,e14,e15,e18); empty = all")
 
 		throughput  = flag.Bool("throughput", false, "run only the delivery-throughput sweep (E11)")
 		tpNotifs    = flag.Int("throughput-notifs", 50000, "notifications pushed per throughput mode")
@@ -168,6 +169,13 @@ func run() int {
 		}},
 		{"e15", func() (string, error) {
 			t, err := sim.QoSOverloadTable(16, 30, 3, *seed)
+			if err != nil {
+				return "", err
+			}
+			return t.Render(), nil
+		}},
+		{"e18", func() (string, error) {
+			t, err := sim.HealthTable(8, 8, 2, 4, *seed)
 			if err != nil {
 				return "", err
 			}

@@ -11,15 +11,18 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"github.com/gsalert/gsalert/internal/event"
 	"github.com/gsalert/gsalert/internal/gds"
+	"github.com/gsalert/gsalert/internal/health"
 	"github.com/gsalert/gsalert/internal/obs"
 	"github.com/gsalert/gsalert/internal/trace"
 	"github.com/gsalert/gsalert/internal/transport"
@@ -51,6 +54,13 @@ func run() int {
 		traceOn  = flag.Bool("trace", false, "record route-hop spans for sampled events passing through this node, served at GET /traces on the metrics endpoint")
 		traceCap = flag.Int("trace-capacity", trace.DefaultCapacity, "span slots in the in-memory trace ring (drop-oldest)")
 		pprofOn  = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on the metrics endpoint (docs/OBSERVABILITY.md)")
+
+		// Health-plane knobs (internal/health, docs/HEALTH.md). A directory
+		// node has no pipeline to dogfood meta-alerts into, so the plane here
+		// is /healthz + /readyz + ALERTS series only.
+		healthOn    = flag.Bool("health", false, "evaluate health rules against the node registry and serve /healthz + /readyz on the metrics endpoint; implied by -health-rules")
+		healthRules = flag.String("health-rules", "", "health rule file (docs/HEALTH.md grammar); empty = built-in defaults")
+		healthTick  = flag.Duration("health-tick", 10*time.Second, "health rule evaluation cadence")
 	)
 	flag.Parse()
 
@@ -90,6 +100,38 @@ func run() int {
 	if *pprofOn {
 		opts = append(opts, obs.WithPprof())
 	}
+	if *healthRules != "" {
+		*healthOn = true
+	}
+	var parentAttached atomic.Bool
+	if *healthOn {
+		rules := health.DefaultRules()
+		if *healthRules != "" {
+			raw, err := os.ReadFile(*healthRules)
+			if err == nil {
+				rules, err = health.ParseRules(string(raw))
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "gds-server: health rules: %v\n", err)
+				return 1
+			}
+		}
+		eng := health.NewEngine(reg, rules, health.Options{})
+		eng.Register(reg)
+		eng.AddReadiness("node", func() error { return nil })
+		if *parentAddr != "" {
+			eng.AddReadiness("parent-attached", func() error {
+				if !parentAttached.Load() {
+					return errors.New("not attached to parent " + *parentID)
+				}
+				return nil
+			})
+		}
+		eng.Start(*healthTick)
+		defer eng.Close()
+		opts = append(opts, health.Endpoints(eng))
+		fmt.Printf("gds-server %s health plane on (%d rules, tick %s)\n", *id, len(rules.Rules), *healthTick)
+	}
 	if *metricsAddr != "" {
 		closeOps, err := obs.ServeOps(*metricsAddr, reg, func() any { return node.Snapshot() }, opts...)
 		if err != nil {
@@ -121,6 +163,7 @@ func run() int {
 			fmt.Fprintf(os.Stderr, "gds-server: attach to parent: %v\n", err)
 			return 1
 		}
+		parentAttached.Store(true)
 		fmt.Printf("gds-server %s (stratum %d) attached to %s at %s\n", *id, *stratum, *parentID, *parentAddr)
 	} else {
 		fmt.Printf("gds-server %s (stratum %d) running as root\n", *id, *stratum)

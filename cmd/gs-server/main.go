@@ -17,12 +17,14 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -32,6 +34,7 @@ import (
 	"github.com/gsalert/gsalert/internal/event"
 	"github.com/gsalert/gsalert/internal/gds"
 	"github.com/gsalert/gsalert/internal/greenstone"
+	"github.com/gsalert/gsalert/internal/health"
 	"github.com/gsalert/gsalert/internal/obs"
 	"github.com/gsalert/gsalert/internal/protocol"
 	"github.com/gsalert/gsalert/internal/qos"
@@ -93,6 +96,14 @@ func run() int {
 		traceSlow   = flag.Duration("trace-slow", 0, "tail-retain threshold: publish roots slower than this are traced even when head sampling passed them over; 0 disables tail retention")
 		traceCap    = flag.Int("trace-capacity", trace.DefaultCapacity, "span slots in the in-memory trace ring (drop-oldest)")
 		pprofOn     = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on the ops endpoint (docs/OBSERVABILITY.md)")
+
+		// Health-plane knobs (internal/health, docs/HEALTH.md).
+		healthOn    = flag.Bool("health", false, "enable the self-alerting health plane: SLO rules evaluated against the local metric registry, /healthz + /readyz on the ops endpoint, ALERTS series, and meta-alert events published into the pipeline; implied by -health-rules")
+		healthRules = flag.String("health-rules", "", "health rule file (docs/HEALTH.md grammar); empty = the built-in E15/E16-signature defaults")
+		healthTick  = flag.Duration("health-tick", 10*time.Second, "health rule evaluation cadence (scrape-like pull; zero hot-path cost)")
+		healthMeta  = flag.Bool("health-alerts", true, "publish each health state transition as a health-alert event into the pipeline (the dogfood; subscribe with event.type = \"health-alert\")")
+		readyGDS    = flag.Bool("ready-gds", true, "gate /readyz on successful GDS registration (serving roles only)")
+		readyRepl   = flag.Bool("ready-standby", true, "on a standby, gate /readyz on being snapshot-synced with a reachable primary (promotion flips the gate to serving-side checks)")
 	)
 	flag.Parse()
 
@@ -215,12 +226,17 @@ func run() int {
 	defer func() { _ = srv.Close() }()
 
 	standby := *replicaOf != ""
+	// recv and gdsRegistered feed the /readyz checks below: a standby is
+	// ready when synced with a reachable primary (or promoted to serving);
+	// a serving server is ready once registered with the directory.
+	var recv *replica.Standby
+	var gdsRegistered atomicBool
 	if standby {
 		// A standby never registers and never advertises: the primary owns
 		// the server name until promotion. Promotion (via `gs-server
 		// -promote <addr>` or replica.Standby.Promote) registers and
 		// re-issues the inherited routing mode itself.
-		recv, err := replica.NewStandby(replica.StandbyConfig{
+		recv, err = replica.NewStandby(replica.StandbyConfig{
 			Service:     svc,
 			Transport:   tr,
 			ListenAddr:  *replListen,
@@ -268,6 +284,7 @@ func run() int {
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "gs-server: GDS registration failed (continuing solitary): %v\n", err)
 		} else {
+			gdsRegistered.set(true)
 			fmt.Printf("gs-server %s registered with GDS at %s\n", *name, *gdsAddr)
 		}
 
@@ -323,6 +340,80 @@ func run() int {
 	}
 	if *pprofOn {
 		opts = append(opts, obs.WithPprof())
+	}
+
+	// Health plane: rules evaluated against this same registry at -health-tick
+	// cadence; /healthz + /readyz ride the ops mux, firing rules surface as
+	// ALERTS series, and (with -health-alerts) every state transition is
+	// published back into the pipeline as a health-alert event. Disabled, it
+	// adds zero series and zero publish-path work.
+	if *healthRules != "" {
+		*healthOn = true
+	}
+	if *healthOn {
+		rules := health.DefaultRules()
+		if *healthRules != "" {
+			raw, err := os.ReadFile(*healthRules)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "gs-server: health rules: %v\n", err)
+				return 1
+			}
+			rules, err = health.ParseRules(string(raw))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "gs-server: health rules: %v\n", err)
+				return 1
+			}
+		}
+		hopts := health.Options{}
+		if *healthMeta {
+			hopts.OnTransition = func(tr health.Transition) {
+				a := core.HealthAlert{
+					Component: tr.Component,
+					From:      tr.From.String(),
+					To:        tr.To.String(),
+					Rule:      tr.Rule,
+					Severity:  tr.Severity,
+					Value:     tr.Value,
+					At:        tr.At,
+				}
+				if err := svc.PublishHealthAlert(context.Background(), a); err != nil {
+					fmt.Fprintf(os.Stderr, "gs-server: health alert publish: %v\n", err)
+				}
+			}
+		}
+		eng := health.NewEngine(reg, rules, hopts)
+		eng.Register(reg)
+		eng.AddReadiness("pipeline", func() error { return nil })
+		if *readyGDS {
+			eng.AddReadiness("gds-registered", func() error {
+				if standby && !recv.Promoted() {
+					// The primary owns the name while this end stands by.
+					return nil
+				}
+				if !gdsRegistered.get() && !(standby && recv.Promoted()) {
+					return errors.New("not registered with the GDS")
+				}
+				return nil
+			})
+		}
+		if standby && *readyRepl {
+			eng.AddReadiness("standby-caught-up", func() error {
+				if recv.Promoted() {
+					return nil // serving now; the gds check takes over
+				}
+				if !recv.Synced() {
+					return errors.New("standby has not applied a snapshot")
+				}
+				if err := recv.ProbeErr(); err != nil {
+					return fmt.Errorf("primary unreachable: %w", err)
+				}
+				return nil
+			})
+		}
+		eng.Start(*healthTick)
+		defer eng.Close()
+		opts = append(opts, health.Endpoints(eng))
+		fmt.Printf("gs-server %s health plane on (%d rules, tick %s)\n", *name, len(rules.Rules), *healthTick)
 	}
 	statsJSON := func() any {
 		return struct {
@@ -534,3 +625,10 @@ func demoDocs(host string, round int) []*collection.Document {
 	})
 	return docs
 }
+
+// atomicBool is a tiny flag shared between the GDS registration path and the
+// /readyz readiness checks.
+type atomicBool struct{ v atomic.Bool }
+
+func (b *atomicBool) set(ok bool) { b.v.Store(ok) }
+func (b *atomicBool) get() bool   { return b.v.Load() }

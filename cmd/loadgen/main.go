@@ -30,6 +30,7 @@ import (
 	"strings"
 
 	"github.com/gsalert/gsalert/internal/chaos"
+	"github.com/gsalert/gsalert/internal/health"
 	"github.com/gsalert/gsalert/internal/sim"
 )
 
@@ -70,6 +71,7 @@ func run() int {
 		traceSample = flag.Float64("trace-sample", 0, "head-sampling rate in (0,1] for end-to-end event traces; emits the per-stage latency attribution table (docs/TRACING.md); 0 disables")
 		genSeed     = flag.Int64("gen-seed", 0, "generate a random valid schedule from this seed instead")
 		jsonOut     = flag.String("json", "", "write the summary in BENCH_results.json layout to this file")
+		healthLog   = flag.String("health-log", "", "attach the health plane (docs/HEALTH.md) to the soak's QoS server, write every state transition to this file as JSON lines, and fail the run unless at least one fire→clear cycle was observed")
 		quiet       = flag.Bool("q", false, "suppress the result tables (summary lines only)")
 	)
 	flag.Parse()
@@ -97,6 +99,7 @@ func run() int {
 		cfg.Load.ZipfS = *zipfS
 		cfg.Load.CompositeFraction = *composite
 		cfg.TraceSample = *traceSample
+		cfg.Health = *healthLog != ""
 		switch {
 		case *schedFile != "":
 			src, err := os.ReadFile(*schedFile)
@@ -140,6 +143,24 @@ func run() int {
 			verdict = "FAIL"
 			failed++
 			fmt.Fprintf(os.Stderr, "loadgen: seed %d: %v\n", seed, err)
+		}
+		if *healthLog != "" {
+			if err := appendHealthLog(*healthLog, seed, r); err != nil {
+				fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+				return 1
+			}
+			// The chaos-soak gate: the health plane must complete at least
+			// one fire→clear cycle during the soak, or the rules (or the
+			// engine) stopped observing the pipeline.
+			if r.HealthCycles < 1 {
+				verdict = "FAIL"
+				failed++
+				fmt.Fprintf(os.Stderr, "loadgen: seed %d: health plane observed %d transitions but no fire→clear cycle\n",
+					seed, len(r.HealthTransitions))
+			} else {
+				fmt.Printf("loadgen: seed %d: health %d transitions, %d fire→clear cycle(s) → %s\n",
+					seed, len(r.HealthTransitions), r.HealthCycles, *healthLog)
+			}
 		}
 		fmt.Printf("loadgen: seed %d: %s — %d profiles, %d events, %d faults, %d msgs, chaos %v / baseline %v\n",
 			seed, verdict, r.LiveProfiles, r.Events, len(r.Applied),
@@ -188,6 +209,10 @@ func toBench(seed int64, r *sim.ChaosSoakResult) benchResult {
 	}
 	// Traced runs add the attribution table: per class, the traced e2e p99
 	// and each stage's share of the class's end-to-end latency.
+	if len(r.HealthTransitions) > 0 {
+		m["health_transitions"] = float64(len(r.HealthTransitions))
+		m["health_cycles"] = float64(r.HealthCycles)
+	}
 	for _, a := range r.Attribution {
 		m["attr_"+a.Class+"_chains"] = float64(a.Samples)
 		m["attr_"+a.Class+"_e2e_p99_ms"] = float64(a.E2EP99.Microseconds()) / 1e3
@@ -202,6 +227,26 @@ func toBench(seed int64, r *sim.ChaosSoakResult) benchResult {
 		NsPerOp:    float64(r.WallChaos.Nanoseconds()),
 		Metrics:    m,
 	}
+}
+
+// appendHealthLog writes one JSON line per health state transition (plus
+// the seed it came from), appending so multi-seed runs share one artifact.
+func appendHealthLog(path string, seed int64, r *sim.ChaosSoakResult) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = f.Close() }()
+	enc := json.NewEncoder(f)
+	for _, tr := range r.HealthTransitions {
+		if err := enc.Encode(struct {
+			Seed int64 `json:"seed"`
+			health.Transition
+		}{seed, tr}); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func parseSeeds(s string) ([]int64, error) {

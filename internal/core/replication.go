@@ -85,6 +85,10 @@ type ReplicaStats struct {
 	Resyncs int64
 	// Promoted reports a standby that has taken over as serving primary.
 	Promoted bool
+	// StreamLag is the primary's unconfirmed stream window: records
+	// streamed past the standby's last acknowledged position. Zero on
+	// standbys. The health plane alerts on sustained lag.
+	StreamLag uint64
 }
 
 // ReplicaStatsProvider supplies ReplicaStats snapshots for Stats merging.

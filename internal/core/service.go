@@ -270,6 +270,13 @@ type ServiceStats struct {
 	QoSDeferred  int64 // over-quota normal matches parked for delayed delivery
 	QoSCoalesced int64 // over-quota bulk matches folded into a pending digest
 	QoSDigests   int64 // coalesced digest notifications synthesized
+	// ReplicaStreamLag is the primary's unconfirmed stream window (sent
+	// minus standby-acknowledged records); 0 on standbys and with
+	// replication off. The health plane's replica-stream-lag rule reads it.
+	ReplicaStreamLag uint64
+	// HealthAlerts counts health-plane meta-alert events published into the
+	// pipeline (PublishHealthAlert).
+	HealthAlerts int64
 }
 
 // Queued payload kinds for the retry queue.
@@ -417,6 +424,7 @@ func (s *Service) Stats() ServiceStats {
 		out.ReplicaSnapshots = rs.Snapshots
 		out.ReplicaResyncs = rs.Resyncs
 		out.ReplicaPromoted = rs.Promoted
+		out.ReplicaStreamLag = rs.StreamLag
 	}
 	return out
 }

@@ -1,0 +1,129 @@
+package health
+
+// Catalog maps every metric name the obs catalog can register to its kind,
+// so rule files are validated at parse time: a typo'd metric name or a
+// quantile over a counter is an error, not a rule that silently never
+// fires. The map is rebuilt per call — callers that validate many rule
+// sets should hold one copy.
+func Catalog() map[string]Kind {
+	m := map[string]Kind{}
+	for _, n := range catalogCounters {
+		m[n] = KindCounter
+	}
+	for _, n := range catalogGauges {
+		m[n] = KindGauge
+	}
+	for _, n := range catalogHistograms {
+		m[n] = KindHistogram
+	}
+	return m
+}
+
+// The catalog name lists mirror the registrations in internal/obs
+// (catalog.go, exporter.go) plus the health plane's own series; keep them
+// in sync when adding metrics. TestCatalogCoversExposition pins the
+// correspondence.
+var catalogCounters = []string{
+	"gsalert_core_events_published_total",
+	"gsalert_core_events_received_total",
+	"gsalert_core_duplicates_dropped_total",
+	"gsalert_core_notifications_total",
+	"gsalert_core_notify_failures_total",
+	"gsalert_core_aux_forwards_total",
+	"gsalert_core_transforms_total",
+	"gsalert_core_cycle_refusals_total",
+	"gsalert_core_aux_installs_sent_total",
+	"gsalert_core_aux_cancels_sent_total",
+	"gsalert_core_broadcasts_sent_total",
+	"gsalert_core_advertisements_sent_total",
+	"gsalert_core_forwarding_failures_total",
+	"gsalert_core_filter_seconds_total",
+	"gsalert_core_receive_latency_seconds_total",
+	"gsalert_core_receive_hops_total",
+	"gsalert_core_health_alerts_total",
+	"gsalert_composite_primitives_total",
+	"gsalert_composite_firings_total",
+	"gsalert_composite_digest_flushes_total",
+	"gsalert_composite_windows_expired_total",
+	"gsalert_replica_streamed_total",
+	"gsalert_replica_dropped_total",
+	"gsalert_replica_errors_total",
+	"gsalert_replica_snapshots_total",
+	"gsalert_replica_resyncs_total",
+	"gsalert_qos_admitted_total",
+	"gsalert_qos_deferred_total",
+	"gsalert_qos_coalesced_total",
+	"gsalert_qos_digests_total",
+	"gsalert_delivery_enqueued_total",
+	"gsalert_delivery_delivered_total",
+	"gsalert_delivery_parked_total",
+	"gsalert_delivery_deferred_total",
+	"gsalert_delivery_retried_total",
+	"gsalert_delivery_displaced_total",
+	"gsalert_delivery_spilled_total",
+	"gsalert_delivery_dropped_total",
+	"gsalert_delivery_recovered_total",
+	"gsalert_delivery_batches_total",
+	"gsalert_delivery_delivered_by_class_total",
+	"gsalert_gds_deliveries_total",
+	"gsalert_gds_broadcasts_total",
+	"gsalert_gds_multicasts_total",
+	"gsalert_gds_content_routed_total",
+	"gsalert_gds_content_flooded_total",
+	"gsalert_gds_resolves_total",
+	"gsalert_gds_resolves_delegated_total",
+	"gsalert_gds_dedup_hits_total",
+	"gsalert_trace_spans_total",
+	"gsalert_trace_dropped_total",
+	"gsalert_transport_frames_sent_total",
+	"gsalert_transport_frames_received_total",
+	"gsalert_transport_bytes_sent_total",
+	"gsalert_transport_bytes_received_total",
+	"gsalert_transport_send_errors_total",
+	"gsalert_exporter_scrapes_total",
+	"gsalert_exporter_scrape_errors_total",
+	"gsalert_exporter_sent_total",
+	"gsalert_exporter_retries_total",
+	"gsalert_exporter_dropped_total",
+	"gsalert_exporter_send_errors_total",
+	"gsalert_exporter_sent_bytes_total",
+	"gsalert_go_gc_cycles_total",
+	"gsalert_go_gc_pause_seconds_total",
+	"gsalert_health_transitions_total",
+	"gsalert_health_evals_total",
+}
+
+var catalogGauges = []string{
+	"gsalert_composite_live_instances",
+	"gsalert_replica_role",
+	"gsalert_replica_stream_seq",
+	"gsalert_replica_stream_lag",
+	"gsalert_replica_promoted",
+	"gsalert_qos_quota_buckets",
+	"gsalert_qos_quota_tokens",
+	"gsalert_delivery_queue_depth",
+	"gsalert_delivery_drr_credit",
+	"gsalert_delivery_spill_depth",
+	"gsalert_delivery_batch_size_mean",
+	"gsalert_gds_node_info",
+	"gsalert_gds_children",
+	"gsalert_gds_servers",
+	"gsalert_gds_subtree_names",
+	"gsalert_gds_groups",
+	"gsalert_gds_warm_links",
+	"gsalert_gds_link_digest_conjunctions",
+	"gsalert_trace_ring_occupancy",
+	"gsalert_trace_ring_capacity",
+	"gsalert_go_goroutines",
+	"gsalert_go_heap_alloc_bytes",
+	"gsalert_go_heap_objects",
+	"gsalert_exporter_queue_depth",
+	"gsalert_health_component_state",
+	"gsalert_health_rules_firing",
+	"ALERTS",
+}
+
+var catalogHistograms = []string{
+	"gsalert_delivery_flush_seconds",
+	"gsalert_delivery_latency_seconds",
+}

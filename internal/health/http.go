@@ -1,0 +1,56 @@
+package health
+
+import (
+	"encoding/json"
+	"net/http"
+
+	"github.com/gsalert/gsalert/internal/obs"
+)
+
+// HealthzHandler serves the engine's Snapshot as JSON. Status code follows
+// the worst component: 200 while healthy or degraded (the process is still
+// doing useful work), 503 once any component is critical.
+func HealthzHandler(e *Engine) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		st := e.Snapshot()
+		w.Header().Set("Content-Type", "application/json")
+		if st.State == Critical {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(st)
+	})
+}
+
+// ReadyzHandler serves the readiness aggregate: 200 "ok" when every
+// registered check passes, 503 with the failing checks as JSON otherwise.
+// Load balancers and the chaos harness gate on this.
+func ReadyzHandler(e *Engine) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		ok, results := e.Readiness()
+		if ok {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			_, _ = w.Write([]byte("ok\n"))
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(struct {
+			Ready  bool              `json:"ready"`
+			Checks []ReadinessResult `json:"checks"`
+		}{Ready: false, Checks: results})
+	})
+}
+
+// Endpoints mounts /healthz and /readyz on the ops mux — pass it to
+// obs.ServeOps alongside WithTraces/WithPprof. Defined here rather than in
+// obs so the dependency points health→obs only.
+func Endpoints(e *Engine) obs.ServeOption {
+	return func(mux *http.ServeMux) {
+		mux.Handle("/healthz", HealthzHandler(e))
+		mux.Handle("/readyz", ReadyzHandler(e))
+	}
+}

@@ -38,6 +38,7 @@ func RegisterService(r *Registry, stats func() core.ServiceStats) {
 		c.Counter("gsalert_core_filter_seconds_total", "Cumulative local profile-filtering time.", s.FilterTime.Seconds())
 		c.Counter("gsalert_core_receive_latency_seconds_total", "Cumulative transit latency of received events.", s.ReceiveLatency.Seconds())
 		c.Counter("gsalert_core_receive_hops_total", "Cumulative relay hops of received events.", float64(s.ReceiveHops))
+		c.Counter("gsalert_core_health_alerts_total", "Health-plane meta-alert events published into the pipeline.", float64(s.HealthAlerts))
 
 		c.Counter("gsalert_composite_primitives_total", "Step matches consumed by composite state machines.", float64(s.CompositePrimitives))
 		c.Counter("gsalert_composite_firings_total", "Synthesized composite notifications.", float64(s.CompositeFirings))
@@ -56,6 +57,7 @@ func RegisterService(r *Registry, stats func() core.ServiceStats) {
 		c.Counter("gsalert_replica_errors_total", "Replication stream transport or apply failures.", float64(s.ReplicaErrors))
 		c.Counter("gsalert_replica_snapshots_total", "Full replication snapshots sent or applied.", float64(s.ReplicaSnapshots))
 		c.Counter("gsalert_replica_resyncs_total", "Snapshot catch-ups after stream gaps.", float64(s.ReplicaResyncs))
+		c.Gauge("gsalert_replica_stream_lag", "Primary's unconfirmed stream window (records past the standby's ack).", float64(s.ReplicaStreamLag))
 		promoted := 0.0
 		if s.ReplicaPromoted {
 			promoted = 1

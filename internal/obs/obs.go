@@ -272,8 +272,9 @@ type collFamily struct {
 }
 
 type collSample struct {
-	key string
-	v   float64
+	key    string
+	labels []Label
+	v      float64
 }
 
 func (c *Collector) add(name, help string, k kind, v float64, labels []Label) {
@@ -285,7 +286,7 @@ func (c *Collector) add(name, help string, k kind, v float64, labels []Label) {
 	} else if f.kind != k {
 		panic(fmt.Sprintf("obs: metric %s collected as both %s and %s", name, f.kind, k))
 	}
-	f.samples = append(f.samples, collSample{key: labelKey(labels), v: v})
+	f.samples = append(f.samples, collSample{key: labelKey(labels), labels: labels, v: v})
 }
 
 // Counter emits one counter sample for this scrape.

@@ -450,6 +450,25 @@ type ReplAck struct {
 	// ServerName is the primary name the standby stands by for, a sanity
 	// check against cross-wired replication pairs.
 	ServerName string `xml:"ServerName,omitempty"`
+	// QoSBuckets carries the primary's current token-bucket levels on
+	// heartbeat responses, keeping the standby's quota view fresh between
+	// snapshots so a promotion does not reset admission state.
+	QoSBuckets []ReplQoSBucket `xml:"QoS>Bucket,omitempty"`
+}
+
+// ReplQoSBucket is one admission-control token bucket's replicated level
+// (qos.BucketState on the wire).
+type ReplQoSBucket struct {
+	XMLName xml.Name `xml:"Bucket"`
+	// Dimension is the quota dimension: "subscriber" or "collection".
+	Dimension string `xml:"dimension,attr"`
+	// Key is the subscriber or collection name.
+	Key string `xml:"Key"`
+	// Tokens is the stored token level.
+	Tokens float64 `xml:"Tokens"`
+	// LastUnixNano is the bucket's last-touch time the refill math is
+	// relative to (UnixNano; 0 = never touched).
+	LastUnixNano int64 `xml:"Last,omitempty"`
 }
 
 // ReplMailboxEntry is one undelivered notification inside a snapshot.
@@ -487,6 +506,9 @@ type ReplSnapshot struct {
 	Subscriptions RawXML        `xml:"Subscriptions"`
 	Mailboxes     []ReplMailbox `xml:"Mailboxes>Mailbox,omitempty"`
 	DedupIDs      []string      `xml:"Dedup>ID,omitempty"`
+	// QoSBuckets carries the primary's token-bucket levels so promotion
+	// does not reset admission quotas.
+	QoSBuckets []ReplQoSBucket `xml:"QoS>Bucket,omitempty"`
 }
 
 // ReplPromote orders a standby to promote itself (MsgReplPromote). Mode

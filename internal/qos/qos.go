@@ -28,6 +28,7 @@ package qos
 import (
 	"fmt"
 	"math"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -417,4 +418,83 @@ func (s *Scheduler) Pick(ready func(Class) bool) (Class, bool) {
 		}
 	}
 	return ClassNormal, false
+}
+
+// ---------------------------------------------------------------------------
+// Bucket-level replication
+
+// BucketState is one token bucket's replicable level: quota dimension
+// ("subscriber" or "collection"), key, stored tokens and the last-touch
+// timestamp the refill math is relative to. Shipped in replication
+// snapshots and heartbeats so a promoted standby enforces the quotas the
+// primary had already charged, instead of granting every subscriber a
+// fresh burst at failover.
+type BucketState struct {
+	Dimension string
+	Key       string
+	Tokens    float64
+	Last      time.Time
+}
+
+// Dimension names for BucketState.
+const (
+	DimSubscriber = "subscriber"
+	DimCollection = "collection"
+)
+
+// ExportBuckets snapshots every live bucket across both dimensions, sorted
+// by (dimension, key) so exports are deterministic.
+func (c *Controller) ExportBuckets() []BucketState {
+	var out []BucketState
+	out = c.subscribers.export(DimSubscriber, out)
+	out = c.collections.export(DimCollection, out)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Dimension != out[j].Dimension {
+			return out[i].Dimension < out[j].Dimension
+		}
+		return out[i].Key < out[j].Key
+	})
+	return out
+}
+
+// ApplyBuckets installs replicated bucket levels, overwriting any local
+// state for the same keys. Buckets not mentioned are left alone — the
+// stream is level-correcting, not a full sync, and an extra local bucket
+// errs toward its own (fresher) admission history.
+func (c *Controller) ApplyBuckets(states []BucketState) {
+	for _, st := range states {
+		switch st.Dimension {
+		case DimSubscriber:
+			c.subscribers.install(st.Key, st.Tokens, st.Last)
+		case DimCollection:
+			c.collections.install(st.Key, st.Tokens, st.Last)
+		}
+	}
+}
+
+// export appends one dimension's buckets to out.
+func (s *bucketSet) export(dim string, out []BucketState) []BucketState {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for k, b := range sh.m {
+			out = append(out, BucketState{Dimension: dim, Key: k, Tokens: b.tokens, Last: b.last})
+		}
+		sh.mu.Unlock()
+	}
+	return out
+}
+
+// install sets one bucket's level, creating it if absent.
+func (s *bucketSet) install(key string, tokens float64, last time.Time) {
+	sh := &s.shards[fnv32a(key)%bucketShards]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	b := sh.m[key]
+	if b == nil {
+		b = &bucket{}
+		sh.m[key] = b
+	}
+	b.tokens = tokens
+	b.last = last
 }

@@ -107,7 +107,14 @@ func (p *Primary) StandbyAddr() string {
 func (p *Primary) ReplicaStats() core.ReplicaStats {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return roleStats("primary", p.seq, p.streamed, p.dropped, p.errors, p.snapshots, p.resyncs, false)
+	st := roleStats("primary", p.seq, p.streamed, p.dropped, p.errors, p.snapshots, p.resyncs, false)
+	// Lag is the un-acknowledged stream window. Before any standby attaches
+	// the stream has no position to lag behind (seq stays 0), so this reads
+	// 0 on a solo primary.
+	if p.seq > p.confirmed {
+		st.StreamLag = p.seq - p.confirmed
+	}
+	return st
 }
 
 // handle processes the primary side of the replication protocol: a standby
@@ -142,6 +149,7 @@ func (p *Primary) handle(_ context.Context, env *protocol.Envelope) (*protocol.E
 			return protocol.MustEnvelope(p.svc.Name(), protocol.MsgReplAck, &protocol.ReplAck{
 				AppliedSeq: seq,
 				Resync:     needResync,
+				QoSBuckets: exportQoSBuckets(p.svc),
 			}), nil
 		}
 		p.mu.Lock()
@@ -184,6 +192,7 @@ func (p *Primary) snapshotLocked() (*protocol.ReplSnapshot, error) {
 		IDSeq:         p.svc.IDSeq(),
 		Subscriptions: protocol.Wrap(subs.Bytes()),
 		DedupIDs:      p.svc.DedupIDs(),
+		QoSBuckets:    exportQoSBuckets(p.svc),
 	}
 	for _, mb := range p.svc.Delivery().ExportMailboxes() {
 		rm := protocol.ReplMailbox{Client: mb.Client, NextSeq: mb.NextSeq}

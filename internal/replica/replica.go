@@ -37,8 +37,11 @@ package replica
 
 import (
 	"fmt"
+	"time"
 
 	"github.com/gsalert/gsalert/internal/core"
+	"github.com/gsalert/gsalert/internal/protocol"
+	"github.com/gsalert/gsalert/internal/qos"
 )
 
 // Op values of the profile stream.
@@ -71,4 +74,43 @@ func roleStats(role string, seq uint64, streamed, dropped, errs, snaps, resyncs 
 // mismatchErr reports a cross-wired replication pair.
 func mismatchErr(want, got string) error {
 	return fmt.Errorf("replica: standby stands by for %q, primary is %q", got, want)
+}
+
+// exportQoSBuckets renders a service's current token-bucket levels for the
+// wire (nil when no QoS controller is installed). Shipped in snapshots and
+// heartbeat responses so a promoted standby enforces the quotas the
+// primary had already charged instead of handing out fresh bursts.
+func exportQoSBuckets(svc *core.Service) []protocol.ReplQoSBucket {
+	ctrl := svc.QoS()
+	if ctrl == nil {
+		return nil
+	}
+	states := ctrl.ExportBuckets()
+	out := make([]protocol.ReplQoSBucket, 0, len(states))
+	for _, st := range states {
+		b := protocol.ReplQoSBucket{Dimension: st.Dimension, Key: st.Key, Tokens: st.Tokens}
+		if !st.Last.IsZero() {
+			b.LastUnixNano = st.Last.UnixNano()
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+// applyQoSBuckets installs replicated bucket levels on a service's QoS
+// controller; silently a no-op when either side has QoS off.
+func applyQoSBuckets(svc *core.Service, buckets []protocol.ReplQoSBucket) {
+	ctrl := svc.QoS()
+	if ctrl == nil || len(buckets) == 0 {
+		return
+	}
+	states := make([]qos.BucketState, 0, len(buckets))
+	for _, b := range buckets {
+		st := qos.BucketState{Dimension: b.Dimension, Key: b.Key, Tokens: b.Tokens}
+		if b.LastUnixNano != 0 {
+			st.Last = time.Unix(0, b.LastUnixNano)
+		}
+		states = append(states, st)
+	}
+	ctrl.ApplyBuckets(states)
 }

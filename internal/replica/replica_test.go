@@ -11,6 +11,7 @@ import (
 	"github.com/gsalert/gsalert/internal/gds"
 	"github.com/gsalert/gsalert/internal/greenstone"
 	"github.com/gsalert/gsalert/internal/profile"
+	"github.com/gsalert/gsalert/internal/qos"
 	"github.com/gsalert/gsalert/internal/transport"
 )
 
@@ -392,4 +393,62 @@ func waitFor(t *testing.T, cond func() bool) {
 		time.Sleep(2 * time.Millisecond)
 	}
 	t.Fatal("condition not reached within 5s")
+}
+
+// TestQoSBucketsSurvivePromotion checks the carried-over ROADMAP item:
+// token-bucket levels replicate in snapshots and heartbeats, so a promoted
+// standby enforces the quotas the primary had already charged instead of
+// granting every subscriber a fresh burst.
+func TestQoSBucketsSurvivePromotion(t *testing.T) {
+	ctx := context.Background()
+	p := newPair(t)
+
+	// Burst-only quotas (no refill) on both ends: deterministic levels.
+	qcfg := qos.Config{SubscriberBurst: 5, CollectionBurst: 100}
+	p.primary.SetQoS(qos.NewController(qcfg))
+	p.standby.SetQoS(qos.NewController(qcfg))
+
+	// Charge 3 of carol's 5 tokens on the primary.
+	for i := 0; i < 3; i++ {
+		if !p.primary.QoS().AllowSubscriber("carol") {
+			t.Fatalf("admission %d refused under burst 5", i)
+		}
+	}
+
+	// The join snapshot ships the levels.
+	if err := p.recv.Join(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if !p.recv.Synced() {
+		t.Fatal("standby not synced after join")
+	}
+
+	// Charge one more on the primary, then heartbeat: the probe response
+	// piggybacks the fresher levels.
+	if !p.primary.QoS().AllowSubscriber("carol") {
+		t.Fatal("fourth admission refused under burst 5")
+	}
+	if err := p.recv.Heartbeat(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.recv.ProbeErr(); err != nil {
+		t.Fatalf("probe error after successful heartbeat: %v", err)
+	}
+
+	// Promote. The standby's controller must hold carol at 1 remaining
+	// token: one more admission passes, the next is refused — not the 5
+	// fresh tokens a reset would grant.
+	if err := p.recv.Promote(ctx, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !p.standby.QoS().AllowSubscriber("carol") {
+		t.Fatal("promoted standby refused carol's last budgeted admission")
+	}
+	if p.standby.QoS().AllowSubscriber("carol") {
+		t.Fatal("promotion reset carol's quota: sixth admission passed")
+	}
+	// An untouched subscriber still gets its full burst.
+	if !p.standby.QoS().AllowSubscriber("dave") {
+		t.Fatal("fresh subscriber refused on promoted standby")
+	}
 }

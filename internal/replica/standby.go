@@ -72,6 +72,10 @@ type Standby struct {
 	errors    int64
 	snapshots int64
 	resyncs   int64
+	// probeErr is the outcome of the most recent Join/Heartbeat probe (nil
+	// = reached the primary). Readiness checks consume it: a standby whose
+	// probes fail may hold stale state even though synced is still set.
+	probeErr error
 }
 
 // NewStandby builds a Standby and starts listening for the stream. Call
@@ -127,6 +131,32 @@ func (s *Standby) Promoted() bool {
 	return s.promoted
 }
 
+// Synced reports whether the standby holds a consistent snapshot-rooted
+// state (false until the first Join, and again after an apply failure
+// until the resync snapshot lands).
+func (s *Standby) Synced() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.synced
+}
+
+// ProbeErr reports the most recent Join/Heartbeat outcome (nil = the
+// primary answered). The /readyz standby check gates on this: synced
+// state plus a reachable primary means "caught up"; a partitioned standby
+// is not ready even though its last-known state is consistent.
+func (s *Standby) ProbeErr() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.probeErr
+}
+
+// noteProbe records a probe outcome.
+func (s *Standby) noteProbe(err error) {
+	s.mu.Lock()
+	s.probeErr = err
+	s.mu.Unlock()
+}
+
 // ReplicaStats implements core.ReplicaStatsProvider.
 func (s *Standby) ReplicaStats() core.ReplicaStats {
 	s.mu.Lock()
@@ -153,8 +183,11 @@ func (s *Standby) Join(ctx context.Context) error {
 	}
 	var snap protocol.ReplSnapshot
 	if err := transport.SendExpect(ctx, s.tr, s.primaryAddr, env, protocol.MsgReplSnapshot, &snap); err != nil {
-		return fmt.Errorf("replica: join %s: %w", s.primaryAddr, err)
+		err = fmt.Errorf("replica: join %s: %w", s.primaryAddr, err)
+		s.noteProbe(err)
+		return err
 	}
+	s.noteProbe(nil)
 	return s.applySnapshot(&snap)
 }
 
@@ -181,8 +214,15 @@ func (s *Standby) Heartbeat(ctx context.Context) error {
 	}
 	var resp protocol.ReplAck
 	if err := transport.SendExpect(ctx, s.tr, s.primaryAddr, env, protocol.MsgReplAck, &resp); err != nil {
-		return fmt.Errorf("replica: heartbeat %s: %w", s.primaryAddr, err)
+		err = fmt.Errorf("replica: heartbeat %s: %w", s.primaryAddr, err)
+		s.noteProbe(err)
+		return err
 	}
+	s.noteProbe(nil)
+	// Refresh replicated quota levels: heartbeats piggyback the primary's
+	// current token buckets, so a promotion between snapshots still
+	// inherits near-current admission state.
+	applyQoSBuckets(s.svc, resp.QoSBuckets)
 	// Re-read the position: stream records that landed while the probe was
 	// in flight are already applied (the stream is synchronous), so being
 	// genuinely behind means the primary's position is still ahead of the
@@ -417,6 +457,7 @@ func (s *Standby) applySnapshot(snap *protocol.ReplSnapshot) error {
 	if snap.IDSeq > 0 {
 		s.svc.SeedIDCounter(snap.IDSeq)
 	}
+	applyQoSBuckets(s.svc, snap.QoSBuckets)
 	mode := core.RouteBroadcast
 	if snap.Mode != "" {
 		m, err := core.ParseRoutingMode(snap.Mode)

@@ -12,7 +12,9 @@ import (
 	"github.com/gsalert/gsalert/internal/event"
 	"github.com/gsalert/gsalert/internal/gds"
 	"github.com/gsalert/gsalert/internal/greenstone"
+	"github.com/gsalert/gsalert/internal/health"
 	"github.com/gsalert/gsalert/internal/metrics"
+	"github.com/gsalert/gsalert/internal/obs"
 	"github.com/gsalert/gsalert/internal/profile"
 	"github.com/gsalert/gsalert/internal/qos"
 	"github.com/gsalert/gsalert/internal/replica"
@@ -83,7 +85,28 @@ type ChaosSoakConfig struct {
 	// (0,1]; the chaos run's traced notify chains produce the per-stage
 	// latency attribution table. 0 disables tracing.
 	TraceSample float64
+	// Health attaches an internal/health engine to the QoS server's
+	// registry, ticked on a virtual clock each round plus a quiet tail, so
+	// the soak observes at least one rule fire→clear cycle (the chaos-soak
+	// CI gate). 0-cost when false.
+	Health bool
 }
+
+// soakHealthRules is the rule set the soak's health engine evaluates: the
+// burst-only quota guarantees deferrals once the subscriber budget is
+// spent, so the deferred rate rises mid-run and drains to zero over the
+// quiet tail — a deterministic fire→clear cycle.
+const soakHealthRules = `
+rule soak-deferred-rate {
+	component = qos
+	severity = warning
+	expr = rate(gsalert_qos_deferred_total[30s]) > 0.05
+}
+`
+
+// soakHealthTick is the virtual time each soak round (and each quiet tail
+// tick) advances the health clock by.
+const soakHealthTick = 10 * time.Second
 
 // DefaultChaosSoakConfig is the acceptance-bar configuration: 16 servers,
 // 100k live profiles, 12 rounds, and a schedule exercising the full fault
@@ -318,7 +341,10 @@ type soakOutcome struct {
 	attribution              []StageAttribution
 	traces                   []*trace.Trace
 	traceSpans, traceDropped int64
-	wall                     time.Duration
+	// Health accounting (cfg.Health).
+	healthTransitions []health.Transition
+	healthCycles      int
+	wall              time.Duration
 }
 
 func countSoakPrimitives(sink *core.MemoryNotifier) int {
@@ -402,6 +428,22 @@ func runChaosSoak(cfg ChaosSoakConfig, schedule chaos.Schedule) (*soakOutcome, e
 	qosSvc.SetQoS(newQoS())
 	replSvc := c.Service(SoakReplServer)
 	replSvc.SetQoS(newQoS())
+
+	// The soak's health plane: a rule engine over the QoS server's
+	// registry, stepped on a virtual clock so rate windows behave the same
+	// however fast the rounds run.
+	var heng *health.Engine
+	var hclock time.Time
+	if cfg.Health {
+		hrules, err := health.ParseRules(soakHealthRules)
+		if err != nil {
+			return nil, fmt.Errorf("sim: soak health rules: %w", err)
+		}
+		hreg := obs.NewRegistry()
+		obs.RegisterService(hreg, qosSvc.Stats)
+		heng = health.NewEngine(hreg, hrules, health.Options{})
+		hclock = time.Unix(1_700_000_000, 0)
+	}
 
 	// The ballast population goes in before the standby joins, so the
 	// snapshot path carries it; the observed profiles subscribe after, over
@@ -537,8 +579,20 @@ func runChaosSoak(cfg ChaosSoakConfig, schedule chaos.Schedule) (*soakOutcome, e
 		if _, err := eng.AdvanceTo(ctx, round); err != nil {
 			return nil, err
 		}
+		if heng != nil {
+			hclock = hclock.Add(soakHealthTick)
+			heng.TickAt(hclock)
+		}
 	}
 	run.settle(ctx)
+	if heng != nil {
+		// Quiet tail: no publishes, so the deferred-rate window drains and
+		// any firing rule clears — completing the fire→clear cycle.
+		for i := 0; i < 6; i++ {
+			hclock = hclock.Add(soakHealthTick)
+			heng.TickAt(hclock)
+		}
+	}
 
 	out := &soakOutcome{
 		live:      live,
@@ -601,8 +655,24 @@ func runChaosSoak(cfg ChaosSoakConfig, schedule chaos.Schedule) (*soakOutcome, e
 		out.traceSpans = tcol.SpansTotal()
 		out.traceDropped = tcol.Dropped()
 	}
+	if heng != nil {
+		out.healthTransitions = heng.Transitions()
+		out.healthCycles = healthCycles(out.healthTransitions)
+	}
 	out.wall = time.Since(start)
 	return out, nil
+}
+
+// healthCycles counts completed fire→clear cycles: transitions back to
+// Healthy after a component had left it.
+func healthCycles(trs []health.Transition) int {
+	n := 0
+	for _, tr := range trs {
+		if tr.To == health.Healthy && tr.From != health.Healthy {
+			n++
+		}
+	}
+	return n
 }
 
 // ChaosSoakResult compares a chaos run against its failure-free baseline —
@@ -650,6 +720,12 @@ type ChaosSoakResult struct {
 	// chains (empty unless TraceSample > 0).
 	Attribution              []StageAttribution
 	TraceSpans, TraceDropped int64
+
+	// Health-plane observations from the chaos run (empty unless
+	// cfg.Health): every component state transition, and the number of
+	// completed fire→clear cycles.
+	HealthTransitions []health.Transition
+	HealthCycles      int
 
 	WallChaos, WallBaseline time.Duration
 }
@@ -701,6 +777,8 @@ func RunChaosSoak(cfg ChaosSoakConfig) (*ChaosSoakResult, error) {
 		Attribution:       chaosRun.attribution,
 		TraceSpans:        chaosRun.traceSpans,
 		TraceDropped:      chaosRun.traceDropped,
+		HealthTransitions: chaosRun.healthTransitions,
+		HealthCycles:      chaosRun.healthCycles,
 		WallChaos:         chaosRun.wall,
 		WallBaseline:      baseline.wall,
 	}
@@ -790,6 +868,9 @@ func ChaosSoakTable(r *ChaosSoakResult) *metrics.Table {
 	}
 	if len(r.Attribution) > 0 {
 		t.AddRow("trace spans / ring-dropped", fmt.Sprintf("%d / %d", r.TraceSpans, r.TraceDropped))
+	}
+	if len(r.HealthTransitions) > 0 {
+		t.AddRow("health transitions / fire→clear cycles", fmt.Sprintf("%d / %d", len(r.HealthTransitions), r.HealthCycles))
 	}
 	t.AddRow("wall chaos / baseline", fmt.Sprintf("%v / %v", r.WallChaos.Round(time.Millisecond), r.WallBaseline.Round(time.Millisecond)))
 	return t

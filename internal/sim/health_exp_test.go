@@ -1,0 +1,186 @@
+package sim
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/gsalert/gsalert/internal/collection"
+	"github.com/gsalert/gsalert/internal/core"
+	"github.com/gsalert/gsalert/internal/event"
+	"github.com/gsalert/gsalert/internal/health"
+	"github.com/gsalert/gsalert/internal/obs"
+	"github.com/gsalert/gsalert/internal/profile"
+)
+
+// TestHealthExperimentAcceptance is the E18 acceptance bar: for three
+// seeds, the health rules fire and clear deterministically, the meta-alert
+// multisets are identical across the three routing modes, and the
+// degraded-THEN-critical composite fires everywhere.
+func TestHealthExperimentAcceptance(t *testing.T) {
+	seeds := []int64{1, 2, 3}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, seed := range seeds {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			r, err := RunHealthExperiment(8, 8, 2, 4, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := r.Check(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestHealthTableRenders smoke-checks the experiment table (it re-asserts
+// the bar internally).
+func TestHealthTableRenders(t *testing.T) {
+	if testing.Short() {
+		t.Skip("covered by TestHealthExperimentAcceptance")
+	}
+	tbl, err := HealthTable(8, 8, 2, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := tbl.Render(); !strings.Contains(s, "E18") {
+		t.Fatalf("table missing title: %s", s)
+	}
+}
+
+// TestHealthReadinessWalk is the E18 readiness sub-scenario: /readyz flips
+// 503 → 200 → 503 → 200 → 200 through join, partition, heal and
+// promotion, and the promoted standby's QoS buckets carry the primary's
+// charged quota.
+func TestHealthReadinessWalk(t *testing.T) {
+	r, err := RunHealthReadiness(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHealthDisabledAddsNoSeries pins the zero-cost-when-off guarantee: a
+// fully registered ops registry without a health engine exposes no ALERTS
+// and no gsalert_health_* series.
+func TestHealthDisabledAddsNoSeries(t *testing.T) {
+	c, err := NewCluster(ClusterConfig{Seed: 1, GDSNodes: 1, GDSBranching: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.AddServer("A000", -1); err != nil {
+		t.Fatal(err)
+	}
+	svc := c.Service("A000")
+	reg := obs.NewRegistry()
+	obs.RegisterService(reg, svc.Stats)
+	obs.RegisterDelivery(reg, svc.Delivery())
+	obs.RegisterGoRuntime(reg)
+	var buf bytes.Buffer
+	reg.WritePrometheus(&buf)
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if strings.HasPrefix(line, "ALERTS") || strings.HasPrefix(line, "gsalert_health_") {
+			t.Fatalf("health-disabled exposition leaks a health series: %s", line)
+		}
+	}
+}
+
+// TestHealthDisabledZeroPublishAllocs pins the other half of the
+// guarantee: the publish path allocates the same with a health engine
+// observing the service's registry as without one — the engine reads at
+// scrape cadence and contributes nothing per publish.
+func TestHealthDisabledZeroPublishAllocs(t *testing.T) {
+	measure := func(withEngine bool) float64 {
+		c, err := NewCluster(ClusterConfig{Seed: 1, GDSNodes: 1, GDSBranching: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		if _, err := c.AddServer("A000", -1); err != nil {
+			t.Fatal(err)
+		}
+		svc := c.Service("A000")
+		if withEngine {
+			reg := obs.NewRegistry()
+			obs.RegisterService(reg, svc.Stats)
+			eng := health.NewEngine(reg, nil, health.Options{})
+			eng.Register(reg)
+			eng.TickAt(time.Unix(1_700_000_000, 0))
+			defer eng.Close()
+		}
+		ctx := context.Background()
+		qname := event.QName{Host: "A000", Collection: "X"}
+		seq := 0
+		publish := func() {
+			seq++
+			ev := event.New(fmt.Sprintf("alloc-%d-%v", seq, withEngine), event.TypeDocumentsAdded, qname, seq,
+				[]event.DocRef{{ID: fmt.Sprintf("d%d", seq)}}, time.Unix(1_700_000_000, 0))
+			if _, err := svc.PublishBuild(ctx, &collection.BuildResult{Events: []*event.Event{ev}}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < 64; i++ {
+			publish() // warm the dedup window and delivery maps
+		}
+		return testing.AllocsPerRun(200, publish)
+	}
+	without := measure(false)
+	with := measure(true)
+	if with != without {
+		t.Fatalf("publish allocs with idle health engine = %v, without = %v — the health plane must cost nothing off the scrape path", with, without)
+	}
+}
+
+// TestHealthAlertEventShape pins the dogfood event: collection _health,
+// type health-alert, and the transition riding as document metadata the
+// profile grammar can predicate on.
+func TestHealthAlertEventShape(t *testing.T) {
+	c, err := NewCluster(ClusterConfig{Seed: 1, GDSNodes: 1, GDSBranching: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.AddServer("A000", -1); err != nil {
+		t.Fatal(err)
+	}
+	svc := c.Service("A000")
+	sink := c.Notifier("A000", "ops")
+	if _, err := svc.Subscribe("ops", profile.MustParse(`event.type = "health-alert" AND health.state = "critical"`)); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	publish := func(to string) {
+		err := svc.PublishHealthAlert(ctx, core.HealthAlert{
+			Component: "qos", From: "degraded", To: to,
+			Rule: "r", Severity: "critical", Value: 1.5, At: time.Unix(1_700_000_000, 0),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	publish("critical")
+	publish("healthy") // must NOT match the critical-only profile
+	c.Settle(ctx)
+	ns := sink.All()
+	if len(ns) != 1 {
+		t.Fatalf("critical-only profile matched %d of 2 health alerts, want 1", len(ns))
+	}
+	ev := ns[0].Event
+	if ev.Type != event.TypeHealthAlert || ev.Collection.Collection != core.HealthCollection {
+		t.Fatalf("meta-alert shape wrong: type=%s collection=%s", ev.Type, ev.Collection)
+	}
+	if got := ev.Docs[0].Metadata["health.rule"]; len(got) != 1 || got[0] != "r" {
+		t.Fatalf("metadata missing rule: %v", ev.Docs[0].Metadata)
+	}
+	if svc.Stats().HealthAlerts != 2 {
+		t.Fatalf("HealthAlerts stat = %d, want 2", svc.Stats().HealthAlerts)
+	}
+}
