@@ -12,6 +12,7 @@ package gsalert_test
 import (
 	"context"
 	"fmt"
+	"io"
 	"testing"
 	"time"
 
@@ -22,6 +23,8 @@ import (
 	"github.com/gsalert/gsalert/internal/event"
 	"github.com/gsalert/gsalert/internal/filter"
 	"github.com/gsalert/gsalert/internal/health"
+	"github.com/gsalert/gsalert/internal/logging"
+	"github.com/gsalert/gsalert/internal/metrics"
 	"github.com/gsalert/gsalert/internal/obs"
 	"github.com/gsalert/gsalert/internal/profile"
 	"github.com/gsalert/gsalert/internal/qos"
@@ -964,4 +967,144 @@ rule r%d {
 		}
 		bench(b, rs)
 	})
+}
+
+// ---------------------------------------------------------------------------
+// E19 — structured logging & flight recorder.
+
+// BenchmarkLogRecord prices one log call in the three postures that matter:
+// "disabled" (the record is below the effective level — the always-on cost
+// every call site pays), "ring" (emitted into the lock-free flight ring
+// with no sink attached — the production default), and "sink" (ring plus a
+// rendered logfmt line on an io.Discard writer — the stderr-shaped cost
+// without terminal I/O noise).
+func BenchmarkLogRecord(b *testing.B) {
+	run := func(b *testing.B, lg *logging.Logger, lvl logging.Level) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if lvl == logging.LevelDebug {
+				lg.Debug("delivery flushed", logging.String("client", "u1"), logging.Int("batch", 32))
+			} else {
+				lg.Info("delivery flushed", logging.String("client", "u1"), logging.Int("batch", 32))
+			}
+		}
+	}
+	b.Run("disabled", func(b *testing.B) {
+		rec := logging.NewRecorder(logging.Config{Level: logging.LevelInfo})
+		run(b, rec.For("delivery"), logging.LevelDebug)
+	})
+	b.Run("ring", func(b *testing.B) {
+		rec := logging.NewRecorder(logging.Config{Level: logging.LevelInfo})
+		run(b, rec.For("delivery"), logging.LevelInfo)
+	})
+	b.Run("sink", func(b *testing.B) {
+		rec := logging.NewRecorder(logging.Config{Level: logging.LevelInfo, Sink: io.Discard})
+		run(b, rec.For("delivery"), logging.LevelInfo)
+	})
+}
+
+// BenchmarkExemplarObserve prices the exemplar-carrying histogram observe
+// against the plain one: the delivery pipeline calls ObserveExemplar for
+// sampled notifications and Observe otherwise, so the delta is what
+// trace-correlated latency buckets cost on the sampled path.
+func BenchmarkExemplarObserve(b *testing.B) {
+	b.Run("observe", func(b *testing.B) {
+		var h metrics.LatencyHistogram
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			h.Observe(3 * time.Millisecond)
+		}
+	})
+	b.Run("exemplar", func(b *testing.B) {
+		var h metrics.LatencyHistogram
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			h.ObserveExemplar(3*time.Millisecond, "0af7651916cd43dd8448eb211c80319c")
+		}
+	})
+}
+
+// TestLogDisabledOverhead is the E19 acceptance assertion, the logging
+// twin of TestTraceDisabledOverhead: a structured logger installed with
+// the publish-path sites below the effective level adds at most 2% to the
+// publish path versus no logger at all. Strictly interleaved batches and
+// best-batch comparison for the same reasons as the trace pin.
+func TestLogDisabledOverhead(t *testing.T) {
+	if testing.Short() {
+		t.Skip("micro-benchmark comparison; skipped in -short mode")
+	}
+	if raceEnabled {
+		t.Skip("race-detector instrumentation swamps the 2% bar; run without -race")
+	}
+	const (
+		rounds    = 8
+		batch     = 2000
+		floorNs   = 150.0
+		tolerance = 1.02
+	)
+	ctx := context.Background()
+	type harness struct {
+		svc  *core.Service
+		seq  int
+		name string
+	}
+	setup := func(name string, lg *logging.Logger) *harness {
+		tr := transport.NewMemory(6)
+		t.Cleanup(func() { tr.Close() })
+		svc, err := core.New(core.Config{
+			ServerName: name, ServerAddr: "gs://" + name, Transport: tr, Log: lg,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { svc.Close() })
+		if _, err := svc.Subscribe("u", profile.MustParse(`collection = "`+name+`.C"`)); err != nil {
+			t.Fatal(err)
+		}
+		svc.RegisterNotifier("u", core.NotifierFunc(func(core.Notification) {}))
+		return &harness{svc: svc, name: name}
+	}
+	runBatch := func(h *harness) float64 {
+		start := time.Now()
+		for i := 0; i < batch; i++ {
+			h.seq++
+			ev := event.New(fmt.Sprintf("lov-%s-%d", h.name, h.seq), event.TypeDocumentsAdded,
+				event.QName{Host: h.name, Collection: "C"}, 1, nil, eventTime())
+			if _, err := h.svc.PublishBuild(ctx, &collection.BuildResult{Events: []*event.Event{ev}}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		elapsed := time.Since(start)
+		if err := h.svc.DrainDeliveries(ctx); err != nil {
+			t.Fatal(err)
+		}
+		return float64(elapsed.Nanoseconds()) / batch
+	}
+	// The installed logger sits at info; every publish-path site logs at
+	// debug, so the measured cost is the level gate alone — the posture
+	// every production deployment runs in.
+	rec := logging.NewRecorder(logging.Config{Level: logging.LevelInfo})
+	off := setup("P", nil)
+	disabled := setup("Q", rec.For("core"))
+	runBatch(off) // warm-up both paths before measuring
+	runBatch(disabled)
+	best := func(cur, v float64) float64 {
+		if cur == 0 || v < cur {
+			return v
+		}
+		return cur
+	}
+	var offBest, disBest float64
+	for i := 0; i < rounds; i++ {
+		offBest = best(offBest, runBatch(off))
+		disBest = best(disBest, runBatch(disabled))
+	}
+	limit := offBest*tolerance + floorNs
+	t.Logf("publish path: no logger %.0fns/op, logging-disabled %.0fns/op (limit %.0f)", offBest, disBest, limit)
+	if disBest > limit {
+		t.Errorf("logging-disabled publish path %.0fns/op exceeds no-logger %.0fns/op by more than 2%%", disBest, offBest)
+	}
 }

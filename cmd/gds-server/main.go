@@ -23,6 +23,7 @@ import (
 	"github.com/gsalert/gsalert/internal/event"
 	"github.com/gsalert/gsalert/internal/gds"
 	"github.com/gsalert/gsalert/internal/health"
+	"github.com/gsalert/gsalert/internal/logging"
 	"github.com/gsalert/gsalert/internal/obs"
 	"github.com/gsalert/gsalert/internal/trace"
 	"github.com/gsalert/gsalert/internal/transport"
@@ -55,6 +56,11 @@ func run() int {
 		traceCap = flag.Int("trace-capacity", trace.DefaultCapacity, "span slots in the in-memory trace ring (drop-oldest)")
 		pprofOn  = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on the metrics endpoint (docs/OBSERVABILITY.md)")
 
+		// Structured-logging knobs (internal/logging, docs/LOGGING.md).
+		logLevel  = flag.String("log-level", "info", "minimum structured-log level kept: debug, info, warn, error or off")
+		logRing   = flag.Int("log-ring", logging.DefaultRingSize, "per-component flight-ring capacity in records (drop-oldest)")
+		flightDir = flag.String("flight-dir", "", "directory for post-mortem flight bundles written when a health rule turns critical; empty keeps captures on-demand only (GET /debug/flightrecorder)")
+
 		// Health-plane knobs (internal/health, docs/HEALTH.md). A directory
 		// node has no pipeline to dogfood meta-alerts into, so the plane here
 		// is /healthz + /readyz + ALERTS series only.
@@ -77,6 +83,14 @@ func run() int {
 		node.SetDedupCapacity(*dedupCap)
 	}
 
+	logLvl, err := logging.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gds-server: %v\n", err)
+		return 1
+	}
+	rec := logging.NewRecorder(logging.Config{Level: logLvl, RingSize: *logRing, Sink: os.Stderr})
+	node.SetLog(rec.For("gds"))
+
 	var tracer *trace.Tracer
 	if *traceOn {
 		tracer = trace.New(trace.Config{
@@ -92,11 +106,25 @@ func run() int {
 	obs.RegisterGDSNode(reg, node)
 	obs.RegisterHTTPTransport(reg, tr)
 	obs.RegisterGoRuntime(reg)
+	obs.RegisterLogging(reg, rec)
+	fcfg := logging.FlightConfig{Recorder: rec, Dir: *flightDir, Stats: func() any { return node.Snapshot() }}
 	var opts []obs.ServeOption
 	if tracer.Enabled() {
 		obs.RegisterTrace(reg, tracer.Collector())
 		opts = append(opts, obs.WithTraces(tracer.Collector()))
+		col := tracer.Collector()
+		fcfg.TraceIDs = func() []string {
+			traces := col.Traces(trace.Filter{})
+			ids := make([]string, 0, len(traces))
+			for _, t := range traces {
+				ids = append(ids, t.TraceID)
+			}
+			return ids
+		}
 	}
+	flight := logging.NewFlightRecorder(fcfg)
+	obs.RegisterFlight(reg, flight)
+	opts = append(opts, obs.WithFlightRecorder(flight))
 	if *pprofOn {
 		opts = append(opts, obs.WithPprof())
 	}
@@ -116,7 +144,20 @@ func run() int {
 				return 1
 			}
 		}
-		eng := health.NewEngine(reg, rules, health.Options{})
+		hopts := health.Options{Log: rec.For("health")}
+		if *flightDir != "" {
+			hopts.OnTransition = func(tr health.Transition) {
+				if tr.To != health.Critical {
+					return
+				}
+				if path, err := flight.DumpToDir("critical:" + tr.Component); err != nil {
+					fmt.Fprintf(os.Stderr, "gds-server: flight dump: %v\n", err)
+				} else {
+					fmt.Printf("gds-server %s flight bundle captured: %s\n", *id, path)
+				}
+			}
+		}
+		eng := health.NewEngine(reg, rules, hopts)
 		eng.Register(reg)
 		eng.AddReadiness("node", func() error { return nil })
 		if *parentAddr != "" {

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/gsalert/gsalert/internal/logging"
+)
+
+// cmdLogs pulls an on-demand flight-recorder bundle from a server's ops
+// endpoint (GET /debug/flightrecorder, docs/LOGGING.md) and renders the
+// retained ring records as logfmt lines — the operator's view into the
+// black box without waiting for a health-triggered capture.
+func cmdLogs(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("logs", flag.ExitOnError)
+	ops := fs.String("ops", "127.0.0.1:8080", "ops endpoint address of a gs-server or gds-server (-metrics-addr)")
+	component := fs.String("component", "", "only records from this component (core, delivery, gds, replica, health)")
+	minLevel := fs.String("level", "debug", "only records at or above this level: debug, info, warn or error")
+	traceID := fs.String("trace", "", "only records carrying this trace ID (correlate with `gs-client trace`)")
+	reason := fs.String("reason", "", "reason string recorded in the bundle header (default \"manual\")")
+	raw := fs.Bool("raw", false, "emit the bundle verbatim as JSONL instead of rendering (pipe to a file for archival)")
+	_ = fs.Parse(args)
+
+	lvl, err := logging.ParseLevel(*minLevel)
+	if err != nil {
+		return err
+	}
+	q := url.Values{}
+	if *reason != "" {
+		q.Set("reason", *reason)
+	}
+	u := url.URL{Scheme: "http", Host: *ops, Path: "/debug/flightrecorder", RawQuery: q.Encode()}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u.String(), nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: %s", u.String(), resp.Status)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if *raw {
+		_, err = os.Stdout.Write(body)
+		return err
+	}
+	d, err := logging.ParseJSONL(body)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("bundle #%d  %s  reason=%s  %d records across %s\n",
+		d.Seq,
+		time.Unix(0, d.TakenUnixNano).Format("2006-01-02 15:04:05.000"),
+		d.Reason,
+		len(d.Records),
+		strings.Join(d.Components(), ", "))
+	printed := 0
+	for _, r := range d.Records {
+		if *component != "" && r.Component != *component {
+			continue
+		}
+		if *traceID != "" && r.TraceID != *traceID {
+			continue
+		}
+		if rl, err := logging.ParseLevel(r.Level); err == nil && rl < lvl {
+			continue
+		}
+		printed++
+		var b strings.Builder
+		fmt.Fprintf(&b, "%s %-5s %-8s %s",
+			time.Unix(0, r.TimeUnixNano).Format("15:04:05.000"),
+			r.Level, r.Component, r.Msg)
+		for _, a := range r.Attrs {
+			fmt.Fprintf(&b, " %s=%s", a.Key, a.Value)
+		}
+		if r.TraceID != "" {
+			fmt.Fprintf(&b, " trace_id=%s", r.TraceID)
+		}
+		fmt.Println(b.String())
+	}
+	if printed != len(d.Records) {
+		fmt.Printf("%d of %d records shown\n", printed, len(d.Records))
+	}
+	if n := len(d.TraceIDs); n > 0 {
+		fmt.Printf("%d traces retained at capture time (inspect with `gs-client trace -ops %s`)\n", n, *ops)
+	}
+	return nil
+}

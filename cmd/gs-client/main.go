@@ -31,7 +31,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: gs-client <describe|search|browse|get|subscribe|listen|watch|trace|health> [flags]
+	fmt.Fprintln(os.Stderr, `usage: gs-client <describe|search|browse|get|subscribe|listen|watch|trace|logs|health> [flags]
 run "gs-client <command> -h" for command flags`)
 }
 
@@ -65,6 +65,8 @@ func run() int {
 		err = cmdWatch(ctx, recep, args)
 	case "trace":
 		err = cmdTrace(ctx, args)
+	case "logs":
+		err = cmdLogs(ctx, args)
 	case "health":
 		err = cmdHealth(ctx, args)
 	default:

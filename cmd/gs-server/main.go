@@ -35,6 +35,7 @@ import (
 	"github.com/gsalert/gsalert/internal/gds"
 	"github.com/gsalert/gsalert/internal/greenstone"
 	"github.com/gsalert/gsalert/internal/health"
+	"github.com/gsalert/gsalert/internal/logging"
 	"github.com/gsalert/gsalert/internal/obs"
 	"github.com/gsalert/gsalert/internal/protocol"
 	"github.com/gsalert/gsalert/internal/qos"
@@ -97,6 +98,12 @@ func run() int {
 		traceCap    = flag.Int("trace-capacity", trace.DefaultCapacity, "span slots in the in-memory trace ring (drop-oldest)")
 		pprofOn     = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on the ops endpoint (docs/OBSERVABILITY.md)")
 
+		// Structured-logging knobs (internal/logging, docs/LOGGING.md).
+		logLevel  = flag.String("log-level", "info", "minimum structured-log level kept: debug, info, warn, error or off; kept records land in the per-component flight rings and (rate-limited) on stderr")
+		logRing   = flag.Int("log-ring", logging.DefaultRingSize, "per-component flight-ring capacity in records (drop-oldest)")
+		logRate   = flag.Float64("log-stderr-rate", 50, "per-component stderr lines/sec cap (token bucket; suppressed lines stay ring-retained, counted in gsalert_logging_suppressed_total); 0 disables the limiter")
+		flightDir = flag.String("flight-dir", "", "directory for post-mortem flight bundles: each health transition into critical writes one JSONL bundle here; empty keeps captures on-demand only (GET /debug/flightrecorder, gs-client logs)")
+
 		// Health-plane knobs (internal/health, docs/HEALTH.md).
 		healthOn    = flag.Bool("health", false, "enable the self-alerting health plane: SLO rules evaluated against the local metric registry, /healthz + /readyz on the ops endpoint, ALERTS series, and meta-alert events published into the pipeline; implied by -health-rules")
 		healthRules = flag.String("health-rules", "", "health rule file (docs/HEALTH.md grammar); empty = the built-in E15/E16-signature defaults")
@@ -141,6 +148,21 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "gs-server: %v\n", err)
 		return 1
 	}
+	logLvl, err := logging.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gs-server: %v\n", err)
+		return 1
+	}
+	// Structured logging: one recorder owns the per-component flight rings;
+	// scoped loggers thread through the delivery pipeline, core service,
+	// replica roles and the health engine, each behind a single nil/level
+	// check on the hot paths (docs/LOGGING.md).
+	rec := logging.NewRecorder(logging.Config{
+		Level:     logLvl,
+		RingSize:  *logRing,
+		Sink:      os.Stderr,
+		RateLimit: *logRate,
+	})
 	// Tracing: one collector feeds /traces and the gsalert_trace_* series;
 	// the tracer threads through the publish path, delivery pipeline and
 	// (on standbys) the replication apply loop.
@@ -164,6 +186,7 @@ func run() int {
 		MailboxCap:    *mailboxCap,
 		ClassWeights:  weights,
 		Tracer:        tracer,
+		Log:           rec.For("delivery"),
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "gs-server: delivery pipeline: %v\n", err)
@@ -199,6 +222,7 @@ func run() int {
 		DedupCapacity: *dedupCap,
 		QoS:           ctrl,
 		Tracer:        tracer,
+		Log:           rec.For("core"),
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "gs-server: %v\n", err)
@@ -243,6 +267,7 @@ func run() int {
 			PrimaryAddr: *replicaOf,
 			GDS:         gdsCli,
 			Tracer:      tracer,
+			Log:         rec.For("replica"),
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "gs-server: standby: %v\n", err)
@@ -333,11 +358,34 @@ func run() int {
 	}
 	obs.RegisterHTTPTransport(reg, tr)
 	obs.RegisterGoRuntime(reg)
+	obs.RegisterLogging(reg, rec)
+	statsJSON := func() any {
+		return struct {
+			Service  core.ServiceStats
+			Delivery delivery.Snapshot
+		}{svc.Stats(), pipeline.Metrics().Snapshot()}
+	}
+	// Flight recorder: post-mortem bundles snapshot the rings plus the
+	// /stats payload and (when tracing) the retained-trace index, so one
+	// capture joins all three pillars (docs/OBSERVABILITY.md).
+	fcfg := logging.FlightConfig{Recorder: rec, Dir: *flightDir, Stats: statsJSON}
 	var opts []obs.ServeOption
 	if tracer.Enabled() {
 		obs.RegisterTrace(reg, tracer.Collector())
 		opts = append(opts, obs.WithTraces(tracer.Collector()))
+		col := tracer.Collector()
+		fcfg.TraceIDs = func() []string {
+			traces := col.Traces(trace.Filter{})
+			ids := make([]string, 0, len(traces))
+			for _, t := range traces {
+				ids = append(ids, t.TraceID)
+			}
+			return ids
+		}
 	}
+	flight := logging.NewFlightRecorder(fcfg)
+	obs.RegisterFlight(reg, flight)
+	opts = append(opts, obs.WithFlightRecorder(flight))
 	if *pprofOn {
 		opts = append(opts, obs.WithPprof())
 	}
@@ -364,21 +412,32 @@ func run() int {
 				return 1
 			}
 		}
-		hopts := health.Options{}
-		if *healthMeta {
-			hopts.OnTransition = func(tr health.Transition) {
-				a := core.HealthAlert{
-					Component: tr.Component,
-					From:      tr.From.String(),
-					To:        tr.To.String(),
-					Rule:      tr.Rule,
-					Severity:  tr.Severity,
-					Value:     tr.Value,
-					At:        tr.At,
+		hopts := health.Options{Log: rec.For("health")}
+		hopts.OnTransition = func(tr health.Transition) {
+			if tr.To == health.Critical && *flightDir != "" {
+				// Post-mortem capture: snapshot the flight rings the moment
+				// a component turns critical, while the records that led
+				// here still sit in the rings (docs/LOGGING.md).
+				if path, err := flight.DumpToDir("critical:" + tr.Component); err != nil {
+					fmt.Fprintf(os.Stderr, "gs-server: flight dump: %v\n", err)
+				} else {
+					fmt.Printf("gs-server %s flight bundle captured: %s\n", *name, path)
 				}
-				if err := svc.PublishHealthAlert(context.Background(), a); err != nil {
-					fmt.Fprintf(os.Stderr, "gs-server: health alert publish: %v\n", err)
-				}
+			}
+			if !*healthMeta {
+				return
+			}
+			a := core.HealthAlert{
+				Component: tr.Component,
+				From:      tr.From.String(),
+				To:        tr.To.String(),
+				Rule:      tr.Rule,
+				Severity:  tr.Severity,
+				Value:     tr.Value,
+				At:        tr.At,
+			}
+			if err := svc.PublishHealthAlert(context.Background(), a); err != nil {
+				fmt.Fprintf(os.Stderr, "gs-server: health alert publish: %v\n", err)
 			}
 		}
 		eng := health.NewEngine(reg, rules, hopts)
@@ -414,12 +473,6 @@ func run() int {
 		defer eng.Close()
 		opts = append(opts, health.Endpoints(eng))
 		fmt.Printf("gs-server %s health plane on (%d rules, tick %s)\n", *name, len(rules.Rules), *healthTick)
-	}
-	statsJSON := func() any {
-		return struct {
-			Service  core.ServiceStats
-			Delivery delivery.Snapshot
-		}{svc.Stats(), pipeline.Metrics().Snapshot()}
 	}
 	for _, opsAddr := range opsAddrs(*metricsAddr, *statsAddr) {
 		closeOps, err := obs.ServeOps(opsAddr, reg, statsJSON, opts...)

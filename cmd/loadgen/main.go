@@ -72,6 +72,7 @@ func run() int {
 		genSeed     = flag.Int64("gen-seed", 0, "generate a random valid schedule from this seed instead")
 		jsonOut     = flag.String("json", "", "write the summary in BENCH_results.json layout to this file")
 		healthLog   = flag.String("health-log", "", "attach the health plane (docs/HEALTH.md) to the soak's QoS server, write every state transition to this file as JSON lines, and fail the run unless at least one fire→clear cycle was observed")
+		flightOut   = flag.String("flight", "", "run the E19 flight-recorder gate instead of the plain soak: the logging plane and tracing are armed, the kill-primary fault must auto-capture exactly one byte-deterministic post-mortem bundle, and the bundle is written to this file (docs/LOGGING.md; multi-seed runs suffix .seed<N>)")
 		quiet       = flag.Bool("q", false, "suppress the result tables (summary lines only)")
 	)
 	flag.Parse()
@@ -125,6 +126,38 @@ func run() int {
 			cfg.Schedule = s
 		default:
 			cfg.Schedule = sim.DefaultSoakSchedule(cfg.Rounds, "gds3")
+		}
+
+		if *flightOut != "" {
+			// E19: the soak replays under its own seed and the auto-captured
+			// bundle must be a pure function of it — RunFlightSoak runs the
+			// deployment twice and compares bundles byte-for-byte.
+			fr, err := sim.RunFlightSoak(cfg)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "loadgen: seed %d: %v\n", seed, err)
+				return 1
+			}
+			if !*quiet {
+				fmt.Println(sim.FlightSoakTable(fr).Render())
+			}
+			verdict := "PASS"
+			if err := fr.Check(); err != nil {
+				verdict = "FAIL"
+				failed++
+				fmt.Fprintf(os.Stderr, "loadgen: seed %d: %v\n", seed, err)
+			}
+			path := *flightOut
+			if len(seedList) > 1 {
+				path = fmt.Sprintf("%s.seed%d", *flightOut, seed)
+			}
+			if err := os.WriteFile(path, fr.Bundle, 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+				return 1
+			}
+			fmt.Printf("loadgen: seed %d: %s — flight bundle %d records / %d components / %d traces → %s\n",
+				seed, verdict, fr.DumpRecords, len(fr.DumpComponents), fr.RetainedTraces, path)
+			out.Benchmarks = append(out.Benchmarks, toFlightBench(seed, fr))
+			continue
 		}
 
 		r, err := sim.RunChaosSoak(cfg)
@@ -226,6 +259,31 @@ func toBench(seed int64, r *sim.ChaosSoakResult) benchResult {
 		Iterations: 1,
 		NsPerOp:    float64(r.WallChaos.Nanoseconds()),
 		Metrics:    m,
+	}
+}
+
+// toFlightBench flattens one E19 run into a bench-json row.
+func toFlightBench(seed int64, r *sim.FlightSoakResult) benchResult {
+	deterministic := 0.0
+	if r.Deterministic {
+		deterministic = 1
+	}
+	return benchResult{
+		Name:       fmt.Sprintf("SoakFlight/seed=%d", seed),
+		Iterations: 1,
+		NsPerOp:    float64(r.Wall.Nanoseconds()),
+		Metrics: map[string]float64{
+			"live_profiles":        float64(r.LiveProfiles),
+			"events":               float64(r.Events),
+			"critical_transitions": float64(r.CriticalTransitions),
+			"bundle_bytes":         float64(r.BundleBytes),
+			"dump_records":         float64(r.DumpRecords),
+			"dump_components":      float64(len(r.DumpComponents)),
+			"traced_records":       float64(r.TracedRecords),
+			"resolved_records":     float64(r.ResolvedRecords),
+			"retained_traces":      float64(r.RetainedTraces),
+			"deterministic":        deterministic,
+		},
 	}
 }
 

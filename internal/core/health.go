@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"github.com/gsalert/gsalert/internal/event"
+	"github.com/gsalert/gsalert/internal/logging"
 )
 
 // HealthAlert is one health-plane component state transition, published
@@ -70,6 +71,9 @@ func (s *Service) PublishHealthAlert(ctx context.Context, a HealthAlert) error {
 		s.mu.Lock()
 		s.stats.HealthAlerts++
 		s.mu.Unlock()
+		s.log.Info("health alert published",
+			logging.String("component", a.Component), logging.String("to", a.To),
+			logging.String("rule", a.Rule))
 	}
 	return err
 }

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"github.com/gsalert/gsalert/internal/event"
+	"github.com/gsalert/gsalert/internal/logging"
 	"github.com/gsalert/gsalert/internal/profile"
 	"github.com/gsalert/gsalert/internal/protocol"
 	"github.com/gsalert/gsalert/internal/trace"
@@ -97,6 +98,8 @@ func (s *Service) SetRoutingMode(ctx context.Context, mode RoutingMode) error {
 		s.contentFloodUntil = s.clock().Add(s.contentWarmup)
 	}
 	s.mu.Unlock()
+	s.log.Info("routing mode changed",
+		logging.String("from", prev.String()), logging.String("to", mode.String()))
 	if s.gdsCli == nil {
 		return nil
 	}

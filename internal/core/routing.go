@@ -8,6 +8,7 @@ import (
 
 	"github.com/gsalert/gsalert/internal/collection"
 	"github.com/gsalert/gsalert/internal/event"
+	"github.com/gsalert/gsalert/internal/logging"
 	"github.com/gsalert/gsalert/internal/profile"
 	"github.com/gsalert/gsalert/internal/protocol"
 	"github.com/gsalert/gsalert/internal/qos"
@@ -54,6 +55,7 @@ func (s *Service) publishEvent(ctx context.Context, ev *event.Event) (time.Durat
 	root.SetAttr("event", ev.ID)
 	tctx := root.Context()
 	defer root.Finish()
+	s.log.DebugCtx(tctx, "event published", logging.String("event", ev.ID))
 
 	// 1. Local filtering + notification (+ aux matching), timed.
 	filterTime := s.filterLocally(ev, tctx)
@@ -84,6 +86,8 @@ func (s *Service) publishEvent(ctx context.Context, ev *event.Event) (time.Durat
 			s.mu.Lock()
 			s.stats.ForwardingFailures++
 			s.mu.Unlock()
+			s.log.WarnCtx(tctx, "dissemination failed",
+				logging.String("event", ev.ID), logging.String("error", err.Error()))
 		} else {
 			s.mu.Lock()
 			s.stats.BroadcastsSent++
@@ -189,12 +193,16 @@ func (s *Service) filterLocally(ev *event.Event, tctx trace.Context) time.Durati
 		case qos.OutcomeCoalesce:
 			s.coalesceBulk(m.Profile.ID, m.Profile.Owner, ev, m.DocIDs, now, ctrl, qctx)
 			coalesced++
+			s.log.DebugCtx(qctx, "match coalesced",
+				logging.String("profile", m.Profile.ID), logging.String("client", m.Profile.Owner))
 			continue
 		case qos.OutcomeDefer:
 			if err := s.delivery.Defer(n); err != nil {
 				refused++
 			} else {
 				deferred++
+				s.log.DebugCtx(qctx, "match deferred",
+					logging.String("profile", m.Profile.ID), logging.String("client", m.Profile.Owner))
 			}
 			continue
 		}

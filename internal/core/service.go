@@ -34,6 +34,7 @@ import (
 	"github.com/gsalert/gsalert/internal/event"
 	"github.com/gsalert/gsalert/internal/filter"
 	"github.com/gsalert/gsalert/internal/gds"
+	"github.com/gsalert/gsalert/internal/logging"
 	"github.com/gsalert/gsalert/internal/profile"
 	"github.com/gsalert/gsalert/internal/protocol"
 	"github.com/gsalert/gsalert/internal/qos"
@@ -141,6 +142,12 @@ type Config struct {
 	// chain onto the same trace. Nil disables tracing (the default); the
 	// service also hands the tracer to a pipeline it builds itself.
 	Tracer *trace.Tracer
+	// Log is the service's component logger (docs/LOGGING.md): admission
+	// outcomes at debug, dissemination failures at warn, routing-mode and
+	// health-alert events at info, all carrying the active trace ID. Nil
+	// disables logging at one pointer check per site; the service also
+	// hands it to a pipeline it builds itself.
+	Log *logging.Logger
 	// Clock overrides time.Now for deterministic tests.
 	Clock func() time.Time
 }
@@ -219,6 +226,10 @@ type Service struct {
 	// tracer records pipeline spans; nil *trace.Tracer no-ops, so the
 	// untraced hot path pays one pointer check per call site.
 	tracer *trace.Tracer
+
+	// log is the scoped structured logger; nil *logging.Logger no-ops the
+	// same way, so an unwired service pays one pointer check per site.
+	log *logging.Logger
 
 	idCounter atomic.Uint64
 	stats     ServiceStats
@@ -326,6 +337,7 @@ func New(cfg Config) (*Service, error) {
 	}
 	s.qos = cfg.QoS
 	s.tracer = cfg.Tracer
+	s.log = cfg.Log
 	if s.resolver == nil && s.gdsCli != nil {
 		s.resolver = s.gdsCli
 	}
@@ -337,6 +349,9 @@ func New(cfg Config) (*Service, error) {
 		}
 		if dcfg.Tracer == nil {
 			dcfg.Tracer = cfg.Tracer
+		}
+		if dcfg.Log == nil && cfg.Log != nil {
+			dcfg.Log = cfg.Log.Recorder().For("delivery")
 		}
 		p, err := delivery.NewPipeline(dcfg)
 		if err != nil {

@@ -45,6 +45,7 @@ import (
 	"time"
 
 	"github.com/gsalert/gsalert/internal/event"
+	"github.com/gsalert/gsalert/internal/logging"
 	"github.com/gsalert/gsalert/internal/qos"
 	"github.com/gsalert/gsalert/internal/trace"
 )
@@ -173,6 +174,11 @@ type Config struct {
 	// Tracer records the pipeline's queue-wait, flush and notify spans for
 	// sampled notifications. nil disables tracing.
 	Tracer *trace.Tracer
+	// Log is the pipeline's component logger (docs/LOGGING.md): QoS
+	// deferrals at debug, displacements, evictions and failed deliveries at
+	// warn, carrying the notification's trace ID where one is in scope. A
+	// nil logger disables every site at one pointer check.
+	Log *logging.Logger
 }
 
 func (c *Config) fillDefaults() {
@@ -486,6 +492,8 @@ func (p *Pipeline) admit(it item, mb *mailbox) error {
 				p.parkItems([]item{old})
 				p.m.Displaced.Inc()
 				p.inflight.Add(-1)
+				p.cfg.Log.WarnCtx(old.n.Trace, "queued notification displaced",
+					logging.String("client", old.n.Client), logging.String("class", class.String()))
 			default:
 				// Queue drained concurrently; retry the send.
 			}
@@ -520,6 +528,8 @@ func (p *Pipeline) admit(it item, mb *mailbox) error {
 			return err
 		}
 		p.m.Spilled.Inc()
+		p.cfg.Log.DebugCtx(it.n.Trace, "notification spilled to disk",
+			logging.String("client", it.n.Client), logging.String("class", class.String()))
 		return nil
 	default: // Block: backpressure the producer.
 		select {
@@ -559,6 +569,12 @@ func (p *Pipeline) Defer(n Notification) error {
 	mb.park(seq)
 	p.m.Dropped.Add(int64(len(evicted)))
 	p.m.Deferred.Inc()
+	p.cfg.Log.DebugCtx(n.Trace, "notification deferred to mailbox",
+		logging.String("client", n.Client))
+	if len(evicted) > 0 {
+		p.cfg.Log.Warn("mailbox evicted oldest parked notifications",
+			logging.String("client", n.Client), logging.Int("evicted", int64(len(evicted))))
+	}
 	if obs := p.observer(); obs != nil {
 		ops := make([]MailboxOp, 0, 1+len(evicted))
 		ops = append(ops, MailboxOp{Client: n.Client, Seq: seq, N: n})
@@ -957,6 +973,8 @@ func (p *Pipeline) flush(client string, b []item) {
 			p.m.Parked.Add(int64(len(b)))
 			if tried {
 				p.m.Retried.Add(int64(len(b)))
+				p.cfg.Log.Warn("delivery failed, batch parked for retry",
+					logging.String("client", client), logging.Int("batch", int64(len(b))))
 			}
 			return
 		}
@@ -977,8 +995,15 @@ func (p *Pipeline) flush(client string, b []item) {
 				p.m.DeliveredByClass[c].Inc()
 				if !it.n.At.IsZero() {
 					// End-to-end delivery latency per class (enqueue → sink),
-					// including any parked or deferred dwell time.
-					p.m.ClassLatency[c].Observe(now.Sub(it.n.At))
+					// including any parked or deferred dwell time. A sampled
+					// notification leaves its trace ID as the bucket's
+					// OpenMetrics exemplar, linking the histogram to the span
+					// tree that landed there.
+					if it.n.Trace.Sampled() {
+						p.m.ClassLatency[c].ObserveExemplar(now.Sub(it.n.At), it.n.Trace.TraceID())
+					} else {
+						p.m.ClassLatency[c].Observe(now.Sub(it.n.At))
+					}
 				}
 				if it.n.Trace.Sampled() {
 					p.recordFlushSpans(it, c, start, sendDur, now, len(b))

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"time"
 
+	"github.com/gsalert/gsalert/internal/logging"
 	"github.com/gsalert/gsalert/internal/profile"
 	"github.com/gsalert/gsalert/internal/protocol"
 	"github.com/gsalert/gsalert/internal/transport"
@@ -151,6 +152,8 @@ func (n *Node) handleRouteContent(ctx context.Context, env *protocol.Envelope) (
 	}
 	if rc.Flood {
 		n.m.ContentFlooded.Inc()
+		n.log.Debug("content envelope took flood fallback",
+			logging.String("from", env.Header.From))
 	} else {
 		n.m.ContentRouted.Inc()
 	}
@@ -180,6 +183,9 @@ func (n *Node) handleRouteContent(ctx context.Context, env *protocol.Envelope) (
 		}
 	}
 	n.mu.Unlock()
+	// Deterministic fan-out, as in handleBroadcast.
+	sort.Strings(targets)
+	sort.Strings(relays)
 
 	mode := "content"
 	if rc.Flood {

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"github.com/gsalert/gsalert/internal/event"
+	"github.com/gsalert/gsalert/internal/logging"
 	"github.com/gsalert/gsalert/internal/metrics"
 	"github.com/gsalert/gsalert/internal/profile"
 	"github.com/gsalert/gsalert/internal/protocol"
@@ -44,6 +45,8 @@ type Node struct {
 	addr    string
 	stratum int
 	tr      transport.Transport
+	// log is the node's component logger (SetLog); nil no-ops every site.
+	log *logging.Logger
 
 	mu         sync.Mutex
 	parentID   string
@@ -181,6 +184,12 @@ func (n *Node) Addr() string { return n.addr }
 
 // Stratum returns the node's stratum.
 func (n *Node) Stratum() int { return n.stratum }
+
+// SetLog installs the node's structured logger (docs/LOGGING.md): server
+// registrations at info, content-routing flood fallbacks at debug. Call it
+// right after NewNode, before traffic; a nil logger (the default) disables
+// every site at one pointer check.
+func (n *Node) SetLog(lg *logging.Logger) { n.log = lg }
 
 // Close detaches the node from the transport.
 func (n *Node) Close() error {
@@ -323,6 +332,8 @@ func (n *Node) handleRegisterServer(ctx context.Context, env *protocol.Envelope)
 	// A newly attached server is unwarm until it advertises a digest, which
 	// may widen the content-routing aggregate.
 	if env.Header.From == rs.Name {
+		n.log.Info("server registered",
+			logging.String("server", rs.Name), logging.String("addr", rs.Addr))
 		n.propagateDigest(ctx)
 	}
 	if !changed {
@@ -367,6 +378,7 @@ func (n *Node) handleUnregisterServer(ctx context.Context, env *protocol.Envelop
 	n.mu.Unlock()
 	if wasDirect {
 		// The departed server's interests no longer hold the aggregate open.
+		n.log.Info("server unregistered", logging.String("server", us.Name))
 		n.propagateDigest(ctx)
 	}
 	if parentAddr != "" && existed {
@@ -449,6 +461,11 @@ func (n *Node) handleBroadcast(ctx context.Context, env *protocol.Envelope) (*pr
 		relays = append(relays, childAddr)
 	}
 	n.mu.Unlock()
+	// Fan-out order must not depend on map iteration: simulations replay
+	// seeds expecting identical event interleavings (E19's byte-identical
+	// flight bundles), and the slices are a handful of addresses per hop.
+	sort.Strings(targets)
+	sort.Strings(relays)
 
 	hopCtx := n.hopSpan(env, hopStart, "broadcast")
 
@@ -591,6 +608,15 @@ func (n *Node) handleMulticast(ctx context.Context, env *protocol.Envelope) (*pr
 		parentAddr = n.parentAddr
 	}
 	n.mu.Unlock()
+	// Deterministic fan-out, as in handleBroadcast.
+	sort.Strings(direct)
+	childAddrs := make([]string, 0, len(childTargets))
+	for _, addr := range childTargets {
+		if addr != "" {
+			childAddrs = append(childAddrs, addr)
+		}
+	}
+	sort.Strings(childAddrs)
 
 	hopCtx := n.hopSpan(env, hopStart, "multicast")
 
@@ -614,10 +640,7 @@ func (n *Node) handleMulticast(ctx context.Context, env *protocol.Envelope) (*pr
 			}
 			_ = transport.SendOneWay(ctx, n.tr, parentAddr, fwd) // best effort
 		}
-		for _, addr := range childTargets {
-			if addr == "" {
-				continue
-			}
+		for _, addr := range childAddrs {
 			fwd := env.NextHop()
 			fwd.Header.From = n.id
 			if hopCtx != "" {

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/gsalert/gsalert/internal/logging"
 	"github.com/gsalert/gsalert/internal/obs"
 )
 
@@ -26,6 +27,11 @@ type Options struct {
 	// MaxTransitions bounds the in-memory transition log (drop-oldest).
 	// Zero means 256.
 	MaxTransitions int
+	// Log is the engine's component logger (docs/LOGGING.md): every state
+	// transition is recorded at warn (degrading) or info (recovering), so a
+	// flight-recorder bundle always carries the health timeline that led to
+	// its capture. Nil disables logging.
+	Log *logging.Logger
 }
 
 // ruleRun is the per-rule evaluation state machine.
@@ -268,6 +274,22 @@ func (e *Engine) TickAt(now time.Time) {
 	}
 	onTransition := e.opts.OnTransition
 	e.mu.Unlock()
+
+	if lg := e.opts.Log; lg != nil && len(fired) > 0 {
+		sort.Slice(fired, func(i, j int) bool { return fired[i].Component < fired[j].Component })
+		for _, tr := range fired {
+			attrs := []logging.Attr{
+				logging.String("component", tr.Component),
+				logging.String("from", tr.From.String()), logging.String("to", tr.To.String()),
+				logging.String("rule", tr.Rule),
+			}
+			if tr.To == Healthy {
+				lg.Info("component recovered", attrs...)
+			} else {
+				lg.Warn("component degraded", attrs...)
+			}
+		}
+	}
 
 	if onTransition != nil {
 		// Deterministic order for the dogfooded events: by component name.

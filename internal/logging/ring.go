@@ -1,0 +1,75 @@
+package logging
+
+import "sync/atomic"
+
+// ringShards spreads each component's ring over independently advancing
+// shards, mirroring trace.Collector: concurrent emitters (delivery shard
+// workers, transport handlers) never contend on one counter. Power of two
+// for cheap masking.
+const ringShards = 8
+
+// recordRing is a lock-free sharded drop-oldest ring of records. Writers
+// pick a shard from the record's sequence number and swap the record into
+// the shard's next slot; an overwritten slot reports a drop. snapshot
+// walks the slots with atomic loads — a scrape or flight-recorder dump
+// never blocks an emitter.
+type recordRing struct {
+	shards [ringShards]recordShard
+	perCap int
+}
+
+type recordShard struct {
+	slots []atomic.Pointer[Record]
+	next  atomic.Uint64
+	// pad out the hot counter so neighbouring shards do not false-share.
+	_ [48]byte
+}
+
+// init sizes the ring to hold about capacity records (rounded up to a
+// multiple of the shard count).
+func (r *recordRing) init(capacity int) {
+	per := (capacity + ringShards - 1) / ringShards
+	r.perCap = per
+	for i := range r.shards {
+		r.shards[i].slots = make([]atomic.Pointer[Record], per)
+	}
+}
+
+// add stores one record, reporting whether an older record was displaced.
+// The per-component sequence selects the shard, so one component's
+// records spread evenly and a snapshot holds a contiguous recent window.
+func (r *recordRing) add(rec *Record) (displaced bool) {
+	sh := &r.shards[rec.Seq&(ringShards-1)]
+	idx := (sh.next.Add(1) - 1) % uint64(len(sh.slots))
+	return sh.slots[idx].Swap(rec) != nil
+}
+
+// occupancy reports the number of records currently held.
+func (r *recordRing) occupancy() int64 {
+	var n int64
+	for i := range r.shards {
+		written := int64(r.shards[i].next.Load())
+		if slots := int64(len(r.shards[i].slots)); written > slots {
+			written = slots
+		}
+		n += written
+	}
+	return n
+}
+
+// capacity reports the ring's record capacity.
+func (r *recordRing) capacity() int { return r.perCap * ringShards }
+
+// snapshot copies out every retained record, in no particular order.
+// Records are shared, not copied: callers must treat them as read-only.
+func (r *recordRing) snapshot() []*Record {
+	out := make([]*Record, 0, r.occupancy())
+	for i := range r.shards {
+		for j := range r.shards[i].slots {
+			if rec := r.shards[i].slots[j].Load(); rec != nil {
+				out = append(out, rec)
+			}
+		}
+	}
+	return out
+}

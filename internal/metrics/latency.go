@@ -27,6 +27,18 @@ type LatencyHistogram struct {
 	counts [latencyBuckets]atomic.Int64
 	count  atomic.Int64
 	sum    atomic.Int64 // total nanoseconds
+	// exemplars holds the per-bucket trace-ID exemplar set, allocated
+	// lazily on the first ObserveExemplar so histograms that never see a
+	// traced sample stay at 512 bytes and Observe stays two atomic adds.
+	exemplars atomic.Pointer[exemplarSet]
+}
+
+// exemplarSet retains the most recent sampled trace ID per bucket — the
+// OpenMetrics `# {trace_id="..."}` annotations internal/obs renders under
+// content negotiation, linking a latency bucket to the span tree that
+// landed in it.
+type exemplarSet struct {
+	ids [latencyBuckets]atomic.Pointer[string]
 }
 
 // bucketOf maps a duration to its bucket index.
@@ -53,6 +65,45 @@ func (h *LatencyHistogram) Observe(d time.Duration) {
 	h.counts[bucketOf(d)].Add(1)
 	h.count.Add(1)
 	h.sum.Add(int64(d))
+}
+
+// ObserveExemplar records one latency sample and, when traceID is
+// non-empty, retains it as the bucket's exemplar (last writer wins). The
+// exemplar store is one atomic pointer swap on top of Observe, so traced
+// delivery flushes stay lock-free.
+func (h *LatencyHistogram) ObserveExemplar(d time.Duration, traceID string) {
+	h.Observe(d)
+	if traceID == "" {
+		return
+	}
+	set := h.exemplars.Load()
+	if set == nil {
+		set = &exemplarSet{}
+		if !h.exemplars.CompareAndSwap(nil, set) {
+			set = h.exemplars.Load()
+		}
+	}
+	set.ids[bucketOf(d)].Store(&traceID)
+}
+
+// Exemplar reports the retained trace ID for the bucket whose inclusive
+// upper bound is upper ("" when the bucket never saw a traced sample).
+// Safe to call concurrently with observers — the exposition renderer
+// reads exemplars mid-scrape.
+func (h *LatencyHistogram) Exemplar(upper time.Duration) string {
+	set := h.exemplars.Load()
+	if set == nil {
+		return ""
+	}
+	for i := 0; i < latencyBuckets; i++ {
+		if upperBound(i) == upper {
+			if id := set.ids[i].Load(); id != nil {
+				return *id
+			}
+			return ""
+		}
+	}
+	return ""
 }
 
 // Count reports recorded samples.
@@ -130,4 +181,5 @@ func (h *LatencyHistogram) Reset() {
 	}
 	h.count.Store(0)
 	h.sum.Store(0)
+	h.exemplars.Store(nil)
 }

@@ -73,6 +73,75 @@ func TestLatencyHistogramQuantileOrdering(t *testing.T) {
 	}
 }
 
+func TestLatencyHistogramExemplars(t *testing.T) {
+	var h LatencyHistogram
+	if got := h.Exemplar(upperBound(10)); got != "" {
+		t.Fatalf("fresh histogram has exemplar %q", got)
+	}
+	h.ObserveExemplar(10*time.Microsecond, "aaaa")
+	h.ObserveExemplar(10*time.Microsecond, "bbbb") // same bucket: last wins
+	h.ObserveExemplar(5*time.Millisecond, "cccc")
+	h.ObserveExemplar(time.Second, "") // untraced: counted, no exemplar
+	if h.Count() != 4 {
+		t.Errorf("count = %d, want 4", h.Count())
+	}
+	if got := h.Exemplar(upperBound(bucketOf(10 * time.Microsecond))); got != "bbbb" {
+		t.Errorf("10µs bucket exemplar = %q, want bbbb", got)
+	}
+	if got := h.Exemplar(upperBound(bucketOf(5 * time.Millisecond))); got != "cccc" {
+		t.Errorf("5ms bucket exemplar = %q, want cccc", got)
+	}
+	if got := h.Exemplar(upperBound(bucketOf(time.Second))); got != "" {
+		t.Errorf("untraced bucket has exemplar %q", got)
+	}
+	if got := h.Exemplar(time.Duration(12345)); got != "" {
+		t.Errorf("non-bucket bound returned %q", got)
+	}
+	h.Reset()
+	if got := h.Exemplar(upperBound(bucketOf(5 * time.Millisecond))); got != "" {
+		t.Errorf("reset kept exemplar %q", got)
+	}
+}
+
+// TestExemplarReadDuringObserve is the -race exercise for the exemplar
+// path: scrape-side Exemplar reads race ObserveExemplar writers, exactly
+// what happens when an OpenMetrics scrape lands mid-delivery-storm.
+func TestExemplarReadDuringObserve(t *testing.T) {
+	var h LatencyHistogram
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				h.Buckets(func(upper time.Duration, _ int64) {
+					_ = h.Exemplar(upper)
+				})
+			}
+		}
+	}()
+	var writers sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			for i := 0; i < 2000; i++ {
+				h.ObserveExemplar(time.Duration(w*1000+i)*time.Microsecond, "deadbeef")
+			}
+		}(w)
+	}
+	writers.Wait()
+	close(stop)
+	wg.Wait()
+	if got := h.Count(); got != 8000 {
+		t.Errorf("count = %d, want 8000", got)
+	}
+}
+
 // TestLatencyHistogramConcurrent is the -race exercise: many writers, a
 // quantile/mean reader in flight, exact final count.
 func TestLatencyHistogramConcurrent(t *testing.T) {

@@ -7,6 +7,7 @@ import (
 	"github.com/gsalert/gsalert/internal/core"
 	"github.com/gsalert/gsalert/internal/delivery"
 	"github.com/gsalert/gsalert/internal/gds"
+	"github.com/gsalert/gsalert/internal/logging"
 	"github.com/gsalert/gsalert/internal/qos"
 	"github.com/gsalert/gsalert/internal/trace"
 	"github.com/gsalert/gsalert/internal/transport"
@@ -162,6 +163,30 @@ func RegisterTrace(r *Registry, col *trace.Collector) {
 	r.Counter("gsalert_trace_dropped_total", "Spans overwritten by the ring's drop-oldest policy before being read.", func() float64 { return float64(col.Dropped()) })
 	r.Gauge("gsalert_trace_ring_occupancy", "Span records currently held in the collector ring.", func() float64 { return float64(col.Occupancy()) })
 	r.Gauge("gsalert_trace_ring_capacity", "Total span slots across the collector's shards.", func() float64 { return float64(col.Capacity()) })
+}
+
+// RegisterLogging exposes the structured-logging plane's self-monitoring
+// series: per-component record and ring-drop counters, sink suppression,
+// and ring occupancy against capacity — the gsalert_logging_* catalog of
+// docs/LOGGING.md. Components appear on first logger use, so the label
+// sets are dynamic and this is a Collect callback.
+func RegisterLogging(r *Registry, rec *logging.Recorder) {
+	r.Collect(func(c *Collector) {
+		for _, s := range rec.Stats() {
+			label := L("component", s.Component)
+			c.Counter("gsalert_logging_records_total", "Log records emitted past level filtering, per component.", float64(s.Emitted), label)
+			c.Counter("gsalert_logging_dropped_total", "Ring records displaced by drop-oldest before any capture saw them.", float64(s.Dropped), label)
+			c.Counter("gsalert_logging_suppressed_total", "Sink lines withheld by the per-component rate limiter (still ring-retained).", float64(s.Suppressed), label)
+			c.Gauge("gsalert_logging_ring_occupancy", "Records currently held in the component's flight ring.", float64(s.Occupancy), label)
+			c.Gauge("gsalert_logging_ring_capacity", "Record slots in the component's flight ring.", float64(s.Capacity), label)
+		}
+	})
+}
+
+// RegisterFlight exposes the flight recorder's capture counter next to the
+// per-component logging series.
+func RegisterFlight(r *Registry, fr *logging.FlightRecorder) {
+	r.Counter("gsalert_logging_dumps_total", "Post-mortem bundles captured (health-triggered or manual).", func() float64 { return float64(fr.Dumps()) })
 }
 
 // RegisterHTTPTransport exposes the wire-level frame and byte counters of

@@ -5,18 +5,32 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"strconv"
+	"strings"
 	"time"
 
+	"github.com/gsalert/gsalert/internal/logging"
 	"github.com/gsalert/gsalert/internal/trace"
 )
 
 // TextContentType is the Prometheus text exposition content type.
 const TextContentType = "text/plain; version=0.0.4; charset=utf-8"
 
+// OpenMetricsContentType is the negotiated exposition content type when the
+// scraper accepts OpenMetrics (exemplar annotations, `# EOF` terminator).
+const OpenMetricsContentType = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
 // Handler serves the registry's exposition at GET /metrics semantics (any
-// method is accepted; scraping is read-only).
+// method is accepted; scraping is read-only). Content negotiation: a
+// scraper whose Accept header names application/openmetrics-text gets the
+// OpenMetrics variant with histogram exemplars; everyone else gets the
+// text format, byte-identical to what it was before exemplars existed.
 func Handler(r *Registry) http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req != nil && strings.Contains(req.Header.Get("Accept"), "application/openmetrics-text") {
+			w.Header().Set("Content-Type", OpenMetricsContentType)
+			_ = r.WriteOpenMetrics(w)
+			return
+		}
 		w.Header().Set("Content-Type", TextContentType)
 		_ = r.WritePrometheus(w)
 	})
@@ -47,6 +61,38 @@ func WithPprof() ServeOption {
 		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
+}
+
+// WithFlightRecorder serves on-demand post-mortem bundles at
+// `/debug/flightrecorder`: the same JSONL bundle the server writes when
+// the health plane turns a component critical, captured at request time.
+// `gs-client logs` pulls and renders it. See docs/LOGGING.md.
+func WithFlightRecorder(fr *logging.FlightRecorder) ServeOption {
+	return func(mux *http.ServeMux) {
+		mux.Handle("/debug/flightrecorder", FlightHandler(fr))
+	}
+}
+
+// FlightHandler serves one flight recorder's bundle (the
+// /debug/flightrecorder endpoint of WithFlightRecorder, exposed for tests
+// and custom muxes). The optional `reason` query parameter is recorded in
+// the bundle header in place of the default "manual".
+func FlightHandler(fr *logging.FlightRecorder) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		reason := "manual"
+		if req != nil {
+			if v := req.URL.Query().Get("reason"); v != "" {
+				reason = v
+			}
+		}
+		raw, err := fr.DumpJSONL(reason)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		_, _ = w.Write(raw)
+	})
 }
 
 // TracesHandler serves one collector's traces as JSON (the /traces endpoint

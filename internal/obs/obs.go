@@ -310,7 +310,17 @@ func formatValue(v float64) string {
 
 // WritePrometheus renders every registered family in Prometheus text
 // format (families and series in deterministic sorted order).
-func (r *Registry) WritePrometheus(w io.Writer) error {
+func (r *Registry) WritePrometheus(w io.Writer) error { return r.write(w, false) }
+
+// WriteOpenMetrics renders the same exposition with the OpenMetrics
+// extras: exemplar annotations (`# {trace_id="..."} <bound>`) on histogram
+// bucket lines whose bucket retained a sampled trace ID, and the `# EOF`
+// terminator. Series names, values and ordering are byte-identical to the
+// text format otherwise, so the two variants diff only in annotations.
+// Handler negotiates between them on the Accept header.
+func (r *Registry) WriteOpenMetrics(w io.Writer) error { return r.write(w, true) }
+
+func (r *Registry) write(w io.Writer, openMetrics bool) error {
 	r.mu.Lock()
 	// Snapshot family pointers and collectors; reads and collector runs
 	// happen outside the lock so a slow read func cannot block registration
@@ -374,12 +384,17 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		copy(hists, rf.hists)
 		sort.Slice(hists, func(i, j int) bool { return hists[i].key < hists[j].key })
 		for _, hs := range hists {
-			writeHistogram(&b, rf.name, hs)
+			writeHistogram(&b, rf.name, hs, openMetrics)
 		}
 		if _, err := io.WriteString(w, b.String()); err != nil {
 			return err
 		}
 		b.Reset()
+	}
+	if openMetrics {
+		if _, err := io.WriteString(w, "# EOF\n"); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -388,8 +403,10 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 // occupied power-of-two bounds (in seconds), the +Inf bucket, `_sum` and
 // `_count`. The `_count` and +Inf values come from the same bucket sweep as
 // the `le` lines, so the series is internally monotone even when writers
-// race the scrape.
-func writeHistogram(b *strings.Builder, name string, hs histSeries) {
+// race the scrape. With exemplars on (the OpenMetrics variant), a bucket
+// that retained a sampled trace ID gets the `# {trace_id="..."} <bound>`
+// annotation, linking the bucket to a span tree in /traces.
+func writeHistogram(b *strings.Builder, name string, hs histSeries, exemplars bool) {
 	// Splice `le` into the existing canonical label block: the key already
 	// holds the sorted, escaped labels; `le` conventionally goes last.
 	bucketPrefix := name + "_bucket{le=\""
@@ -398,9 +415,18 @@ func writeHistogram(b *strings.Builder, name string, hs histSeries) {
 	}
 	total := hs.h.Buckets(func(upper time.Duration, cumulative int64) {
 		b.WriteString(bucketPrefix)
-		b.WriteString(strconv.FormatFloat(upper.Seconds(), 'g', -1, 64))
+		bound := strconv.FormatFloat(upper.Seconds(), 'g', -1, 64)
+		b.WriteString(bound)
 		b.WriteString("\"} ")
 		b.WriteString(strconv.FormatInt(cumulative, 10))
+		if exemplars {
+			if id := hs.h.Exemplar(upper); id != "" {
+				b.WriteString(` # {trace_id="`)
+				b.WriteString(escapeLabelValue(id))
+				b.WriteString(`"} `)
+				b.WriteString(bound)
+			}
+		}
 		b.WriteByte('\n')
 	})
 	b.WriteString(bucketPrefix)

@@ -12,6 +12,7 @@ import (
 	"github.com/gsalert/gsalert/internal/core"
 	"github.com/gsalert/gsalert/internal/delivery"
 	"github.com/gsalert/gsalert/internal/gds"
+	"github.com/gsalert/gsalert/internal/logging"
 	"github.com/gsalert/gsalert/internal/profile"
 	"github.com/gsalert/gsalert/internal/protocol"
 	"github.com/gsalert/gsalert/internal/trace"
@@ -41,6 +42,10 @@ type StandbyConfig struct {
 	// the attribution table can report replication apply cost. Nil (the
 	// default) records nothing.
 	Tracer *trace.Tracer
+	// Log is the standby's component logger (docs/LOGGING.md): joins and
+	// promotion at info, probe failures and resyncs at warn. Nil disables
+	// every site at one pointer check.
+	Log *logging.Logger
 }
 
 // Standby is the receiving end of the replication stream: it applies
@@ -52,6 +57,7 @@ type Standby struct {
 	tr          transport.Transport
 	gdsCli      *gds.Client
 	tracer      *trace.Tracer
+	log         *logging.Logger
 	addr        string
 	primaryAddr string
 	listener    io.Closer
@@ -92,6 +98,7 @@ func NewStandby(cfg StandbyConfig) (*Standby, error) {
 		tr:          cfg.Transport,
 		gdsCli:      cfg.GDS,
 		tracer:      cfg.Tracer,
+		log:         cfg.Log,
 		addr:        cfg.ListenAddr,
 		primaryAddr: cfg.PrimaryAddr,
 		mode:        core.RouteBroadcast,
@@ -185,10 +192,19 @@ func (s *Standby) Join(ctx context.Context) error {
 	if err := transport.SendExpect(ctx, s.tr, s.primaryAddr, env, protocol.MsgReplSnapshot, &snap); err != nil {
 		err = fmt.Errorf("replica: join %s: %w", s.primaryAddr, err)
 		s.noteProbe(err)
+		s.log.Warn("join failed", logging.String("primary", s.primaryAddr),
+			logging.String("error", err.Error()))
 		return err
 	}
 	s.noteProbe(nil)
-	return s.applySnapshot(&snap)
+	if err := s.applySnapshot(&snap); err != nil {
+		return err
+	}
+	// The applied stream position is deliberately not logged: it shifts
+	// with delivery flush batching across same-seed runs, and E19 requires
+	// byte-identical flight bundles. gsalert_replica_stream_seq carries it.
+	s.log.Info("joined primary", logging.String("primary", s.primaryAddr))
+	return nil
 }
 
 // Heartbeat probes the primary's stream position and rejoins (full
@@ -237,6 +253,7 @@ func (s *Standby) Heartbeat(ctx context.Context) error {
 		s.mu.Lock()
 		s.resyncs++
 		s.mu.Unlock()
+		s.log.Warn("stream diverged, resyncing", logging.String("primary", s.primaryAddr))
 		return s.Join(ctx)
 	}
 	return nil
@@ -520,5 +537,7 @@ func (s *Standby) Promote(ctx context.Context, mode core.RoutingMode) error {
 		rollback()
 		return fmt.Errorf("replica: promote routing mode %s: %w", mode, err)
 	}
+	s.log.Info("standby promoted to primary",
+		logging.String("server", s.svc.Name()), logging.String("mode", mode.String()))
 	return nil
 }

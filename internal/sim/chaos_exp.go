@@ -3,6 +3,7 @@ package sim
 import (
 	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"github.com/gsalert/gsalert/internal/chaos"
@@ -13,6 +14,7 @@ import (
 	"github.com/gsalert/gsalert/internal/gds"
 	"github.com/gsalert/gsalert/internal/greenstone"
 	"github.com/gsalert/gsalert/internal/health"
+	"github.com/gsalert/gsalert/internal/logging"
 	"github.com/gsalert/gsalert/internal/metrics"
 	"github.com/gsalert/gsalert/internal/obs"
 	"github.com/gsalert/gsalert/internal/profile"
@@ -90,6 +92,15 @@ type ChaosSoakConfig struct {
 	// the soak observes at least one rule fire→clear cycle (the chaos-soak
 	// CI gate). 0-cost when false.
 	Health bool
+	// FlightRecorder (E19) additionally threads a shared structured-logging
+	// recorder through every subsystem — core services, delivery pipelines,
+	// directory nodes, the replica standby and the health engine — on the
+	// same virtual clock, arms a logging.FlightRecorder over its rings, and
+	// registers the standby's stats with the health registry so the
+	// soak-promotion critical rule can observe the kill-primary fault. The
+	// resulting critical transition auto-captures a post-mortem bundle.
+	// Implies Health.
+	FlightRecorder bool
 }
 
 // soakHealthRules is the rule set the soak's health engine evaluates: the
@@ -344,7 +355,17 @@ type soakOutcome struct {
 	// Health accounting (cfg.Health).
 	healthTransitions []health.Transition
 	healthCycles      int
-	wall              time.Duration
+	// Flight-recorder accounting (cfg.FlightRecorder): the auto-captured
+	// bundles with their parsed forms, the per-component ring stats, the
+	// count of transitions into Critical, and the trace IDs the collector
+	// had assembled by the end of the run (record resolution is checked
+	// against this set).
+	bundles        [][]byte
+	dumps          []*logging.Dump
+	critical       int
+	logStats       []logging.ComponentStats
+	retainedTraces map[string]bool
+	wall           time.Duration
 }
 
 func countSoakPrimitives(sink *core.MemoryNotifier) int {
@@ -393,6 +414,66 @@ func runChaosSoak(cfg ChaosSoakConfig, schedule chaos.Schedule) (*soakOutcome, e
 		}
 	}
 
+	// The virtual clock shared by the health engine and the logging plane:
+	// it advances only at round boundaries, so every record and capture
+	// timestamp is a pure function of the seed — the E19 byte-determinism
+	// property. The mutex keeps -race quiet should any background emitter
+	// ever read it; in the soak every log site runs on this goroutine.
+	hclock := time.Unix(1_700_000_000, 0)
+	var clkMu sync.Mutex
+	lclock := func() time.Time {
+		clkMu.Lock()
+		defer clkMu.Unlock()
+		return hclock
+	}
+	advanceClock := func() time.Time {
+		clkMu.Lock()
+		hclock = hclock.Add(soakHealthTick)
+		t := hclock
+		clkMu.Unlock()
+		return t
+	}
+
+	// The E19 logging plane: one recorder at debug feeds every component's
+	// flight ring; no sink is attached (ring-only, the always-on production
+	// posture), and the flight recorder snapshots the rings plus the trace
+	// IDs retained in the span collector at capture time.
+	var (
+		rec       *logging.Recorder
+		flight    *logging.FlightRecorder
+		coreLog   *logging.Logger
+		bundles   [][]byte
+		dumps     []*logging.Dump
+		critical  int
+		flightErr error
+	)
+	if cfg.FlightRecorder {
+		rec = logging.NewRecorder(logging.Config{
+			Level: logging.LevelDebug,
+			Clock: lclock,
+		})
+		flight = logging.NewFlightRecorder(logging.FlightConfig{
+			Recorder: rec,
+			Clock:    lclock,
+			TraceIDs: func() []string {
+				if tcol == nil {
+					return nil
+				}
+				traces := tcol.Traces(trace.Filter{})
+				ids := make([]string, 0, len(traces))
+				for _, t := range traces {
+					ids = append(ids, t.TraceID)
+				}
+				return ids
+			},
+		})
+		coreLog = rec.For("core")
+		gdsLog := rec.For("gds")
+		for _, n := range c.Nodes {
+			n.SetLog(gdsLog)
+		}
+	}
+
 	quota := func(cc *core.Config) {
 		// A retry interval beyond the run keeps deferred redelivery out of
 		// the measurement (E15's determinism trick); deferred traffic
@@ -411,6 +492,7 @@ func runChaosSoak(cfg ChaosSoakConfig, schedule chaos.Schedule) (*soakOutcome, e
 		if _, err := c.AddServerWith(name, nodeIdx, func(cc *core.Config) {
 			quota(cc)
 			cc.Tracer = newTracer(cc.ServerName)
+			cc.Log = coreLog
 		}); err != nil {
 			return nil, err
 		}
@@ -431,18 +513,45 @@ func runChaosSoak(cfg ChaosSoakConfig, schedule chaos.Schedule) (*soakOutcome, e
 
 	// The soak's health plane: a rule engine over the QoS server's
 	// registry, stepped on a virtual clock so rate windows behave the same
-	// however fast the rounds run.
+	// however fast the rounds run. Flight-recorder runs add the critical
+	// soak-promotion rule and capture a post-mortem bundle the moment any
+	// component turns critical — the kill-primary fault is the trigger.
 	var heng *health.Engine
-	var hclock time.Time
-	if cfg.Health {
-		hrules, err := health.ParseRules(soakHealthRules)
+	var hreg *obs.Registry
+	if cfg.Health || cfg.FlightRecorder {
+		rulesText := soakHealthRules
+		if cfg.FlightRecorder {
+			rulesText += soakPromotionRules
+		}
+		hrules, err := health.ParseRules(rulesText)
 		if err != nil {
 			return nil, fmt.Errorf("sim: soak health rules: %w", err)
 		}
-		hreg := obs.NewRegistry()
+		hreg = obs.NewRegistry()
 		obs.RegisterService(hreg, qosSvc.Stats)
-		heng = health.NewEngine(hreg, hrules, health.Options{})
-		hclock = time.Unix(1_700_000_000, 0)
+		hopts := health.Options{}
+		if rec != nil {
+			hopts.Log = rec.For("health")
+			hopts.OnTransition = func(tr health.Transition) {
+				if tr.To != health.Critical {
+					return
+				}
+				critical++
+				d, err := flight.Dump("critical:" + tr.Component)
+				if err != nil {
+					flightErr = fmt.Errorf("sim: soak flight dump: %w", err)
+					return
+				}
+				raw, err := d.MarshalJSONL()
+				if err != nil {
+					flightErr = fmt.Errorf("sim: soak flight bundle: %w", err)
+					return
+				}
+				dumps = append(dumps, d)
+				bundles = append(bundles, raw)
+			}
+		}
+		heng = health.NewEngine(hreg, hrules, hopts)
 	}
 
 	// The ballast population goes in before the standby joins, so the
@@ -478,6 +587,7 @@ func runChaosSoak(cfg ChaosSoakConfig, schedule chaos.Schedule) (*soakOutcome, e
 	}
 	quota(&sbCfg)
 	sbCfg.Tracer = newTracer(SoakReplServer + "b")
+	sbCfg.Log = coreLog
 	standby, err := core.New(sbCfg)
 	if err != nil {
 		return nil, err
@@ -504,20 +614,30 @@ func runChaosSoak(cfg ChaosSoakConfig, schedule chaos.Schedule) (*soakOutcome, e
 		return nil, err
 	}
 	defer prim.Close()
-	recv, err := replica.NewStandby(replica.StandbyConfig{
+	sbStandbyCfg := replica.StandbyConfig{
 		Service:     standby,
 		Transport:   c.Net,
 		ListenAddr:  replStandbyAddr(SoakReplServer),
 		PrimaryAddr: "repl://" + SoakReplServer,
 		GDS:         sbCli,
 		Tracer:      sbCfg.Tracer,
-	})
+	}
+	if rec != nil {
+		sbStandbyCfg.Log = rec.For("replica")
+	}
+	recv, err := replica.NewStandby(sbStandbyCfg)
 	if err != nil {
 		return nil, err
 	}
 	defer recv.Close()
 	if err := recv.Join(ctx); err != nil {
 		return nil, err
+	}
+	if hreg != nil && cfg.FlightRecorder {
+		// The soak-promotion rule watches gsalert_replica_promoted, which
+		// lives on the standby's stats (selectors sum matching series, so
+		// the QoS server's never-promoted zero contributes nothing).
+		obs.RegisterService(hreg, standby.Stats)
 	}
 
 	// The observed subscribers: E15's cast at the QoS server, E14's cast at
@@ -580,8 +700,7 @@ func runChaosSoak(cfg ChaosSoakConfig, schedule chaos.Schedule) (*soakOutcome, e
 			return nil, err
 		}
 		if heng != nil {
-			hclock = hclock.Add(soakHealthTick)
-			heng.TickAt(hclock)
+			heng.TickAt(advanceClock())
 		}
 	}
 	run.settle(ctx)
@@ -589,9 +708,11 @@ func runChaosSoak(cfg ChaosSoakConfig, schedule chaos.Schedule) (*soakOutcome, e
 		// Quiet tail: no publishes, so the deferred-rate window drains and
 		// any firing rule clears — completing the fire→clear cycle.
 		for i := 0; i < 6; i++ {
-			hclock = hclock.Add(soakHealthTick)
-			heng.TickAt(hclock)
+			heng.TickAt(advanceClock())
 		}
+	}
+	if flightErr != nil {
+		return nil, flightErr
 	}
 
 	out := &soakOutcome{
@@ -654,6 +775,16 @@ func runChaosSoak(cfg ChaosSoakConfig, schedule chaos.Schedule) (*soakOutcome, e
 		out.attribution = AttributionReports(trace.PathSamples(out.traces, trace.StageNotify))
 		out.traceSpans = tcol.SpansTotal()
 		out.traceDropped = tcol.Dropped()
+	}
+	if rec != nil {
+		out.bundles = bundles
+		out.dumps = dumps
+		out.critical = critical
+		out.logStats = rec.Stats()
+		out.retainedTraces = make(map[string]bool, len(out.traces))
+		for _, t := range out.traces {
+			out.retainedTraces[t.TraceID] = true
+		}
 	}
 	if heng != nil {
 		out.healthTransitions = heng.Transitions()
